@@ -1,0 +1,146 @@
+// Microbenchmarks (google-benchmark) for the hot paths of the library:
+// the fluid engine, steady-state mix execution, CQI computation, QS
+// fitting, spoiler prediction, and LHS generation.
+
+#include <benchmark/benchmark.h>
+
+#include "core/cqi.h"
+#include "core/qs_model.h"
+#include "core/spoiler_model.h"
+#include "math/regression.h"
+#include "ml/lhs.h"
+#include "sim/engine.h"
+#include "sim/spoiler.h"
+#include "util/logging.h"
+#include "workload/sampler.h"
+#include "workload/steady_state.h"
+#include "workload/workload.h"
+
+namespace contender {
+namespace {
+
+const Workload& BenchWorkload() {
+  static const Workload* w = new Workload(Workload::Paper());
+  return *w;
+}
+
+const TrainingData& BenchData() {
+  static const TrainingData* data = [] {
+    WorkloadSampler::Options options;
+    WorkloadSampler sampler(&BenchWorkload(), sim::SimConfig{}, options);
+    auto collected = sampler.CollectAll();
+    CONTENDER_CHECK(collected.ok());
+    return new TrainingData(std::move(*collected));
+  }();
+  return *data;
+}
+
+void BM_IsolatedQueryExecution(benchmark::State& state) {
+  const Workload& w = BenchWorkload();
+  const int idx = static_cast<int>(state.range(0));
+  sim::SimConfig config;
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    sim::Engine engine(config, seed++);
+    const int pid = engine.AddProcess(w.InstantiateNominal(idx), 0.0);
+    CONTENDER_CHECK(engine.Run().ok());
+    benchmark::DoNotOptimize(engine.result(pid).latency());
+  }
+}
+BENCHMARK(BM_IsolatedQueryExecution)->Arg(0)->Arg(6)->Arg(21);
+
+void BM_SpoilerRun(benchmark::State& state) {
+  const Workload& w = BenchWorkload();
+  const int mpl = static_cast<int>(state.range(0));
+  sim::SimConfig config;
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    sim::Engine engine(config, seed++);
+    for (const auto& s : sim::MakeSpoiler(config, mpl)) {
+      engine.AddProcess(s, 0.0);
+    }
+    const int pid = engine.AddProcess(w.InstantiateNominal(0), 0.0);
+    CONTENDER_CHECK(engine.RunUntilProcessCompletes(pid).ok());
+    benchmark::DoNotOptimize(engine.result(pid).latency());
+  }
+}
+BENCHMARK(BM_SpoilerRun)->Arg(2)->Arg(5);
+
+void BM_SteadyStateMix(benchmark::State& state) {
+  const Workload& w = BenchWorkload();
+  const int mpl = static_cast<int>(state.range(0));
+  sim::SimConfig config;
+  SteadyStateOptions opts;
+  uint64_t seed = 1;
+  std::vector<int> mix;
+  for (int i = 0; i < mpl; ++i) mix.push_back(i * 3 % w.size());
+  for (auto _ : state) {
+    opts.seed = seed++;
+    auto result = RunSteadyState(w, mix, config, opts);
+    CONTENDER_CHECK(result.ok());
+    benchmark::DoNotOptimize(result->duration);
+  }
+}
+BENCHMARK(BM_SteadyStateMix)->Arg(2)->Arg(5);
+
+void BM_ComputeCqi(benchmark::State& state) {
+  const TrainingData& data = BenchData();
+  const std::vector<int> concurrent = {1, 5, 9, 13};
+  for (auto _ : state) {
+    auto cqi = ComputeCqi(data.profiles, data.scan_times, 0, concurrent,
+                          CqiVariant::kFull);
+    benchmark::DoNotOptimize(cqi.ok());
+  }
+}
+BENCHMARK(BM_ComputeCqi);
+
+void BM_FitReferenceModels(benchmark::State& state) {
+  const TrainingData& data = BenchData();
+  for (auto _ : state) {
+    auto models = FitReferenceModels(data.profiles, data.scan_times,
+                                     data.observations, 4);
+    benchmark::DoNotOptimize(models.ok());
+  }
+}
+BENCHMARK(BM_FitReferenceModels);
+
+void BM_KnnSpoilerPredict(benchmark::State& state) {
+  const TrainingData& data = BenchData();
+  KnnSpoilerPredictor::Options opts;
+  auto predictor = KnnSpoilerPredictor::Fit(data.profiles, opts);
+  CONTENDER_CHECK(predictor.ok());
+  for (auto _ : state) {
+    auto lmax = predictor->Predict(data.profiles[7], 4);
+    benchmark::DoNotOptimize(lmax.ok());
+  }
+}
+BENCHMARK(BM_KnnSpoilerPredict);
+
+void BM_LatinHypercube(benchmark::State& state) {
+  Rng rng(3);
+  const int mpl = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto mixes = LatinHypercubeSample(25, mpl, &rng);
+    benchmark::DoNotOptimize(mixes.ok());
+  }
+}
+BENCHMARK(BM_LatinHypercube)->Arg(2)->Arg(5);
+
+void BM_SimpleLinearFit(benchmark::State& state) {
+  Rng rng(5);
+  std::vector<double> x, y;
+  for (int i = 0; i < 64; ++i) {
+    x.push_back(rng.Uniform01());
+    y.push_back(2.0 * x.back() + rng.Normal(0.0, 0.1));
+  }
+  for (auto _ : state) {
+    auto fit = FitSimpleLinear(x, y);
+    benchmark::DoNotOptimize(fit.ok());
+  }
+}
+BENCHMARK(BM_SimpleLinearFit);
+
+}  // namespace
+}  // namespace contender
+
+BENCHMARK_MAIN();

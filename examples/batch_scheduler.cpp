@@ -1,0 +1,114 @@
+// Batch scheduling with CQPP (the paper's motivating application, §1):
+// given a batch of analytical queries to execute at MPL 2, choose the
+// pairing that minimizes predicted total latency, then verify in the
+// simulator against a naive FIFO pairing.
+//
+//   ./build/examples/batch_scheduler [--seed=42] [--batch=12]
+
+#include <algorithm>
+#include <iostream>
+
+#include "core/predictor.h"
+#include "sim/engine.h"
+#include "util/flags.h"
+#include "util/logging.h"
+#include "util/table_printer.h"
+#include "workload/sampler.h"
+
+using namespace contender;
+
+namespace {
+
+// Executes the batch as consecutive gangs of two: each planned pair runs
+// to completion before the next pair starts. Returns the makespan.
+double ExecuteBatch(const Workload& workload, const sim::SimConfig& machine,
+                    const std::vector<int>& order, uint64_t seed) {
+  Rng rng(seed);
+  sim::Engine engine(machine, rng.Next());
+  int outstanding = 0;
+  size_t next = 0;
+  auto launch_pair = [&]() {
+    while (outstanding < 2 && next < order.size()) {
+      engine.AddProcess(workload.Instantiate(order[next], &rng),
+                        engine.now());
+      ++next;
+      ++outstanding;
+    }
+  };
+  engine.SetCompletionCallback([&](const sim::ProcessResult&) {
+    --outstanding;
+    if (outstanding == 0) launch_pair();
+  });
+  launch_pair();
+  CONTENDER_CHECK(engine.Run().ok());
+  return engine.now();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  Workload workload = Workload::Paper();
+  sim::SimConfig machine;
+
+  WorkloadSampler::Options sampling;
+  sampling.seed = flags.Seed();
+  WorkloadSampler sampler(&workload, machine, sampling);
+  std::cout << "Training Contender...\n";
+  auto data = sampler.CollectAll();
+  CONTENDER_CHECK(data.ok()) << data.status();
+  auto predictor = ContenderPredictor::Train(
+      data->profiles, data->scan_times, data->observations,
+      ContenderPredictor::Options{});
+  CONTENDER_CHECK(predictor.ok()) << predictor.status();
+
+  // The batch, in arrival order: scan-sharing opportunities exist (the
+  // three-channel queries 33/56/60/71 share every fact table; 26/20 share
+  // catalog_sales; 27/79/61/8 share store_sales; 62/90 share web_sales)
+  // but arrivals interleave them badly.
+  std::vector<int> batch;
+  for (int id : {33, 26, 27, 62, 56, 20, 79, 90, 71, 61, 8, 60}) {
+    batch.push_back(workload.IndexOfId(id));
+  }
+
+  // Greedy pairing: repeatedly pick the pair with the lowest predicted
+  // combined latency (queries that share scans pair up).
+  std::vector<int> remaining = batch;
+  std::vector<int> planned;
+  while (remaining.size() >= 2) {
+    double best = 1e300;
+    size_t bi = 0, bj = 1;
+    for (size_t i = 0; i < remaining.size(); ++i) {
+      for (size_t j = i + 1; j < remaining.size(); ++j) {
+        auto a = predictor->PredictKnown(remaining[i], {remaining[j]});
+        auto b = predictor->PredictKnown(remaining[j], {remaining[i]});
+        if (!a.ok() || !b.ok()) continue;
+        const double cost = *a + *b;
+        if (cost < best) {
+          best = cost;
+          bi = i;
+          bj = j;
+        }
+      }
+    }
+    planned.push_back(remaining[bi]);
+    planned.push_back(remaining[bj]);
+    remaining.erase(remaining.begin() + static_cast<long>(bj));
+    remaining.erase(remaining.begin() + static_cast<long>(bi));
+  }
+  planned.insert(planned.end(), remaining.begin(), remaining.end());
+
+  const double fifo = ExecuteBatch(workload, machine, batch, flags.Seed());
+  const double smart =
+      ExecuteBatch(workload, machine, planned, flags.Seed());
+
+  TablePrinter table({"Schedule", "Batch makespan", "Speedup"});
+  table.AddRow({"FIFO (arrival order)", FormatDouble(fifo, 0) + " s", "1.00x"});
+  table.AddRow({"Contender-aware pairing", FormatDouble(smart, 0) + " s",
+                FormatDouble(fifo / smart, 2) + "x"});
+  table.Print(std::cout);
+  std::cout << "\nThe contention-aware schedule pairs queries that share "
+               "fact-table scans and separates mutually antagonistic "
+               "ones.\n";
+  return 0;
+}

@@ -1,0 +1,110 @@
+#include "catalog/catalog.h"
+
+#include <cmath>
+
+#include "sim/config.h"
+#include "util/logging.h"
+
+namespace contender {
+
+using sim::kGB;
+using sim::kMB;
+
+Catalog::Catalog(std::vector<TableDef> tables) : tables_(std::move(tables)) {
+  for (size_t i = 0; i < tables_.size(); ++i) {
+    tables_[i].id = static_cast<sim::TableId>(i);
+  }
+}
+
+Catalog Catalog::TpcDs(double scale_factor) {
+  Catalog base = TpcDs100();
+  const double f = scale_factor / 100.0;
+  std::vector<TableDef> scaled = base.tables();
+  for (TableDef& t : scaled) {
+    double growth;
+    if (t.is_fact) {
+      growth = f;  // fact tables scale linearly with SF
+    } else if (t.name == "customer" || t.name == "customer_address" ||
+               t.name == "customer_demographics" || t.name == "item" ||
+               t.name == "catalog_page" || t.name == "web_page") {
+      growth = std::sqrt(f);  // entity dimensions grow sublinearly
+    } else {
+      growth = 1.0;  // date/time/store/... are scale-invariant
+    }
+    t.bytes *= growth;
+    t.rows = static_cast<uint64_t>(static_cast<double>(t.rows) * growth);
+  }
+  return Catalog(std::move(scaled));
+}
+
+Catalog Catalog::TpcDs100() {
+  // Sizes approximate PostgreSQL heap sizes for TPC-DS SF=100.
+  std::vector<TableDef> defs = {
+      // Fact tables.
+      {0, "store_sales", 37.0 * kGB, 288000000, true},
+      {0, "catalog_sales", 20.5 * kGB, 144000000, true},
+      {0, "web_sales", 10.2 * kGB, 72000000, true},
+      {0, "inventory", 6.1 * kGB, 399330000, true},
+      {0, "store_returns", 3.1 * kGB, 28800000, true},
+      {0, "catalog_returns", 2.3 * kGB, 14400000, true},
+      {0, "web_returns", 1.1 * kGB, 7200000, true},
+      // Dimensions.
+      {0, "customer", 1.4 * kGB, 2000000, false},
+      {0, "customer_address", 220.0 * kMB, 1000000, false},
+      {0, "customer_demographics", 160.0 * kMB, 1920800, false},
+      {0, "item", 58.0 * kMB, 204000, false},
+      {0, "date_dim", 12.0 * kMB, 73049, false},
+      {0, "time_dim", 8.6 * kMB, 86400, false},
+      {0, "store", 0.3 * kMB, 402, false},
+      {0, "warehouse", 0.1 * kMB, 15, false},
+      {0, "promotion", 0.4 * kMB, 1000, false},
+      {0, "household_demographics", 0.6 * kMB, 7200, false},
+      {0, "income_band", 0.1 * kMB, 20, false},
+      {0, "ship_mode", 0.1 * kMB, 20, false},
+      {0, "reason", 0.1 * kMB, 55, false},
+      {0, "call_center", 0.1 * kMB, 30, false},
+      {0, "catalog_page", 4.5 * kMB, 20400, false},
+      {0, "web_site", 0.1 * kMB, 24, false},
+      {0, "web_page", 0.5 * kMB, 2040, false},
+  };
+  return Catalog(std::move(defs));
+}
+
+StatusOr<TableDef> Catalog::FindByName(const std::string& name) const {
+  for (const TableDef& t : tables_) {
+    if (t.name == name) return t;
+  }
+  return Status::NotFound("table not in catalog: " + name);
+}
+
+StatusOr<TableDef> Catalog::FindById(sim::TableId id) const {
+  if (id < 0 || static_cast<size_t>(id) >= tables_.size()) {
+    return Status::NotFound("table id not in catalog");
+  }
+  return tables_[static_cast<size_t>(id)];
+}
+
+const TableDef& Catalog::Get(const std::string& name) const {
+  for (const TableDef& t : tables_) {
+    if (t.name == name) return t;
+  }
+  CONTENDER_CHECK(false) << "unknown table: " << name;
+  static TableDef dummy;
+  return dummy;
+}
+
+std::vector<TableDef> Catalog::FactTables() const {
+  std::vector<TableDef> out;
+  for (const TableDef& t : tables_) {
+    if (t.is_fact) out.push_back(t);
+  }
+  return out;
+}
+
+double Catalog::TotalBytes() const {
+  double s = 0.0;
+  for (const TableDef& t : tables_) s += t.bytes;
+  return s;
+}
+
+}  // namespace contender

@@ -1,0 +1,59 @@
+// A TPC-DS-like star schema at scale factor 100: seven fact tables and the
+// dimension tables the workload touches, with on-disk sizes approximating
+// PostgreSQL heap sizes for the 100 GB configuration the paper evaluates.
+
+#ifndef CONTENDER_CATALOG_CATALOG_H_
+#define CONTENDER_CATALOG_CATALOG_H_
+
+#include <string>
+#include <vector>
+
+#include "sim/query_spec.h"
+#include "util/statusor.h"
+
+namespace contender {
+
+/// A relation in the schema.
+struct TableDef {
+  sim::TableId id = sim::kNoTable;
+  std::string name;
+  double bytes = 0.0;
+  uint64_t rows = 0;
+  /// Fact tables are too large to cache and are shared-scan eligible;
+  /// dimensions are cacheable in the buffer pool.
+  bool is_fact = false;
+};
+
+/// Immutable table registry.
+class Catalog {
+ public:
+  /// The TPC-DS-like schema at SF = 100.
+  static Catalog TpcDs100();
+
+  /// The schema at an arbitrary scale factor (paper §8 future work:
+  /// prediction on an expanding database). Fact tables grow linearly with
+  /// the scale factor; dimensions grow sublinearly (customer-driven ones
+  /// at ~sqrt scale, static ones not at all), approximating dsdgen.
+  static Catalog TpcDs(double scale_factor);
+
+  /// Builds a catalog from explicit definitions (ids are assigned in order).
+  explicit Catalog(std::vector<TableDef> tables);
+
+  const std::vector<TableDef>& tables() const { return tables_; }
+
+  StatusOr<TableDef> FindByName(const std::string& name) const;
+  StatusOr<TableDef> FindById(sim::TableId id) const;
+
+  /// Convenience: must-succeed lookup (CHECK-fails on a bad name).
+  const TableDef& Get(const std::string& name) const;
+
+  std::vector<TableDef> FactTables() const;
+  double TotalBytes() const;
+
+ private:
+  std::vector<TableDef> tables_;
+};
+
+}  // namespace contender
+
+#endif  // CONTENDER_CATALOG_CATALOG_H_

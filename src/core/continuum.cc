@@ -1,0 +1,32 @@
+#include "core/continuum.h"
+
+namespace contender {
+
+namespace {
+Status ValidateRange(double l_min, double l_max) {
+  if (l_min <= 0.0) {
+    return Status::InvalidArgument("continuum: l_min must be positive");
+  }
+  if (l_max <= l_min) {
+    return Status::InvalidArgument("continuum: l_max must exceed l_min");
+  }
+  return Status::OK();
+}
+}  // namespace
+
+StatusOr<double> ContinuumPoint(double latency, double l_min, double l_max) {
+  CONTENDER_RETURN_IF_ERROR(ValidateRange(l_min, l_max));
+  return (latency - l_min) / (l_max - l_min);
+}
+
+StatusOr<double> LatencyFromContinuum(double point, double l_min,
+                                      double l_max) {
+  CONTENDER_RETURN_IF_ERROR(ValidateRange(l_min, l_max));
+  return point * (l_max - l_min) + l_min;
+}
+
+bool ExceedsContinuum(double latency, double l_max) {
+  return latency > 1.05 * l_max;
+}
+
+}  // namespace contender

@@ -1,0 +1,27 @@
+// The performance continuum (paper §5.1, Eq. 6): a template's latency range
+// between its isolated execution (l_min) and its spoiler latency (l_max),
+// and the normalization of observations onto that range.
+
+#ifndef CONTENDER_CORE_CONTINUUM_H_
+#define CONTENDER_CORE_CONTINUUM_H_
+
+#include "util/statusor.h"
+
+namespace contender {
+
+/// c_{t,m} = (l - l_min) / (l_max - l_min). Requires l_max > l_min.
+/// Observations may legitimately fall slightly outside [0, 1] (steady-state
+/// artifacts, §6.1); no clamping is applied here.
+StatusOr<double> ContinuumPoint(double latency, double l_min, double l_max);
+
+/// Inverse of Eq. 6: latency = c * (l_max - l_min) + l_min.
+StatusOr<double> LatencyFromContinuum(double point, double l_min,
+                                      double l_max);
+
+/// The §6.1 outlier rule: observations above 105% of the spoiler latency
+/// measurably exceed the continuum and are excluded from evaluation.
+bool ExceedsContinuum(double latency, double l_max);
+
+}  // namespace contender
+
+#endif  // CONTENDER_CORE_CONTINUUM_H_

@@ -1,0 +1,135 @@
+#include "core/cqi.h"
+
+#include <algorithm>
+
+namespace contender {
+
+namespace {
+
+Status ValidateIndices(const std::vector<TemplateProfile>& profiles,
+                       int primary_index,
+                       const std::vector<int>& concurrent_indices) {
+  const int n = static_cast<int>(profiles.size());
+  if (primary_index < 0 || primary_index >= n) {
+    return Status::InvalidArgument("CQI: bad primary index");
+  }
+  if (concurrent_indices.empty()) {
+    return Status::InvalidArgument("CQI: empty concurrent set");
+  }
+  for (int c : concurrent_indices) {
+    if (c < 0 || c >= n) {
+      return Status::InvalidArgument("CQI: bad concurrent index");
+    }
+  }
+  return Status::OK();
+}
+
+double ScanTime(const std::map<sim::TableId, double>& scan_times,
+                sim::TableId f) {
+  auto it = scan_times.find(f);
+  return it == scan_times.end() ? 0.0 : it->second;
+}
+
+/// h_f: number of concurrent (non-primary) queries scanning fact table f.
+int CountScanners(const std::vector<const TemplateProfile*>& concurrent,
+                  sim::TableId f) {
+  int h = 0;
+  for (const TemplateProfile* c : concurrent) {
+    if (c->ScansFactTable(f)) ++h;
+  }
+  return h;
+}
+
+/// Eq. 2–4 for the concurrent query at `position`.
+StatusOr<CqiTerms> TermsFor(
+    const TemplateProfile& primary,
+    const std::vector<const TemplateProfile*>& concurrent, size_t position,
+    const std::map<sim::TableId, double>& scan_times, CqiVariant variant) {
+  const TemplateProfile& c = *concurrent[position];
+
+  CqiTerms terms;
+  terms.total_io_seconds = c.isolated_latency * c.io_fraction;
+
+  if (variant != CqiVariant::kBaselineIo) {
+    // ω_c (Eq. 2): scans shared with the primary.
+    for (sim::TableId f : c.fact_tables) {
+      if (primary.ScansFactTable(f)) {
+        terms.omega += ScanTime(scan_times, f);
+      }
+    }
+  }
+  if (variant == CqiVariant::kFull) {
+    // τ_c (Eq. 3): scans shared among the non-primary queries only.
+    for (sim::TableId f : c.fact_tables) {
+      if (primary.ScansFactTable(f)) continue;  // avoid double counting
+      const int h = CountScanners(concurrent, f);
+      if (h > 1) {
+        terms.tau +=
+            (1.0 - 1.0 / static_cast<double>(h)) * ScanTime(scan_times, f);
+      }
+    }
+  }
+
+  if (c.isolated_latency <= 0.0) {
+    return Status::FailedPrecondition("CQI: non-positive isolated latency");
+  }
+  // Eq. 4, truncated at zero.
+  terms.r =
+      std::max(0.0, (terms.total_io_seconds - terms.omega - terms.tau) /
+                        c.isolated_latency);
+  return terms;
+}
+
+}  // namespace
+
+StatusOr<CqiTerms> ComputeCqiTerms(
+    const std::vector<TemplateProfile>& profiles,
+    const std::map<sim::TableId, double>& scan_times, int primary_index,
+    const std::vector<int>& concurrent_indices, size_t concurrent_position,
+    CqiVariant variant) {
+  CONTENDER_RETURN_IF_ERROR(
+      ValidateIndices(profiles, primary_index, concurrent_indices));
+  if (concurrent_position >= concurrent_indices.size()) {
+    return Status::InvalidArgument("CQI: bad concurrent position");
+  }
+  std::vector<const TemplateProfile*> concurrent;
+  for (int c : concurrent_indices) {
+    concurrent.push_back(&profiles[static_cast<size_t>(c)]);
+  }
+  return TermsFor(profiles[static_cast<size_t>(primary_index)], concurrent,
+                  concurrent_position, scan_times, variant);
+}
+
+StatusOr<double> ComputeCqiFor(
+    const TemplateProfile& primary,
+    const std::vector<const TemplateProfile*>& concurrent,
+    const std::map<sim::TableId, double>& scan_times, CqiVariant variant) {
+  if (concurrent.empty()) {
+    return Status::InvalidArgument("CQI: empty concurrent set");
+  }
+  double sum = 0.0;
+  for (size_t i = 0; i < concurrent.size(); ++i) {
+    auto terms = TermsFor(primary, concurrent, i, scan_times, variant);
+    if (!terms.ok()) return terms.status();
+    sum += terms->r;
+  }
+  // Eq. 5: average competing fraction across the concurrent queries.
+  return sum / static_cast<double>(concurrent.size());
+}
+
+StatusOr<double> ComputeCqi(const std::vector<TemplateProfile>& profiles,
+                            const std::map<sim::TableId, double>& scan_times,
+                            int primary_index,
+                            const std::vector<int>& concurrent_indices,
+                            CqiVariant variant) {
+  CONTENDER_RETURN_IF_ERROR(
+      ValidateIndices(profiles, primary_index, concurrent_indices));
+  std::vector<const TemplateProfile*> concurrent;
+  for (int c : concurrent_indices) {
+    concurrent.push_back(&profiles[static_cast<size_t>(c)]);
+  }
+  return ComputeCqiFor(profiles[static_cast<size_t>(primary_index)],
+                       concurrent, scan_times, variant);
+}
+
+}  // namespace contender

@@ -1,0 +1,59 @@
+// The §3 machine-learning baselines for CQPP: KCCA and SVM over query-plan
+// feature vectors of concurrent mixes. These exist to reproduce the paper's
+// negative result — they work tolerably on static workloads and break down
+// on unseen templates.
+
+#ifndef CONTENDER_CORE_ML_BASELINE_H_
+#define CONTENDER_CORE_ML_BASELINE_H_
+
+#include <vector>
+
+#include "core/template_profile.h"
+#include "math/matrix.h"
+#include "util/statusor.h"
+#include "workload/workload.h"
+
+namespace contender {
+
+/// One example per mix observation: 4n plan features plus the observed
+/// primary latency.
+struct MlDataset {
+  std::vector<Vector> features;
+  std::vector<double> latencies;
+  /// Workload index of each example's primary (for template-level splits).
+  std::vector<int> primary_index;
+};
+
+/// Builds the dataset from steady-state observations (plans are the
+/// nominal template plans, as an optimizer would expose them).
+MlDataset BuildMlDataset(const Workload& workload,
+                         const std::vector<MixObservation>& observations);
+
+/// Trains KCCA on the train split and returns MRE on the test split.
+StatusOr<double> EvaluateKccaMre(const MlDataset& data,
+                                 const std::vector<size_t>& train,
+                                 const std::vector<size_t>& test);
+
+/// Trains ε-SVR ("SVM") on the train split and returns MRE on the test
+/// split.
+StatusOr<double> EvaluateSvmMre(const MlDataset& data,
+                                const std::vector<size_t>& train,
+                                const std::vector<size_t>& test,
+                                uint64_t seed = 1);
+
+/// Per-template leave-one-template-out evaluation (Fig. 3): trains on all
+/// examples whose primary is not `held_out_template`, tests on the rest.
+struct NewTemplateMlResult {
+  int template_id = 0;
+  double kcca_mre = 0.0;
+  double svm_mre = 0.0;
+  int test_examples = 0;
+};
+
+StatusOr<NewTemplateMlResult> EvaluateNewTemplateMl(
+    const Workload& workload, const MlDataset& data, int held_out_index,
+    uint64_t seed = 1);
+
+}  // namespace contender
+
+#endif  // CONTENDER_CORE_ML_BASELINE_H_

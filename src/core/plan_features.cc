@@ -1,0 +1,47 @@
+#include "core/plan_features.h"
+
+namespace contender {
+
+PlanFeatureExtractor::PlanFeatureExtractor(const Catalog* catalog)
+    : catalog_(catalog) {}
+
+size_t PlanFeatureExtractor::query_feature_dim() const {
+  return 2 * static_cast<size_t>(PlanNodeType::kNumTypes) +
+         2 * catalog_->tables().size();
+}
+
+Vector PlanFeatureExtractor::ExtractQueryFeatures(const PlanNode& plan) const {
+  const size_t num_types = static_cast<size_t>(PlanNodeType::kNumTypes);
+  const size_t num_tables = catalog_->tables().size();
+  Vector f(2 * num_types + 2 * num_tables, 0.0);
+  VisitPlan(plan, [&](const PlanNode& n) {
+    const size_t t = static_cast<size_t>(n.type);
+    f[2 * t] += 1.0;
+    f[2 * t + 1] += n.rows;
+    if (n.type == PlanNodeType::kSeqScan && n.table >= 0 &&
+        static_cast<size_t>(n.table) < num_tables) {
+      const size_t base = 2 * num_types + 2 * static_cast<size_t>(n.table);
+      f[base] += 1.0;
+      f[base + 1] += n.rows;
+    }
+  });
+  return f;
+}
+
+Vector PlanFeatureExtractor::ExtractMixFeatures(
+    const PlanNode& primary,
+    const std::vector<const PlanNode*>& concurrent) const {
+  Vector p = ExtractQueryFeatures(primary);
+  Vector c(p.size(), 0.0);
+  for (const PlanNode* plan : concurrent) {
+    Vector one = ExtractQueryFeatures(*plan);
+    for (size_t i = 0; i < c.size(); ++i) c[i] += one[i];
+  }
+  Vector out;
+  out.reserve(2 * p.size());
+  out.insert(out.end(), p.begin(), p.end());
+  out.insert(out.end(), c.begin(), c.end());
+  return out;
+}
+
+}  // namespace contender

@@ -1,0 +1,48 @@
+// Query-plan feature extraction for the §3 machine-learning baselines.
+//
+// The global feature space holds, for every plan operator type, (i) the
+// number of occurrences in the plan and (ii) the summed cardinality
+// estimate of its instances; sequential scans are additionally broken out
+// per table, so shared-scan opportunities are visible to the learners. A
+// mix example concatenates the primary's vector with the element-wise sum
+// of the concurrent queries' vectors (2n + 2n = 4n features, paper §3).
+
+#ifndef CONTENDER_CORE_PLAN_FEATURES_H_
+#define CONTENDER_CORE_PLAN_FEATURES_H_
+
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "math/matrix.h"
+#include "workload/query_plan.h"
+
+namespace contender {
+
+/// Stateless extractor bound to a catalog (the per-table features need the
+/// schema).
+class PlanFeatureExtractor {
+ public:
+  explicit PlanFeatureExtractor(const Catalog* catalog);
+
+  /// Features of one query plan: 2 * num-operator-types + 2 * num-tables.
+  Vector ExtractQueryFeatures(const PlanNode& plan) const;
+
+  /// Features of a (primary, concurrent set) example: the primary's vector
+  /// concatenated with the summed concurrent vectors.
+  Vector ExtractMixFeatures(
+      const PlanNode& primary,
+      const std::vector<const PlanNode*>& concurrent) const;
+
+  /// Dimensionality of ExtractQueryFeatures output.
+  size_t query_feature_dim() const;
+
+  /// Dimensionality of ExtractMixFeatures output (2x the above).
+  size_t mix_feature_dim() const { return 2 * query_feature_dim(); }
+
+ private:
+  const Catalog* catalog_;
+};
+
+}  // namespace contender
+
+#endif  // CONTENDER_CORE_PLAN_FEATURES_H_

@@ -1,0 +1,177 @@
+#include "core/predictor.h"
+
+#include <algorithm>
+
+#include "core/continuum.h"
+
+namespace contender {
+
+StatusOr<ContenderPredictor> ContenderPredictor::Train(
+    std::vector<TemplateProfile> profiles,
+    std::map<sim::TableId, double> scan_times,
+    const std::vector<MixObservation>& observations, const Options& options) {
+  if (profiles.size() < 4) {
+    return Status::InvalidArgument(
+        "ContenderPredictor: need >= 4 known templates");
+  }
+  ContenderPredictor p;
+  p.options_ = options;
+  p.profiles_ = std::move(profiles);
+  p.scan_times_ = std::move(scan_times);
+
+  for (int mpl : options.mpls) {
+    auto models = FitReferenceModels(p.profiles_, p.scan_times_, observations,
+                                     mpl, options.variant);
+    if (!models.ok()) return models.status();
+    if (models->empty()) {
+      return Status::FailedPrecondition(
+          "ContenderPredictor: no reference QS models at an MPL; "
+          "missing observations?");
+    }
+    StatusOr<QsTransferModel> transfer =
+        options.transfer_feature == TransferFeature::kIsolatedLatency
+            ? QsTransferModel::Fit(p.profiles_, *models)
+            : QsTransferModel::FitOnFeature(
+                  p.profiles_, *models, [mpl](const TemplateProfile& t) {
+                    const double slowdown =
+                        t.spoiler_latency.at(mpl) / t.isolated_latency;
+                    return 1.0 / std::max(slowdown - 1.0, 0.05);
+                  });
+    if (!transfer.ok()) return transfer.status();
+    p.reference_models_[mpl] = std::move(*models);
+    p.transfer_models_.emplace(mpl, std::move(*transfer));
+  }
+
+  KnnSpoilerPredictor::Options knn_opts;
+  knn_opts.k = options.knn_k;
+  knn_opts.train_mpls = options.spoiler_train_mpls;
+  auto knn = KnnSpoilerPredictor::Fit(p.profiles_, knn_opts);
+  if (!knn.ok()) return knn.status();
+  p.knn_spoiler_.emplace(std::move(*knn));
+  return p;
+}
+
+StatusOr<std::map<int, QsModel>> ContenderPredictor::ReferenceModels(
+    int mpl) const {
+  auto it = reference_models_.find(mpl);
+  if (it == reference_models_.end()) {
+    return Status::NotFound("no reference models at this MPL");
+  }
+  return it->second;
+}
+
+StatusOr<QsTransferModel> ContenderPredictor::TransferModel(int mpl) const {
+  auto it = transfer_models_.find(mpl);
+  if (it == transfer_models_.end()) {
+    return Status::NotFound("no transfer model at this MPL");
+  }
+  return it->second;
+}
+
+StatusOr<double> ContenderPredictor::PredictSpoilerLatency(
+    const TemplateProfile& profile, int mpl) const {
+  return knn_spoiler_->Predict(profile, mpl);
+}
+
+StatusOr<double> ContenderPredictor::ResolveSpoiler(
+    const TemplateProfile& profile, int mpl, SpoilerSource source) const {
+  if (source == SpoilerSource::kMeasured) {
+    auto it = profile.spoiler_latency.find(mpl);
+    if (it == profile.spoiler_latency.end()) {
+      return Status::FailedPrecondition(
+          "profile has no measured spoiler latency at this MPL");
+    }
+    return it->second;
+  }
+  return PredictSpoilerLatency(profile, mpl);
+}
+
+StatusOr<double> ContenderPredictor::PredictWithModel(
+    const TemplateProfile& primary, const QsModel& qs,
+    const std::vector<int>& concurrent, double l_max) const {
+  std::vector<const TemplateProfile*> conc;
+  for (int c : concurrent) {
+    if (c < 0 || static_cast<size_t>(c) >= profiles_.size()) {
+      return Status::InvalidArgument("bad concurrent template index");
+    }
+    conc.push_back(&profiles_[static_cast<size_t>(c)]);
+  }
+  auto cqi = ComputeCqiFor(primary, conc, scan_times_, options_.variant);
+  if (!cqi.ok()) return cqi.status();
+  // Predictions are clamped to the continuum with a small margin: positive
+  // interactions can push latency slightly below l_min and steady-state
+  // artifacts slightly above l_max (paper Section 6.1), but a transferred
+  // model must not extrapolate beyond the meaningful range.
+  const double point =
+      std::clamp(qs.PredictContinuum(*cqi), -0.25, 1.25);
+  auto latency =
+      LatencyFromContinuum(point, primary.isolated_latency, l_max);
+  if (!latency.ok()) return latency.status();
+  // A concurrent execution can beat isolation through shared work, but
+  // never by more than a modest margin.
+  return std::max(*latency, 0.5 * primary.isolated_latency);
+}
+
+StatusOr<double> ContenderPredictor::PredictKnown(
+    int template_index, const std::vector<int>& concurrent_indices) const {
+  if (template_index < 0 ||
+      static_cast<size_t>(template_index) >= profiles_.size()) {
+    return Status::InvalidArgument("unknown template index");
+  }
+  const int mpl = static_cast<int>(concurrent_indices.size()) + 1;
+  auto models_it = reference_models_.find(mpl);
+  if (models_it == reference_models_.end()) {
+    return Status::NotFound("no reference models at this MPL");
+  }
+  auto model_it = models_it->second.find(template_index);
+  if (model_it == models_it->second.end()) {
+    return Status::NotFound("no QS model for this template at this MPL");
+  }
+  const TemplateProfile& primary =
+      profiles_[static_cast<size_t>(template_index)];
+  auto l_max = ResolveSpoiler(primary, mpl, SpoilerSource::kMeasured);
+  if (!l_max.ok()) return l_max.status();
+  return PredictWithModel(primary, model_it->second, concurrent_indices,
+                          *l_max);
+}
+
+StatusOr<double> ContenderPredictor::PredictNew(
+    const TemplateProfile& new_profile,
+    const std::vector<int>& concurrent_indices,
+    SpoilerSource spoiler_source) const {
+  const int mpl = static_cast<int>(concurrent_indices.size()) + 1;
+  auto transfer_it = transfer_models_.find(mpl);
+  if (transfer_it == transfer_models_.end()) {
+    return Status::NotFound("no transfer model at this MPL");
+  }
+  auto l_max = ResolveSpoiler(new_profile, mpl, spoiler_source);
+  if (!l_max.ok()) return l_max.status();
+  QsModel qs;
+  if (options_.transfer_feature == TransferFeature::kIsolatedLatency) {
+    qs = transfer_it->second.PredictFromIsolatedLatency(
+        new_profile.isolated_latency);
+  } else {
+    const double slowdown = *l_max / new_profile.isolated_latency;
+    qs = transfer_it->second.PredictFromFeatureValue(
+        1.0 / std::max(slowdown - 1.0, 0.05));
+  }
+  return PredictWithModel(new_profile, qs, concurrent_indices, *l_max);
+}
+
+StatusOr<double> ContenderPredictor::PredictNewWithKnownSlope(
+    const TemplateProfile& new_profile,
+    const std::vector<int>& concurrent_indices, double known_slope,
+    SpoilerSource spoiler_source) const {
+  const int mpl = static_cast<int>(concurrent_indices.size()) + 1;
+  auto transfer_it = transfer_models_.find(mpl);
+  if (transfer_it == transfer_models_.end()) {
+    return Status::NotFound("no transfer model at this MPL");
+  }
+  const QsModel qs =
+      transfer_it->second.PredictInterceptFromSlope(known_slope);
+  auto l_max = ResolveSpoiler(new_profile, mpl, spoiler_source);
+  if (!l_max.ok()) return l_max.status();
+  return PredictWithModel(new_profile, qs, concurrent_indices, *l_max);
+}
+
+}  // namespace contender

@@ -1,0 +1,119 @@
+// The end-to-end Contender pipeline (paper Fig. 5): train reference QS
+// models on a known workload, then predict concurrent latency for known
+// templates (via their own QS model) and for new templates (via QS
+// coefficient transfer plus measured or KNN-predicted spoiler latency).
+
+#ifndef CONTENDER_CORE_PREDICTOR_H_
+#define CONTENDER_CORE_PREDICTOR_H_
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "core/cqi.h"
+#include "core/qs_model.h"
+#include "core/qs_transfer.h"
+#include "core/spoiler_model.h"
+#include "core/template_profile.h"
+#include "util/statusor.h"
+
+namespace contender {
+
+/// Which isolated statistic the QS slope is transferred from (§5.3).
+enum class TransferFeature {
+  /// The paper's choice: µ regressed on isolated latency (Table 3).
+  kIsolatedLatency,
+  /// Ablation: µ regressed on 1 / (l_max/l_min - 1). The QS slope is
+  /// approximately (mix sensitivity) / (spoiler range), so the inverse
+  /// spoiler slowdown is the theory-suggested predictor; it uses only
+  /// information Contender already has (the measured or KNN-predicted
+  /// spoiler latency).
+  kInverseSpoilerSlowdown,
+};
+
+/// Where a new template's continuum upper bound comes from.
+enum class SpoilerSource {
+  /// Measured spoiler latency in the profile (linear-time sampling).
+  kMeasured,
+  /// KNN-predicted from isolated statistics (constant-time sampling).
+  kKnnPredicted,
+};
+
+/// Trained Contender predictor for one workload and hardware model.
+class ContenderPredictor {
+ public:
+  struct Options {
+    /// MPLs with reference models.
+    std::vector<int> mpls = {2, 3, 4, 5};
+    CqiVariant variant = CqiVariant::kFull;
+    /// Neighbors for spoiler prediction.
+    int knn_k = 3;
+    /// MPLs used when fitting reference spoiler growth models.
+    std::vector<int> spoiler_train_mpls = {1, 2, 3, 4, 5};
+    /// Feature the QS slope is transferred from for new templates.
+    TransferFeature transfer_feature = TransferFeature::kIsolatedLatency;
+  };
+
+  /// Trains on the known workload: isolated profiles (with spoiler
+  /// latencies), fact-table scan times, and steady-state mix observations.
+  static StatusOr<ContenderPredictor> Train(
+      std::vector<TemplateProfile> profiles,
+      std::map<sim::TableId, double> scan_times,
+      const std::vector<MixObservation>& observations,
+      const Options& options);
+
+  /// Predicts the latency of a *known* template (index into the training
+  /// profiles) executing with the given concurrent templates.
+  StatusOr<double> PredictKnown(int template_index,
+                                const std::vector<int>& concurrent_indices)
+      const;
+
+  /// Predicts the latency of a *new* template described only by
+  /// `new_profile` (isolated stats + plan semantics; spoiler latencies
+  /// required only for SpoilerSource::kMeasured). Concurrent queries are
+  /// known-workload indices.
+  StatusOr<double> PredictNew(const TemplateProfile& new_profile,
+                              const std::vector<int>& concurrent_indices,
+                              SpoilerSource spoiler_source) const;
+
+  /// Unknown-Y variant (§6.3): the new template's own QS slope is supplied;
+  /// only the intercept is transferred.
+  StatusOr<double> PredictNewWithKnownSlope(
+      const TemplateProfile& new_profile,
+      const std::vector<int>& concurrent_indices, double known_slope,
+      SpoilerSource spoiler_source) const;
+
+  // Accessors for experiment harnesses.
+  const std::vector<TemplateProfile>& profiles() const { return profiles_; }
+  const std::map<sim::TableId, double>& scan_times() const {
+    return scan_times_;
+  }
+  /// Reference QS models at `mpl` (template index -> model).
+  StatusOr<std::map<int, QsModel>> ReferenceModels(int mpl) const;
+  StatusOr<QsTransferModel> TransferModel(int mpl) const;
+  const KnnSpoilerPredictor& knn_spoiler() const { return *knn_spoiler_; }
+  /// Predicted spoiler latency for an arbitrary profile.
+  StatusOr<double> PredictSpoilerLatency(const TemplateProfile& profile,
+                                         int mpl) const;
+
+ private:
+  ContenderPredictor() = default;
+
+  StatusOr<double> PredictWithModel(const TemplateProfile& primary,
+                                    const QsModel& qs,
+                                    const std::vector<int>& concurrent,
+                                    double l_max) const;
+  StatusOr<double> ResolveSpoiler(const TemplateProfile& profile, int mpl,
+                                  SpoilerSource source) const;
+
+  Options options_;
+  std::vector<TemplateProfile> profiles_;
+  std::map<sim::TableId, double> scan_times_;
+  std::map<int, std::map<int, QsModel>> reference_models_;  // mpl -> models
+  std::map<int, QsTransferModel> transfer_models_;          // mpl -> transfer
+  std::optional<KnnSpoilerPredictor> knn_spoiler_;
+};
+
+}  // namespace contender
+
+#endif  // CONTENDER_CORE_PREDICTOR_H_

@@ -1,0 +1,75 @@
+#include "core/qs_model.h"
+
+#include "core/continuum.h"
+#include "math/regression.h"
+
+namespace contender {
+
+StatusOr<QsModel> FitQsModel(const std::vector<double>& cqi_values,
+                             const std::vector<double>& continuum_points) {
+  auto fit = FitSimpleLinear(cqi_values, continuum_points);
+  if (!fit.ok()) return fit.status();
+  QsModel model;
+  model.slope = fit->slope;
+  model.intercept = fit->intercept;
+  model.r_squared = fit->r_squared;
+  return model;
+}
+
+StatusOr<QsTrainingSet> BuildQsTrainingSet(
+    const std::vector<TemplateProfile>& profiles,
+    const std::map<sim::TableId, double>& scan_times,
+    const std::vector<MixObservation>& observations, int primary_index,
+    int mpl, CqiVariant variant) {
+  if (primary_index < 0 ||
+      static_cast<size_t>(primary_index) >= profiles.size()) {
+    return Status::InvalidArgument("BuildQsTrainingSet: bad primary index");
+  }
+  const TemplateProfile& primary =
+      profiles[static_cast<size_t>(primary_index)];
+  auto lmax_it = primary.spoiler_latency.find(mpl);
+  if (lmax_it == primary.spoiler_latency.end()) {
+    return Status::FailedPrecondition(
+        "BuildQsTrainingSet: no spoiler latency at requested MPL");
+  }
+  const double l_min = primary.isolated_latency;
+  const double l_max = lmax_it->second;
+
+  QsTrainingSet set;
+  for (const MixObservation& obs : observations) {
+    if (obs.primary_index != primary_index || obs.mpl != mpl) continue;
+    if (ExceedsContinuum(obs.latency, l_max)) {
+      ++set.dropped_outliers;
+      continue;
+    }
+    auto cqi = ComputeCqi(profiles, scan_times, primary_index,
+                          obs.concurrent_indices, variant);
+    if (!cqi.ok()) return cqi.status();
+    auto point = ContinuumPoint(obs.latency, l_min, l_max);
+    if (!point.ok()) return point.status();
+    set.cqi.push_back(*cqi);
+    set.continuum.push_back(*point);
+    set.latency.push_back(obs.latency);
+  }
+  return set;
+}
+
+StatusOr<std::map<int, QsModel>> FitReferenceModels(
+    const std::vector<TemplateProfile>& profiles,
+    const std::map<sim::TableId, double>& scan_times,
+    const std::vector<MixObservation>& observations, int mpl,
+    CqiVariant variant) {
+  std::map<int, QsModel> models;
+  for (size_t t = 0; t < profiles.size(); ++t) {
+    auto set = BuildQsTrainingSet(profiles, scan_times, observations,
+                                  static_cast<int>(t), mpl, variant);
+    if (!set.ok()) continue;
+    if (set->cqi.size() < 3) continue;
+    auto model = FitQsModel(set->cqi, set->continuum);
+    if (!model.ok()) continue;
+    models[static_cast<int>(t)] = *model;
+  }
+  return models;
+}
+
+}  // namespace contender

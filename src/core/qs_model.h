@@ -1,0 +1,61 @@
+// Query Sensitivity models (paper §5.2, Eq. 7): per-template linear models
+// mapping a mix's CQI to the template's continuum point,
+//   c_{t,m} = µ_t · r_{t,m} + b_t.
+
+#ifndef CONTENDER_CORE_QS_MODEL_H_
+#define CONTENDER_CORE_QS_MODEL_H_
+
+#include <map>
+#include <vector>
+
+#include "core/cqi.h"
+#include "core/template_profile.h"
+#include "util/statusor.h"
+
+namespace contender {
+
+/// One template's QS model.
+struct QsModel {
+  double slope = 0.0;      ///< µ_t: sensitivity to I/O contention
+  double intercept = 0.0;  ///< b_t: fixed cost of concurrency
+  double r_squared = 0.0;  ///< fit quality on the training pairs
+
+  double PredictContinuum(double cqi) const {
+    return slope * cqi + intercept;
+  }
+};
+
+/// Fits a QS model from (CQI, continuum point) training pairs.
+/// Requires >= 2 pairs with non-constant CQI.
+StatusOr<QsModel> FitQsModel(const std::vector<double>& cqi_values,
+                             const std::vector<double>& continuum_points);
+
+/// Builds the (CQI, continuum) training pairs for one primary template from
+/// steady-state observations at one MPL, using measured l_min / l_max from
+/// the profiles. Observations beyond 105% of l_max are dropped (§6.1).
+struct QsTrainingSet {
+  std::vector<double> cqi;
+  std::vector<double> continuum;
+  /// Observed latencies aligned with the pairs (for error evaluation).
+  std::vector<double> latency;
+  int dropped_outliers = 0;
+};
+
+StatusOr<QsTrainingSet> BuildQsTrainingSet(
+    const std::vector<TemplateProfile>& profiles,
+    const std::map<sim::TableId, double>& scan_times,
+    const std::vector<MixObservation>& observations, int primary_index,
+    int mpl, CqiVariant variant = CqiVariant::kFull);
+
+/// Fits one QS reference model per template at the given MPL. Templates
+/// with too few observations are skipped. The result maps template index to
+/// its model.
+StatusOr<std::map<int, QsModel>> FitReferenceModels(
+    const std::vector<TemplateProfile>& profiles,
+    const std::map<sim::TableId, double>& scan_times,
+    const std::vector<MixObservation>& observations, int mpl,
+    CqiVariant variant = CqiVariant::kFull);
+
+}  // namespace contender
+
+#endif  // CONTENDER_CORE_QS_MODEL_H_

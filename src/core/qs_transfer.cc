@@ -1,0 +1,124 @@
+#include "core/qs_transfer.h"
+
+#include <cmath>
+#include <functional>
+
+#include "math/metrics.h"
+
+namespace contender {
+
+StatusOr<QsTransferModel> QsTransferModel::Fit(
+    const std::vector<TemplateProfile>& profiles,
+    const std::map<int, QsModel>& reference_models) {
+  return FitOnFeature(profiles, reference_models,
+                      [](const TemplateProfile& p) {
+                        return p.isolated_latency;
+                      });
+}
+
+StatusOr<QsTransferModel> QsTransferModel::FitOnFeature(
+    const std::vector<TemplateProfile>& profiles,
+    const std::map<int, QsModel>& reference_models,
+    const std::function<double(const TemplateProfile&)>& feature) {
+  std::vector<double> lmin, slopes, intercepts;
+  for (const auto& [index, model] : reference_models) {
+    if (index < 0 || static_cast<size_t>(index) >= profiles.size()) {
+      return Status::InvalidArgument("QsTransferModel: bad template index");
+    }
+    lmin.push_back(feature(profiles[static_cast<size_t>(index)]));
+    slopes.push_back(model.slope);
+    intercepts.push_back(model.intercept);
+  }
+  if (lmin.size() < 3) {
+    return Status::FailedPrecondition(
+        "QsTransferModel: need >= 3 reference models");
+  }
+  QsTransferModel out;
+  auto slope_fit = FitSimpleLinear(lmin, slopes);
+  if (!slope_fit.ok()) return slope_fit.status();
+  out.slope_fit_ = *slope_fit;
+  auto intercept_fit = FitSimpleLinear(slopes, intercepts);
+  if (!intercept_fit.ok()) return intercept_fit.status();
+  out.intercept_fit_ = *intercept_fit;
+  return out;
+}
+
+QsModel QsTransferModel::PredictFromIsolatedLatency(
+    double isolated_latency) const {
+  QsModel model;
+  model.slope = slope_fit_.Predict(isolated_latency);
+  model.intercept = intercept_fit_.Predict(model.slope);
+  return model;
+}
+
+QsModel QsTransferModel::PredictInterceptFromSlope(double known_slope) const {
+  QsModel model;
+  model.slope = known_slope;
+  model.intercept = intercept_fit_.Predict(known_slope);
+  return model;
+}
+
+std::vector<FeatureCorrelation> CorrelateFeaturesWithQs(
+    const std::vector<TemplateProfile>& profiles,
+    const std::map<int, QsModel>& reference_models, int spoiler_mpl) {
+  std::vector<double> slopes, intercepts;
+  std::vector<const TemplateProfile*> rows;
+  for (const auto& [index, model] : reference_models) {
+    if (index < 0 || static_cast<size_t>(index) >= profiles.size()) continue;
+    rows.push_back(&profiles[static_cast<size_t>(index)]);
+    slopes.push_back(model.slope);
+    intercepts.push_back(model.intercept);
+  }
+
+  auto spoiler = [&](const TemplateProfile& p) {
+    auto it = p.spoiler_latency.find(spoiler_mpl);
+    return it == p.spoiler_latency.end() ? 0.0 : it->second;
+  };
+
+  struct FeatureDef {
+    const char* name;
+    std::function<double(const TemplateProfile&)> get;
+  };
+  const std::vector<FeatureDef> features = {
+      {"% execution time spent on I/O",
+       [](const TemplateProfile& p) { return p.io_fraction; }},
+      {"Max working set",
+       [](const TemplateProfile& p) { return p.working_set_bytes; }},
+      {"Query plan steps",
+       [](const TemplateProfile& p) {
+         return static_cast<double>(p.plan_steps);
+       }},
+      {"Records accessed",
+       [](const TemplateProfile& p) { return p.records_accessed; }},
+      {"Isolated latency",
+       [](const TemplateProfile& p) { return p.isolated_latency; }},
+      {"Spoiler latency", spoiler},
+      {"Spoiler slowdown",
+       [&](const TemplateProfile& p) {
+         return p.isolated_latency > 0.0 ? spoiler(p) / p.isolated_latency
+                                         : 0.0;
+       }},
+  };
+
+  // Signed R² (the paper reports sign to convey correlation direction):
+  // R² of the simple regression equals r², signed by Pearson's r.
+  auto signed_r2 = [](const std::vector<double>& x,
+                      const std::vector<double>& y) {
+    const double r = PearsonCorrelation(x, y);
+    return (r >= 0.0 ? 1.0 : -1.0) * r * r;
+  };
+
+  std::vector<FeatureCorrelation> out;
+  for (const FeatureDef& f : features) {
+    std::vector<double> x;
+    for (const TemplateProfile* p : rows) x.push_back(f.get(*p));
+    FeatureCorrelation fc;
+    fc.feature = f.name;
+    fc.r2_intercept = signed_r2(x, intercepts);
+    fc.r2_slope = signed_r2(x, slopes);
+    out.push_back(fc);
+  }
+  return out;
+}
+
+}  // namespace contender

@@ -1,0 +1,77 @@
+// QS coefficient transfer for previously-unseen templates (paper §5.3,
+// Fig. 4–5): the slope µ of a new template's QS model is regressed on
+// isolated latency over the reference models, and the intercept b is then
+// regressed on the slope (the two coefficients are linearly related).
+
+#ifndef CONTENDER_CORE_QS_TRANSFER_H_
+#define CONTENDER_CORE_QS_TRANSFER_H_
+
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "core/qs_model.h"
+#include "core/template_profile.h"
+#include "math/regression.h"
+#include "util/statusor.h"
+
+namespace contender {
+
+/// Regressions learned from a set of reference QS models.
+class QsTransferModel {
+ public:
+  /// Learns the two regression steps from reference models: µ ~ l_min
+  /// (paper Table 3: isolated latency is the best predictor of the slope)
+  /// and b ~ µ (Fig. 4's coefficient relationship). The keys of
+  /// `reference_models` are template indices into `profiles`.
+  static StatusOr<QsTransferModel> Fit(
+      const std::vector<TemplateProfile>& profiles,
+      const std::map<int, QsModel>& reference_models);
+
+  /// Ablation variant: regresses µ on an arbitrary per-template feature
+  /// (e.g., inverse spoiler slowdown — see predictor.h) instead of l_min.
+  static StatusOr<QsTransferModel> FitOnFeature(
+      const std::vector<TemplateProfile>& profiles,
+      const std::map<int, QsModel>& reference_models,
+      const std::function<double(const TemplateProfile&)>& feature);
+
+  /// Unknown-QS (full Contender): both coefficients from isolated latency.
+  QsModel PredictFromIsolatedLatency(double isolated_latency) const;
+
+  /// Feature-variant prediction: same two-step pipeline, with the slope
+  /// regressed from the fitted feature (valid for FitOnFeature models).
+  QsModel PredictFromFeatureValue(double feature_value) const {
+    return PredictFromIsolatedLatency(feature_value);
+  }
+
+  /// Unknown-Y: the slope is already known (measured); only the intercept
+  /// is predicted from it.
+  QsModel PredictInterceptFromSlope(double known_slope) const;
+
+  const LinearFit& slope_fit() const { return slope_fit_; }
+  const LinearFit& intercept_fit() const { return intercept_fit_; }
+
+ private:
+  QsTransferModel() = default;
+
+  LinearFit slope_fit_;      // µ = f(l_min)
+  LinearFit intercept_fit_;  // b = g(µ)
+};
+
+/// Per-feature correlation study backing paper Table 3: R² of simple linear
+/// regressions of each template feature against the QS y-intercept and
+/// slope (signed with the correlation direction, as the paper reports
+/// negative values for inverse relationships).
+struct FeatureCorrelation {
+  std::string feature;
+  double r2_intercept = 0.0;
+  double r2_slope = 0.0;
+};
+
+std::vector<FeatureCorrelation> CorrelateFeaturesWithQs(
+    const std::vector<TemplateProfile>& profiles,
+    const std::map<int, QsModel>& reference_models, int spoiler_mpl);
+
+}  // namespace contender
+
+#endif  // CONTENDER_CORE_QS_TRANSFER_H_

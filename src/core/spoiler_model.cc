@@ -1,0 +1,117 @@
+#include "core/spoiler_model.h"
+
+namespace contender {
+
+StatusOr<SpoilerGrowthModel> FitSpoilerGrowth(
+    const TemplateProfile& profile, const std::vector<int>& train_mpls) {
+  if (profile.isolated_latency <= 0.0) {
+    return Status::InvalidArgument(
+        "FitSpoilerGrowth: non-positive isolated latency");
+  }
+  std::vector<double> x, y;
+  for (int mpl : train_mpls) {
+    double latency;
+    if (mpl <= 1) {
+      latency = profile.isolated_latency;
+    } else {
+      auto it = profile.spoiler_latency.find(mpl);
+      if (it == profile.spoiler_latency.end()) continue;
+      latency = it->second;
+    }
+    x.push_back(static_cast<double>(mpl));
+    y.push_back(latency / profile.isolated_latency);
+  }
+  if (x.size() < 2) {
+    return Status::FailedPrecondition(
+        "FitSpoilerGrowth: need spoiler latencies at >= 2 MPLs");
+  }
+  auto fit = FitSimpleLinear(x, y);
+  if (!fit.ok()) return fit.status();
+  SpoilerGrowthModel model;
+  model.slope = fit->slope;
+  model.intercept = fit->intercept;
+  model.r_squared = fit->r_squared;
+  return model;
+}
+
+StatusOr<KnnSpoilerPredictor> KnnSpoilerPredictor::Fit(
+    const std::vector<TemplateProfile>& reference_profiles,
+    const Options& options) {
+  std::vector<Vector> features;
+  std::vector<Vector> targets;
+  for (const TemplateProfile& p : reference_profiles) {
+    auto growth = FitSpoilerGrowth(p, options.train_mpls);
+    if (!growth.ok()) continue;
+    features.push_back({p.working_set_bytes, p.io_fraction});
+    targets.push_back({growth->slope, growth->intercept});
+  }
+  if (features.size() < static_cast<size_t>(options.k)) {
+    return Status::FailedPrecondition(
+        "KnnSpoilerPredictor: not enough reference templates");
+  }
+  KnnRegressor::Options knn_opts;
+  knn_opts.k = options.k;
+  knn_opts.normalize = true;
+  auto knn = KnnRegressor::Fit(std::move(features), std::move(targets),
+                               knn_opts);
+  if (!knn.ok()) return knn.status();
+  KnnSpoilerPredictor out;
+  out.options_ = options;
+  out.knn_.emplace(std::move(*knn));
+  return out;
+}
+
+StatusOr<SpoilerGrowthModel> KnnSpoilerPredictor::PredictGrowthModel(
+    const TemplateProfile& target) const {
+  if (!knn_.has_value()) {
+    return Status::FailedPrecondition("KnnSpoilerPredictor: not fitted");
+  }
+  const Vector coeffs =
+      knn_->Predict({target.working_set_bytes, target.io_fraction});
+  SpoilerGrowthModel model;
+  model.slope = coeffs[0];
+  model.intercept = coeffs[1];
+  return model;
+}
+
+StatusOr<double> KnnSpoilerPredictor::Predict(const TemplateProfile& target,
+                                              int mpl) const {
+  auto model = PredictGrowthModel(target);
+  if (!model.ok()) return model.status();
+  return model->PredictLatency(mpl, target.isolated_latency);
+}
+
+StatusOr<IoTimeSpoilerPredictor> IoTimeSpoilerPredictor::Fit(
+    const std::vector<TemplateProfile>& reference_profiles,
+    const std::vector<int>& train_mpls) {
+  std::vector<double> pt, slopes, intercepts;
+  for (const TemplateProfile& p : reference_profiles) {
+    auto growth = FitSpoilerGrowth(p, train_mpls);
+    if (!growth.ok()) continue;
+    pt.push_back(p.io_fraction);
+    slopes.push_back(growth->slope);
+    intercepts.push_back(growth->intercept);
+  }
+  if (pt.size() < 3) {
+    return Status::FailedPrecondition(
+        "IoTimeSpoilerPredictor: not enough reference templates");
+  }
+  IoTimeSpoilerPredictor out;
+  auto slope_fit = FitSimpleLinear(pt, slopes);
+  if (!slope_fit.ok()) return slope_fit.status();
+  out.slope_fit_ = *slope_fit;
+  auto intercept_fit = FitSimpleLinear(pt, intercepts);
+  if (!intercept_fit.ok()) return intercept_fit.status();
+  out.intercept_fit_ = *intercept_fit;
+  return out;
+}
+
+StatusOr<double> IoTimeSpoilerPredictor::Predict(
+    const TemplateProfile& target, int mpl) const {
+  SpoilerGrowthModel model;
+  model.slope = slope_fit_.Predict(target.io_fraction);
+  model.intercept = intercept_fit_.Predict(target.io_fraction);
+  return model.PredictLatency(mpl, target.isolated_latency);
+}
+
+}  // namespace contender

@@ -1,0 +1,67 @@
+// Data types exchanged between the workload sampler and the Contender
+// models: per-template isolated statistics and steady-state mix
+// observations. Header-only so lower layers can produce them.
+
+#ifndef CONTENDER_CORE_TEMPLATE_PROFILE_H_
+#define CONTENDER_CORE_TEMPLATE_PROFILE_H_
+
+#include <map>
+#include <vector>
+
+#include "sim/query_spec.h"
+
+namespace contender {
+
+/// Isolated (cold-cache) execution statistics of one template, plus its
+/// measured spoiler latencies. Everything Contender knows about a template
+/// comes from this profile and the plan's semantic information.
+struct TemplateProfile {
+  /// Position in the workload.
+  int template_index = -1;
+  /// Paper template number.
+  int template_id = 0;
+
+  /// l_min: latency in isolation with a cold cache (continuum lower bound).
+  double isolated_latency = 0.0;
+  /// p_t: fraction of isolated execution time spent on I/O.
+  double io_fraction = 0.0;
+  /// Largest intermediate-result memory demand (bytes).
+  double working_set_bytes = 0.0;
+  /// Sum of optimizer cardinalities over the plan ("records accessed").
+  double records_accessed = 0.0;
+  /// Operator count of the plan.
+  int plan_steps = 0;
+  /// Fact tables sequentially scanned by the plan (sorted, deduplicated).
+  std::vector<sim::TableId> fact_tables;
+
+  /// l_max per MPL: measured latency against the spoiler.
+  std::map<int, double> spoiler_latency;
+
+  /// I/O seconds in isolation (l_min * p_t).
+  double io_seconds() const { return isolated_latency * io_fraction; }
+
+  bool ScansFactTable(sim::TableId t) const {
+    for (sim::TableId f : fact_tables) {
+      if (f == t) return true;
+    }
+    return false;
+  }
+};
+
+/// One steady-state observation: the primary template's mean latency when
+/// executing inside a concurrent mix.
+struct MixObservation {
+  /// Workload index of the primary template.
+  int primary_index = -1;
+  /// Workload indices of the queries running concurrently with the primary
+  /// (the other mix slots; size = MPL - 1).
+  std::vector<int> concurrent_indices;
+  /// Multiprogramming level of the mix (concurrent_indices.size() + 1).
+  int mpl = 0;
+  /// Observed steady-state mean latency of the primary.
+  double latency = 0.0;
+};
+
+}  // namespace contender
+
+#endif  // CONTENDER_CORE_TEMPLATE_PROFILE_H_

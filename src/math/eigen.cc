@@ -1,0 +1,112 @@
+#include "math/eigen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+namespace contender {
+
+StatusOr<EigenDecomposition> SymmetricEigen(const Matrix& a, int max_sweeps,
+                                            double tolerance) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("SymmetricEigen: matrix not square");
+  }
+  const size_t n = a.rows();
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      if (std::fabs(a(i, j) - a(j, i)) >
+          1e-8 * (1.0 + std::fabs(a(i, j)))) {
+        return Status::InvalidArgument("SymmetricEigen: matrix not symmetric");
+      }
+    }
+  }
+
+  Matrix m = a;
+  Matrix v = Matrix::Identity(n);
+
+  auto off_diagonal_norm = [&]() {
+    double s = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = i + 1; j < n; ++j) s += m(i, j) * m(i, j);
+    }
+    return std::sqrt(s);
+  };
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    if (off_diagonal_norm() < tolerance) break;
+    for (size_t p = 0; p < n; ++p) {
+      for (size_t q = p + 1; q < n; ++q) {
+        const double apq = m(p, q);
+        if (std::fabs(apq) < 1e-300) continue;
+        const double app = m(p, p);
+        const double aqq = m(q, q);
+        const double theta = (aqq - app) / (2.0 * apq);
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::fabs(theta) +
+                          std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        // Apply rotation J(p, q, theta) on both sides of m: m = Jᵀ m J.
+        for (size_t k = 0; k < n; ++k) {
+          const double mkp = m(k, p);
+          const double mkq = m(k, q);
+          m(k, p) = c * mkp - s * mkq;
+          m(k, q) = s * mkp + c * mkq;
+        }
+        for (size_t k = 0; k < n; ++k) {
+          const double mpk = m(p, k);
+          const double mqk = m(q, k);
+          m(p, k) = c * mpk - s * mqk;
+          m(q, k) = s * mpk + c * mqk;
+        }
+        for (size_t k = 0; k < n; ++k) {
+          const double vkp = v(k, p);
+          const double vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Collect and sort by descending eigenvalue.
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](size_t x, size_t y) { return m(x, x) > m(y, y); });
+
+  EigenDecomposition out;
+  out.values.resize(n);
+  out.vectors = Matrix(n, n);
+  for (size_t c = 0; c < n; ++c) {
+    out.values[c] = m(order[c], order[c]);
+    for (size_t r = 0; r < n; ++r) out.vectors(r, c) = v(r, order[c]);
+  }
+  return out;
+}
+
+StatusOr<EigenDecomposition> GeneralizedSymmetricEigen(const Matrix& a,
+                                                       const Matrix& b) {
+  StatusOr<Matrix> l = CholeskyFactor(b);
+  if (!l.ok()) return l.status();
+  StatusOr<Matrix> linv = InvertLowerTriangular(*l);
+  if (!linv.ok()) return linv.status();
+  // C = L⁻¹ A L⁻ᵀ, symmetric by construction; symmetrize against roundoff.
+  Matrix c = linv->Multiply(a).Multiply(linv->Transpose());
+  const size_t n = c.rows();
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      const double avg = 0.5 * (c(i, j) + c(j, i));
+      c(i, j) = c(j, i) = avg;
+    }
+  }
+  StatusOr<EigenDecomposition> eig = SymmetricEigen(c);
+  if (!eig.ok()) return eig.status();
+  // Map eigenvectors back: v = L⁻ᵀ w.
+  Matrix linv_t = linv->Transpose();
+  eig->vectors = linv_t.Multiply(eig->vectors);
+  return eig;
+}
+
+}  // namespace contender

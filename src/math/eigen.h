@@ -1,0 +1,34 @@
+// Symmetric eigensolver (cyclic Jacobi rotations) used by kernel CCA.
+
+#ifndef CONTENDER_MATH_EIGEN_H_
+#define CONTENDER_MATH_EIGEN_H_
+
+#include <cstddef>
+
+#include "math/matrix.h"
+#include "util/statusor.h"
+
+namespace contender {
+
+/// Result of an eigendecomposition: A = V diag(values) Vᵀ.
+/// Eigenpairs are sorted by descending eigenvalue; eigenvectors are the
+/// columns of `vectors`.
+struct EigenDecomposition {
+  Vector values;
+  Matrix vectors;
+};
+
+/// Eigendecomposition of a symmetric matrix via the cyclic Jacobi method.
+/// `a` must be square and (numerically) symmetric.
+StatusOr<EigenDecomposition> SymmetricEigen(const Matrix& a,
+                                            int max_sweeps = 64,
+                                            double tolerance = 1e-12);
+
+/// Solves the generalized symmetric eigenproblem A v = λ B v with B SPD,
+/// by the Cholesky reduction B = L Lᵀ, C = L⁻¹ A L⁻ᵀ, C w = λ w, v = L⁻ᵀ w.
+StatusOr<EigenDecomposition> GeneralizedSymmetricEigen(const Matrix& a,
+                                                       const Matrix& b);
+
+}  // namespace contender
+
+#endif  // CONTENDER_MATH_EIGEN_H_

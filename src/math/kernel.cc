@@ -1,0 +1,62 @@
+#include "math/kernel.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/summary_stats.h"
+
+namespace contender {
+
+double GaussianKernel(const Vector& a, const Vector& b, double gamma) {
+  return std::exp(-gamma * SquaredDistance(a, b));
+}
+
+Matrix GaussianGramMatrix(const std::vector<Vector>& rows, double gamma) {
+  const size_t n = rows.size();
+  Matrix k(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    k(i, i) = 1.0;
+    for (size_t j = i + 1; j < n; ++j) {
+      const double v = GaussianKernel(rows[i], rows[j], gamma);
+      k(i, j) = v;
+      k(j, i) = v;
+    }
+  }
+  return k;
+}
+
+Matrix CenterGramMatrix(const Matrix& k) {
+  const size_t n = k.rows();
+  Vector row_mean(n, 0.0);
+  double total = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) row_mean[i] += k(i, j);
+    row_mean[i] /= static_cast<double>(n);
+    total += row_mean[i];
+  }
+  total /= static_cast<double>(n);
+  Matrix out(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      out(i, j) = k(i, j) - row_mean[i] - row_mean[j] + total;
+    }
+  }
+  return out;
+}
+
+double MedianHeuristicGamma(const std::vector<Vector>& rows) {
+  std::vector<double> d2;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    for (size_t j = i + 1; j < rows.size(); ++j) {
+      const double d = SquaredDistance(rows[i], rows[j]);
+      if (d > 0.0) d2.push_back(d);
+    }
+  }
+  if (d2.empty()) {
+    const double dim = rows.empty() ? 1.0 : static_cast<double>(rows[0].size());
+    return 1.0 / std::max(1.0, dim);
+  }
+  return 1.0 / Median(std::move(d2));
+}
+
+}  // namespace contender

@@ -1,0 +1,28 @@
+// Kernel functions and Gram-matrix construction for KCCA / SVR.
+
+#ifndef CONTENDER_MATH_KERNEL_H_
+#define CONTENDER_MATH_KERNEL_H_
+
+#include <vector>
+
+#include "math/matrix.h"
+
+namespace contender {
+
+/// Gaussian (RBF) kernel: exp(-gamma * ||a - b||²).
+double GaussianKernel(const Vector& a, const Vector& b, double gamma);
+
+/// Gram matrix K with K(i, j) = GaussianKernel(rows[i], rows[j], gamma).
+Matrix GaussianGramMatrix(const std::vector<Vector>& rows, double gamma);
+
+/// Centers a Gram matrix in feature space: K' = K - 1K - K1 + 1K1,
+/// where 1 is the n×n matrix of 1/n entries.
+Matrix CenterGramMatrix(const Matrix& k);
+
+/// Heuristic gamma = 1 / median(squared pairwise distances); falls back to
+/// 1/d for degenerate inputs (fewer than two distinct rows).
+double MedianHeuristicGamma(const std::vector<Vector>& rows);
+
+}  // namespace contender
+
+#endif  // CONTENDER_MATH_KERNEL_H_

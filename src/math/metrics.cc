@@ -1,0 +1,70 @@
+#include "math/metrics.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace contender {
+
+double MeanRelativeError(const std::vector<double>& observed,
+                         const std::vector<double>& predicted) {
+  assert(observed.size() == predicted.size());
+  double sum = 0.0;
+  size_t n = 0;
+  for (size_t i = 0; i < observed.size(); ++i) {
+    if (observed[i] == 0.0) continue;
+    sum += std::fabs(observed[i] - predicted[i]) / std::fabs(observed[i]);
+    ++n;
+  }
+  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+double RSquared(const std::vector<double>& observed,
+                const std::vector<double>& predicted) {
+  assert(observed.size() == predicted.size());
+  if (observed.empty()) return 0.0;
+  double mean = 0.0;
+  for (double v : observed) mean += v;
+  mean /= static_cast<double>(observed.size());
+  double ss_tot = 0.0;
+  double ss_res = 0.0;
+  for (size_t i = 0; i < observed.size(); ++i) {
+    ss_tot += (observed[i] - mean) * (observed[i] - mean);
+    ss_res += (observed[i] - predicted[i]) * (observed[i] - predicted[i]);
+  }
+  if (ss_tot <= 0.0) return 0.0;
+  return 1.0 - ss_res / ss_tot;
+}
+
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y) {
+  assert(x.size() == y.size());
+  if (x.size() < 2) return 0.0;
+  const double n = static_cast<double>(x.size());
+  double sx = 0.0, sy = 0.0, sxx = 0.0, syy = 0.0, sxy = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    syy += y[i] * y[i];
+    sxy += x[i] * y[i];
+  }
+  const double cov = sxy - sx * sy / n;
+  const double vx = sxx - sx * sx / n;
+  const double vy = syy - sy * sy / n;
+  if (vx <= 0.0 || vy <= 0.0) return 0.0;
+  return cov / std::sqrt(vx * vy);
+}
+
+double Rmse(const std::vector<double>& observed,
+            const std::vector<double>& predicted) {
+  assert(observed.size() == predicted.size());
+  if (observed.empty()) return 0.0;
+  double s = 0.0;
+  for (size_t i = 0; i < observed.size(); ++i) {
+    const double d = observed[i] - predicted[i];
+    s += d * d;
+  }
+  return std::sqrt(s / static_cast<double>(observed.size()));
+}
+
+}  // namespace contender

@@ -1,0 +1,32 @@
+// Prediction-quality metrics used throughout the paper's evaluation:
+// mean relative error (Eq. 1), R², Pearson correlation, RMSE.
+
+#ifndef CONTENDER_MATH_METRICS_H_
+#define CONTENDER_MATH_METRICS_H_
+
+#include <vector>
+
+namespace contender {
+
+/// Mean relative error (paper Eq. 1):
+///   MRE = (1/n) Σ |observed_i - predicted_i| / observed_i.
+/// Observations with observed == 0 are skipped. Returns 0 for empty input.
+double MeanRelativeError(const std::vector<double>& observed,
+                         const std::vector<double>& predicted);
+
+/// Coefficient of determination of `predicted` against `observed`.
+/// Returns 0 when the observations are constant.
+double RSquared(const std::vector<double>& observed,
+                const std::vector<double>& predicted);
+
+/// Pearson correlation coefficient; 0 when either input is constant.
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y);
+
+/// Root mean squared error.
+double Rmse(const std::vector<double>& observed,
+            const std::vector<double>& predicted);
+
+}  // namespace contender
+
+#endif  // CONTENDER_MATH_METRICS_H_

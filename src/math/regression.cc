@@ -1,0 +1,113 @@
+#include "math/regression.h"
+
+#include <cmath>
+
+namespace contender {
+
+namespace {
+
+double RSquared(const std::vector<double>& y,
+                const std::vector<double>& predicted) {
+  double mean = 0.0;
+  for (double v : y) mean += v;
+  mean /= static_cast<double>(y.size());
+  double ss_tot = 0.0;
+  double ss_res = 0.0;
+  for (size_t i = 0; i < y.size(); ++i) {
+    ss_tot += (y[i] - mean) * (y[i] - mean);
+    ss_res += (y[i] - predicted[i]) * (y[i] - predicted[i]);
+  }
+  if (ss_tot <= 0.0) return 0.0;
+  return 1.0 - ss_res / ss_tot;
+}
+
+}  // namespace
+
+StatusOr<LinearFit> FitSimpleLinear(const std::vector<double>& x,
+                                    const std::vector<double>& y) {
+  if (x.size() != y.size()) {
+    return Status::InvalidArgument("FitSimpleLinear: size mismatch");
+  }
+  if (x.size() < 2) {
+    return Status::InvalidArgument("FitSimpleLinear: need >= 2 points");
+  }
+  const double n = static_cast<double>(x.size());
+  double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  if (std::fabs(denom) < 1e-12 * (1.0 + sxx)) {
+    return Status::InvalidArgument("FitSimpleLinear: constant predictor");
+  }
+  LinearFit fit;
+  fit.slope = (n * sxy - sx * sy) / denom;
+  fit.intercept = (sy - fit.slope * sx) / n;
+  std::vector<double> pred(x.size());
+  for (size_t i = 0; i < x.size(); ++i) pred[i] = fit.Predict(x[i]);
+  fit.r_squared = RSquared(y, pred);
+  return fit;
+}
+
+StatusOr<MultipleLinearRegression> MultipleLinearRegression::Fit(
+    const std::vector<Vector>& rows, const std::vector<double>& y,
+    bool add_intercept, double ridge) {
+  if (rows.size() != y.size()) {
+    return Status::InvalidArgument("MultipleLinearRegression: size mismatch");
+  }
+  if (rows.empty()) {
+    return Status::InvalidArgument("MultipleLinearRegression: empty input");
+  }
+  const size_t d = rows[0].size();
+  for (const Vector& r : rows) {
+    if (r.size() != d) {
+      return Status::InvalidArgument(
+          "MultipleLinearRegression: ragged feature rows");
+    }
+  }
+  const size_t cols = d + (add_intercept ? 1 : 0);
+  if (rows.size() < cols) {
+    return Status::InvalidArgument(
+        "MultipleLinearRegression: fewer observations than parameters");
+  }
+
+  // Normal equations XᵀX β = Xᵀy with a small ridge term for stability.
+  Matrix xtx(cols, cols);
+  Vector xty(cols, 0.0);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    Vector xi(cols);
+    for (size_t j = 0; j < d; ++j) xi[j] = rows[i][j];
+    if (add_intercept) xi[d] = 1.0;
+    for (size_t a = 0; a < cols; ++a) {
+      xty[a] += xi[a] * y[i];
+      for (size_t b = 0; b < cols; ++b) xtx(a, b) += xi[a] * xi[b];
+    }
+  }
+  xtx.AddToDiagonal(ridge);
+
+  StatusOr<Vector> beta = SolveLinearSystem(xtx, xty);
+  if (!beta.ok()) return beta.status();
+
+  MultipleLinearRegression model;
+  model.has_intercept_ = add_intercept;
+  model.beta_.assign(beta->begin(), beta->begin() + static_cast<long>(d));
+  model.intercept_ = add_intercept ? (*beta)[d] : 0.0;
+
+  std::vector<double> pred(rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) pred[i] = model.Predict(rows[i]);
+  model.r_squared_ = RSquared(y, pred);
+  return model;
+}
+
+double MultipleLinearRegression::Predict(const Vector& features) const {
+  double s = intercept_;
+  const size_t d = beta_.size() < features.size() ? beta_.size()
+                                                  : features.size();
+  for (size_t i = 0; i < d; ++i) s += beta_[i] * features[i];
+  return s;
+}
+
+}  // namespace contender

@@ -1,0 +1,56 @@
+// Ordinary least squares: simple (one predictor) and multiple regression.
+//
+// These are the workhorses of Contender: QS models (continuum point vs CQI),
+// coefficient-transfer regressions (slope vs isolated latency, intercept vs
+// slope), and spoiler growth models (latency vs MPL) are all OLS fits.
+
+#ifndef CONTENDER_MATH_REGRESSION_H_
+#define CONTENDER_MATH_REGRESSION_H_
+
+#include <vector>
+
+#include "math/matrix.h"
+#include "util/statusor.h"
+
+namespace contender {
+
+/// y = slope * x + intercept.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  /// Coefficient of determination on the training data.
+  double r_squared = 0.0;
+
+  double Predict(double x) const { return slope * x + intercept; }
+};
+
+/// Fits a simple linear regression of y on x.
+/// Requires x.size() == y.size() >= 2 and non-constant x.
+StatusOr<LinearFit> FitSimpleLinear(const std::vector<double>& x,
+                                    const std::vector<double>& y);
+
+/// Multiple linear regression y = Xβ (+ intercept if add_intercept).
+class MultipleLinearRegression {
+ public:
+  /// Fits by solving the (ridge-stabilized) normal equations.
+  /// `rows` holds one feature vector per observation, all the same length.
+  static StatusOr<MultipleLinearRegression> Fit(
+      const std::vector<Vector>& rows, const std::vector<double>& y,
+      bool add_intercept = true, double ridge = 1e-9);
+
+  double Predict(const Vector& features) const;
+
+  const Vector& coefficients() const { return beta_; }
+  double intercept() const { return intercept_; }
+  double r_squared() const { return r_squared_; }
+
+ private:
+  Vector beta_;
+  double intercept_ = 0.0;
+  bool has_intercept_ = false;
+  double r_squared_ = 0.0;
+};
+
+}  // namespace contender
+
+#endif  // CONTENDER_MATH_REGRESSION_H_

@@ -1,0 +1,103 @@
+#include "ml/knn.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <utility>
+
+namespace contender {
+
+StatusOr<KnnRegressor> KnnRegressor::Fit(std::vector<Vector> features,
+                                         std::vector<Vector> targets,
+                                         const Options& options) {
+  if (features.size() != targets.size()) {
+    return Status::InvalidArgument("KnnRegressor: size mismatch");
+  }
+  if (features.empty()) {
+    return Status::InvalidArgument("KnnRegressor: empty training set");
+  }
+  if (options.k <= 0) {
+    return Status::InvalidArgument("KnnRegressor: k must be positive");
+  }
+  const size_t d = features[0].size();
+  const size_t t = targets[0].size();
+  for (const auto& f : features) {
+    if (f.size() != d) {
+      return Status::InvalidArgument("KnnRegressor: ragged features");
+    }
+  }
+  for (const auto& y : targets) {
+    if (y.size() != t) {
+      return Status::InvalidArgument("KnnRegressor: ragged targets");
+    }
+  }
+
+  KnnRegressor model;
+  model.options_ = options;
+  model.targets_ = std::move(targets);
+  model.mean_.assign(d, 0.0);
+  model.stddev_.assign(d, 1.0);
+
+  if (options.normalize) {
+    for (const auto& f : features) {
+      for (size_t j = 0; j < d; ++j) model.mean_[j] += f[j];
+    }
+    for (size_t j = 0; j < d; ++j) {
+      model.mean_[j] /= static_cast<double>(features.size());
+    }
+    Vector var(d, 0.0);
+    for (const auto& f : features) {
+      for (size_t j = 0; j < d; ++j) {
+        const double diff = f[j] - model.mean_[j];
+        var[j] += diff * diff;
+      }
+    }
+    for (size_t j = 0; j < d; ++j) {
+      const double sd =
+          std::sqrt(var[j] / static_cast<double>(features.size()));
+      model.stddev_[j] = sd > 1e-12 ? sd : 1.0;
+    }
+  }
+
+  model.features_.reserve(features.size());
+  for (auto& f : features) {
+    model.features_.push_back(model.Normalize(f));
+  }
+  return model;
+}
+
+Vector KnnRegressor::Normalize(const Vector& v) const {
+  if (!options_.normalize) return v;
+  Vector out(v.size());
+  for (size_t j = 0; j < v.size(); ++j) {
+    out[j] = (v[j] - mean_[j]) / stddev_[j];
+  }
+  return out;
+}
+
+std::vector<size_t> KnnRegressor::Neighbors(const Vector& query) const {
+  const Vector q = Normalize(query);
+  std::vector<size_t> idx(features_.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  const size_t k = std::min<size_t>(static_cast<size_t>(options_.k),
+                                    features_.size());
+  std::partial_sort(idx.begin(), idx.begin() + static_cast<long>(k), idx.end(),
+                    [&](size_t a, size_t b) {
+                      return SquaredDistance(features_[a], q) <
+                             SquaredDistance(features_[b], q);
+                    });
+  idx.resize(k);
+  return idx;
+}
+
+Vector KnnRegressor::Predict(const Vector& query) const {
+  const std::vector<size_t> nn = Neighbors(query);
+  Vector out(targets_[0].size(), 0.0);
+  for (size_t i : nn) {
+    for (size_t j = 0; j < out.size(); ++j) out[j] += targets_[i][j];
+  }
+  for (double& v : out) v /= static_cast<double>(nn.size());
+  return out;
+}
+
+}  // namespace contender

@@ -1,0 +1,56 @@
+// k-nearest-neighbor regression with optional per-dimension z-normalization.
+//
+// Used twice in the paper: (a) predicting spoiler-model coefficients of a new
+// template from its (working-set size, I/O fraction) neighbors (§5.5), and
+// (b) averaging the latencies of the nearest projected training examples in
+// the KCCA baseline (§3).
+
+#ifndef CONTENDER_ML_KNN_H_
+#define CONTENDER_ML_KNN_H_
+
+#include <vector>
+
+#include "math/matrix.h"
+#include "util/statusor.h"
+
+namespace contender {
+
+/// Multi-output KNN regressor over dense feature vectors.
+class KnnRegressor {
+ public:
+  struct Options {
+    int k = 3;
+    /// Z-score each feature dimension using training statistics so that
+    /// differently-scaled features (bytes vs fractions) weigh equally.
+    bool normalize = true;
+  };
+
+  /// Fits the regressor. `features[i]` and `targets[i]` describe example i;
+  /// all feature rows must share one dimensionality, targets likewise.
+  static StatusOr<KnnRegressor> Fit(std::vector<Vector> features,
+                                    std::vector<Vector> targets,
+                                    const Options& options);
+
+  /// Averages the targets of the k nearest training examples.
+  Vector Predict(const Vector& query) const;
+
+  /// Indices of the k nearest training examples, nearest first.
+  std::vector<size_t> Neighbors(const Vector& query) const;
+
+  size_t size() const { return features_.size(); }
+
+ private:
+  KnnRegressor() = default;
+
+  Vector Normalize(const Vector& v) const;
+
+  Options options_;
+  std::vector<Vector> features_;  // normalized when options_.normalize
+  std::vector<Vector> targets_;
+  Vector mean_;
+  Vector stddev_;
+};
+
+}  // namespace contender
+
+#endif  // CONTENDER_ML_KNN_H_

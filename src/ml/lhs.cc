@@ -1,0 +1,64 @@
+#include "ml/lhs.h"
+
+#include <limits>
+
+namespace contender {
+
+StatusOr<std::vector<MixSelection>> LatinHypercubeSample(int num_templates,
+                                                         int mpl, Rng* rng) {
+  if (num_templates <= 0) {
+    return Status::InvalidArgument("LHS: num_templates must be positive");
+  }
+  if (mpl <= 0) {
+    return Status::InvalidArgument("LHS: mpl must be positive");
+  }
+  std::vector<std::vector<int>> perms(static_cast<size_t>(mpl));
+  for (auto& p : perms) p = rng->Permutation(num_templates);
+
+  std::vector<MixSelection> mixes(static_cast<size_t>(num_templates));
+  for (int i = 0; i < num_templates; ++i) {
+    MixSelection mix(static_cast<size_t>(mpl));
+    for (int d = 0; d < mpl; ++d) {
+      mix[static_cast<size_t>(d)] =
+          perms[static_cast<size_t>(d)][static_cast<size_t>(i)];
+    }
+    mixes[static_cast<size_t>(i)] = std::move(mix);
+  }
+  return mixes;
+}
+
+StatusOr<std::vector<MixSelection>> LatinHypercubeRuns(int num_templates,
+                                                       int mpl, int runs,
+                                                       Rng* rng) {
+  std::vector<MixSelection> all;
+  for (int r = 0; r < runs; ++r) {
+    auto one = LatinHypercubeSample(num_templates, mpl, rng);
+    if (!one.ok()) return one.status();
+    all.insert(all.end(), one->begin(), one->end());
+  }
+  return all;
+}
+
+std::vector<MixSelection> AllPairs(int num_templates) {
+  std::vector<MixSelection> pairs;
+  for (int i = 0; i < num_templates; ++i) {
+    for (int j = i; j < num_templates; ++j) {
+      pairs.push_back({i, j});
+    }
+  }
+  return pairs;
+}
+
+uint64_t DistinctMixCount(int num_templates, int mpl) {
+  // C(n + k - 1, k) computed multiplicatively with overflow saturation.
+  const uint64_t kMax = std::numeric_limits<uint64_t>::max();
+  uint64_t result = 1;
+  for (int i = 1; i <= mpl; ++i) {
+    const uint64_t numer = static_cast<uint64_t>(num_templates - 1 + i);
+    if (result > kMax / numer) return kMax;
+    result = result * numer / static_cast<uint64_t>(i);
+  }
+  return result;
+}
+
+}  // namespace contender

@@ -1,0 +1,42 @@
+// Latin Hypercube Sampling of concurrent query mixes (paper §2, Fig. 1).
+//
+// A single LHS run over n templates at multiprogramming level k builds a
+// k-dimensional hypercube whose axes each enumerate the n templates, and
+// selects n cells such that every template appears exactly once per
+// dimension: mix i = (perm_1[i], ..., perm_k[i]) for independent random
+// permutations perm_d.
+
+#ifndef CONTENDER_ML_LHS_H_
+#define CONTENDER_ML_LHS_H_
+
+#include <vector>
+
+#include "util/random.h"
+#include "util/statusor.h"
+
+namespace contender {
+
+/// One concurrent mix: the template index for each of the k slots.
+using MixSelection = std::vector<int>;
+
+/// Produces the n mixes of one LHS run over `num_templates` templates at
+/// MPL `mpl`. Requires num_templates > 0 and mpl > 0.
+StatusOr<std::vector<MixSelection>> LatinHypercubeSample(int num_templates,
+                                                         int mpl, Rng* rng);
+
+/// Runs `runs` disjoint-seeded LHS rounds and concatenates their mixes
+/// (the paper evaluates four LHS runs per MPL for MPL 3–5).
+StatusOr<std::vector<MixSelection>> LatinHypercubeRuns(int num_templates,
+                                                       int mpl, int runs,
+                                                       Rng* rng);
+
+/// All n-choose-2-with-replacement pairs (i <= j), as used at MPL 2.
+std::vector<MixSelection> AllPairs(int num_templates);
+
+/// Number of distinct mixes with replacement: C(n + k - 1, k) (paper §2).
+/// Saturates at the maximum uint64_t on overflow.
+uint64_t DistinctMixCount(int num_templates, int mpl);
+
+}  // namespace contender
+
+#endif  // CONTENDER_ML_LHS_H_

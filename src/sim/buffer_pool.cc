@@ -1,0 +1,45 @@
+#include "sim/buffer_pool.h"
+
+namespace contender::sim {
+
+void BufferPool::SetCapacity(double capacity_bytes) {
+  capacity_bytes_ = capacity_bytes;
+  EvictUntilFits(0.0);
+}
+
+bool BufferPool::IsCached(TableId table) const {
+  return entries_.count(table) > 0;
+}
+
+void BufferPool::Admit(TableId table, double bytes) {
+  if (bytes > capacity_bytes_) return;
+  auto it = entries_.find(table);
+  if (it != entries_.end()) {
+    Touch(table);
+    return;
+  }
+  EvictUntilFits(bytes);
+  lru_.push_front(table);
+  entries_[table] = Entry{bytes, lru_.begin()};
+  cached_bytes_ += bytes;
+}
+
+void BufferPool::Touch(TableId table) {
+  auto it = entries_.find(table);
+  if (it == entries_.end()) return;
+  lru_.erase(it->second.lru_it);
+  lru_.push_front(table);
+  it->second.lru_it = lru_.begin();
+}
+
+void BufferPool::EvictUntilFits(double incoming_bytes) {
+  while (!lru_.empty() && cached_bytes_ + incoming_bytes > capacity_bytes_) {
+    const TableId victim = lru_.back();
+    lru_.pop_back();
+    auto it = entries_.find(victim);
+    cached_bytes_ -= it->second.bytes;
+    entries_.erase(it);
+  }
+}
+
+}  // namespace contender::sim

@@ -1,0 +1,72 @@
+// Hardware model configuration for the execution simulator.
+//
+// Defaults approximate the paper's testbed: 8 cores, 8 GB RAM, a single
+// disk with ~140 MB/s sequential bandwidth (PostgreSQL 8.4 era hardware).
+
+#ifndef CONTENDER_SIM_CONFIG_H_
+#define CONTENDER_SIM_CONFIG_H_
+
+#include <cstdint>
+
+namespace contender::sim {
+
+constexpr double kMB = 1e6;
+constexpr double kGB = 1e9;
+
+/// Simulated machine parameters. All byte quantities are in bytes and all
+/// rates in bytes/second; time is in (virtual) seconds.
+struct SimConfig {
+  /// Aggregate sequential read bandwidth of the I/O subsystem.
+  double seq_bandwidth = 140.0 * kMB;
+
+  /// Intrinsic throughput of one random-I/O stream (seek-bound).
+  double random_bandwidth = 3.0 * kMB;
+
+  /// Intrinsic throughput of spill/swap traffic: scattered page-sized
+  /// writes and re-reads, faster than pure random reads but far below
+  /// sequential bandwidth.
+  double spill_bandwidth = 6.0 * kMB;
+
+  /// Fractional efficiency loss per additional concurrent stream: with S
+  /// streams the disk delivers seq_bandwidth / (1 + seek_overhead * (S-1)).
+  double seek_overhead = 0.06;
+
+  /// Physical RAM.
+  double ram_bytes = 8.0 * kGB;
+
+  /// RAM reserved for the OS and DBMS fixed structures; never grantable.
+  double os_reserved_bytes = 1.4 * kGB;
+
+  /// Fraction of currently-free RAM (after pins and working-memory grants)
+  /// that acts as page cache for dimension tables. Models shared_buffers
+  /// plus the OS page cache, which shrink under memory pressure.
+  double buffer_pool_fraction = 0.85;
+
+  /// CPU cores; queries time-share cores only when active queries > cores.
+  int cores = 8;
+
+  /// Bytes of extra I/O per byte of working set that does not fit in its
+  /// memory grant (write out + read back, with some re-reading).
+  double spill_amplification = 2.4;
+
+  /// Lognormal sigma of the per-phase random-I/O service-rate multiplier.
+  /// Individual page fetches vary by up to an order of magnitude (§6.2);
+  /// aggregated over a phase of many fetches the multiplier tightens, but
+  /// seek-bound phases remain the noisiest part of the machine.
+  double random_io_sigma = 0.30;
+
+  /// Lognormal sigma of the per-phase spill-traffic rate multiplier.
+  /// Spill batches are large and amortized, so they vary far less than
+  /// individual seeks.
+  double spill_io_sigma = 0.10;
+
+  /// Multiplicative jitter (std-dev) on per-phase CPU demand.
+  double cpu_jitter = 0.02;
+
+  /// Fixed per-query startup cost (plan generation, catalog access).
+  double startup_cpu_seconds = 0.5;
+};
+
+}  // namespace contender::sim
+
+#endif  // CONTENDER_SIM_CONFIG_H_

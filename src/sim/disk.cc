@@ -1,0 +1,33 @@
+#include "sim/disk.h"
+
+#include <cstddef>
+
+namespace contender::sim {
+
+DiskAllocation AllocateDiskBandwidth(const SimConfig& config,
+                                     const DiskDemand& demand) {
+  DiskAllocation out;
+  const int randoms = static_cast<int>(demand.random_stream_caps.size());
+  const int streams = demand.num_seq_groups + randoms;
+  out.random_stream_rates.assign(demand.random_stream_caps.size(), 0.0);
+  if (streams == 0) return out;
+
+  out.effective_bandwidth =
+      config.seq_bandwidth /
+      (1.0 + config.seek_overhead * static_cast<double>(streams - 1));
+
+  // Processor sharing of device *time*: each of the S streams owns 1/S of
+  // the disk. A sequential group converts its slice at the (seek-degraded)
+  // sequential bandwidth; a random stream converts its slice at its own
+  // seek-bound intrinsic rate, so its throughput also falls as 1/S — on a
+  // spindle, a seek-bound stream competing with S-1 others waits behind
+  // their requests for every read.
+  const double share = 1.0 / static_cast<double>(streams);
+  out.seq_group_rate = out.effective_bandwidth * share;
+  for (size_t i = 0; i < demand.random_stream_caps.size(); ++i) {
+    out.random_stream_rates[i] = demand.random_stream_caps[i] * share;
+  }
+  return out;
+}
+
+}  // namespace contender::sim

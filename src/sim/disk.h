@@ -1,0 +1,44 @@
+// The disk bandwidth-sharing model: given the set of concurrent streams
+// (sequential scan groups and random-I/O streams), computes the byte rate
+// each stream receives.
+//
+// Model: processor sharing of device time. With S concurrent streams each
+// stream owns 1/S of the disk; a sequential scan group converts its slice
+// at the seek-degraded sequential bandwidth, while a random (seek-bound)
+// stream converts its slice at its intrinsic random-I/O rate — so random
+// throughput also falls as 1/S, as on a real spindle.
+
+#ifndef CONTENDER_SIM_DISK_H_
+#define CONTENDER_SIM_DISK_H_
+
+#include <vector>
+
+#include "sim/config.h"
+
+namespace contender::sim {
+
+/// Input: how many sequential scan groups are active, and the intrinsic
+/// rate cap of each random stream.
+struct DiskDemand {
+  int num_seq_groups = 0;
+  std::vector<double> random_stream_caps;
+};
+
+/// Output rates, aligned with the demand.
+struct DiskAllocation {
+  /// Rate granted to each sequential scan group (all groups equal).
+  double seq_group_rate = 0.0;
+  /// Rate granted to each random stream, same order as the caps.
+  std::vector<double> random_stream_rates;
+  /// Effective total bandwidth after seek degradation.
+  double effective_bandwidth = 0.0;
+};
+
+/// Computes the fair-share allocation described above. With zero streams
+/// all rates are zero.
+DiskAllocation AllocateDiskBandwidth(const SimConfig& config,
+                                     const DiskDemand& demand);
+
+}  // namespace contender::sim
+
+#endif  // CONTENDER_SIM_DISK_H_

@@ -1,0 +1,96 @@
+// Execution-level description of a query handed to the simulator: an ordered
+// list of phases, each bundling the sequential I/O, random I/O, CPU work and
+// memory demand of one pipeline segment of the plan.
+
+#ifndef CONTENDER_SIM_QUERY_SPEC_H_
+#define CONTENDER_SIM_QUERY_SPEC_H_
+
+#include <string>
+#include <vector>
+
+namespace contender::sim {
+
+/// Identifies a relation on stable storage. Non-negative ids come from the
+/// catalog; negative ids denote private temp space (spills, spoiler files),
+/// which is never shared between processes.
+using TableId = int;
+
+constexpr TableId kNoTable = -1;
+
+/// One pipeline segment. The I/O and CPU demands proceed concurrently; the
+/// phase completes when all are exhausted.
+struct Phase {
+  /// Sequential bytes read from `table` (shared-scan eligible when the table
+  /// id is non-negative and another process scans it concurrently).
+  double seq_io_bytes = 0.0;
+
+  /// Random-access bytes (index probes, scattered heap fetches).
+  double rnd_io_bytes = 0.0;
+
+  /// CPU work at full-core speed.
+  double cpu_seconds = 0.0;
+
+  /// Table the sequential I/O targets; kNoTable when seq_io_bytes == 0.
+  TableId table = kNoTable;
+
+  /// Size of `table`, for buffer-pool caching decisions.
+  double table_bytes = 0.0;
+
+  /// Whether the scanned table may be cached (dimension tables).
+  bool cacheable = false;
+
+  /// Working memory the phase wants (hash tables, sort buffers).
+  double mem_demand_bytes = 0.0;
+
+  /// If true, a memory shortfall converts into spill I/O; if false the
+  /// phase simply runs with what it gets (e.g., plain scans).
+  bool spillable = false;
+};
+
+/// A runnable query: phases plus bookkeeping identity.
+struct QuerySpec {
+  std::string name;
+  /// Workload template id (paper template number); -1 for synthetic load.
+  int template_id = -1;
+  std::vector<Phase> phases;
+  /// Immortal processes (spoiler streams) provide load but never complete.
+  bool immortal = false;
+  /// Memory pinned for the whole lifetime of the process, granted with
+  /// priority at admission (the spoiler's RAM pin).
+  double pinned_memory_bytes = 0.0;
+};
+
+/// Per-process accounting, the simulator's analogue of procfs counters.
+struct ProcessResult {
+  int process_id = -1;
+  int template_id = -1;
+  std::string name;
+  double start_time = 0.0;
+  double end_time = 0.0;
+  bool completed = false;
+
+  /// Virtual seconds during which the process had outstanding I/O.
+  double io_busy_seconds = 0.0;
+  /// Virtual seconds of CPU progress.
+  double cpu_busy_seconds = 0.0;
+  /// Bytes actually served from disk (excludes buffer-pool hits).
+  double disk_bytes_read = 0.0;
+  /// Bytes served from the buffer pool or shared scans.
+  double bytes_saved_by_cache = 0.0;
+  double bytes_saved_by_shared_scan = 0.0;
+  /// Peak simultaneous memory grant.
+  double max_memory_granted = 0.0;
+  /// Total spill traffic induced by memory shortfalls.
+  double spill_bytes = 0.0;
+
+  double latency() const { return end_time - start_time; }
+  /// Fraction of execution time spent on I/O (the paper's p_t).
+  double io_fraction() const {
+    const double lat = latency();
+    return lat > 0.0 ? io_busy_seconds / lat : 0.0;
+  }
+};
+
+}  // namespace contender::sim
+
+#endif  // CONTENDER_SIM_QUERY_SPEC_H_

@@ -1,0 +1,43 @@
+#include "sim/spoiler.h"
+
+#include <string>
+
+namespace contender::sim {
+
+namespace {
+// Private table-id range for spoiler files; negative ids are never shared.
+constexpr TableId kSpoilerTableBase = -1000;
+// Effectively-infinite byte demand for immortal streams.
+constexpr double kEndless = 1e30;
+}  // namespace
+
+std::vector<QuerySpec> MakeSpoiler(const SimConfig& config, int mpl) {
+  std::vector<QuerySpec> out;
+  if (mpl < 2) return out;
+
+  // Memory pin: (1 - 1/n) of RAM, held for the primary's whole run.
+  QuerySpec pin;
+  pin.name = "spoiler-pin";
+  pin.immortal = true;
+  pin.pinned_memory_bytes =
+      (1.0 - 1.0 / static_cast<double>(mpl)) * config.ram_bytes;
+  Phase idle;
+  idle.cpu_seconds = kEndless;
+  pin.phases.push_back(idle);
+  out.push_back(pin);
+
+  // n - 1 circular readers on distinct private files.
+  for (int i = 0; i < mpl - 1; ++i) {
+    QuerySpec reader;
+    reader.name = "spoiler-io-" + std::to_string(i);
+    reader.immortal = true;
+    Phase read;
+    read.seq_io_bytes = kEndless;
+    read.table = kSpoilerTableBase - i;
+    reader.phases.push_back(read);
+    out.push_back(reader);
+  }
+  return out;
+}
+
+}  // namespace contender::sim

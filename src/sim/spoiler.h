@@ -1,0 +1,23 @@
+// The spoiler (paper §5.1): a synthetic antagonist that simulates the
+// worst-case contention a primary query can face at MPL n. It pins
+// (1 - 1/n) of RAM and circularly reads n - 1 large private files to keep
+// n - 1 sequential I/O streams permanently busy.
+
+#ifndef CONTENDER_SIM_SPOILER_H_
+#define CONTENDER_SIM_SPOILER_H_
+
+#include <vector>
+
+#include "sim/config.h"
+#include "sim/query_spec.h"
+
+namespace contender::sim {
+
+/// Builds the spoiler processes for MPL `mpl` (>= 2): one memory-pinning
+/// process plus mpl - 1 immortal circular-read streams on distinct private
+/// files. Add all of them to an engine before (or at) the primary's start.
+std::vector<QuerySpec> MakeSpoiler(const SimConfig& config, int mpl);
+
+}  // namespace contender::sim
+
+#endif  // CONTENDER_SIM_SPOILER_H_

@@ -1,0 +1,54 @@
+#include "util/flags.h"
+
+#include <cstdlib>
+#include <string_view>
+
+namespace contender {
+
+Flags::Flags(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg(argv[i]);
+    if (arg.rfind("--", 0) != 0) continue;
+    arg.remove_prefix(2);
+    auto eq = arg.find('=');
+    if (eq != std::string_view::npos) {
+      values_[std::string(arg.substr(0, eq))] = std::string(arg.substr(eq + 1));
+    } else if (i + 1 < argc && std::string_view(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[std::string(arg)] = argv[++i];
+    } else if (arg.rfind("no-", 0) == 0) {
+      values_[std::string(arg.substr(3))] = "false";
+    } else {
+      values_[std::string(arg)] = "true";
+    }
+  }
+}
+
+bool Flags::Has(const std::string& name) const {
+  return values_.count(name) > 0;
+}
+
+std::string Flags::GetString(const std::string& name,
+                             const std::string& default_value) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? default_value : it->second;
+}
+
+int64_t Flags::GetInt(const std::string& name, int64_t default_value) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? default_value
+                             : std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double Flags::GetDouble(const std::string& name, double default_value) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? default_value
+                             : std::strtod(it->second.c_str(), nullptr);
+}
+
+bool Flags::GetBool(const std::string& name, bool default_value) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  return it->second != "false" && it->second != "0";
+}
+
+}  // namespace contender

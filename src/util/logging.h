@@ -1,0 +1,72 @@
+// Minimal leveled logging and assertion macros.
+
+#ifndef CONTENDER_UTIL_LOGGING_H_
+#define CONTENDER_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace contender {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Global log threshold; messages below it are suppressed. Default: kInfo.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line, bool fatal = false);
+  ~LogMessage();
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  bool fatal_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+// Swallows the streamed expression when logging is disabled.
+struct NullStream {
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+// Converts a streamed expression to void inside the CHECK ternary;
+// operator& binds more loosely than operator<<.
+struct Voidify {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal
+}  // namespace contender
+
+#define CONTENDER_LOG(level)                                          \
+  ::contender::internal::LogMessage(::contender::LogLevel::k##level,  \
+                                    __FILE__, __LINE__)               \
+      .stream()
+
+/// Fatal check: prints the failed condition and aborts.
+#define CONTENDER_CHECK(cond)                                             \
+  (cond) ? (void)0                                                        \
+         : ::contender::internal::Voidify() &                             \
+               ::contender::internal::LogMessage(                         \
+                   ::contender::LogLevel::kError, __FILE__, __LINE__,     \
+                   true)                                                  \
+                   .stream()                                              \
+               << "Check failed: " #cond " "
+
+#define CONTENDER_CHECK_OK(status_expr)                     \
+  do {                                                      \
+    ::contender::Status _s = (status_expr);                 \
+    CONTENDER_CHECK(_s.ok()) << _s.ToString();              \
+  } while (0)
+
+#endif  // CONTENDER_UTIL_LOGGING_H_

@@ -1,0 +1,63 @@
+// StatusOr<T>: holds either a value of type T or an error Status.
+
+#ifndef CONTENDER_UTIL_STATUSOR_H_
+#define CONTENDER_UTIL_STATUSOR_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace contender {
+
+/// A value-or-error result. Construct from a T (implies OK) or from a non-OK
+/// Status. Accessing value() on an error aborts in debug builds.
+template <typename T>
+class StatusOr {
+ public:
+  /// Constructs from an error status. `status` must not be OK.
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT(runtime/explicit)
+    assert(!status_.ok());
+  }
+
+  /// Constructs from a value; the status is OK.
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Assigns the value of a StatusOr expression to `lhs`, or returns its error.
+#define CONTENDER_ASSIGN_OR_RETURN(lhs, expr)       \
+  do {                                              \
+    auto _result = (expr);                          \
+    if (!_result.ok()) return _result.status();     \
+    lhs = std::move(_result).value();               \
+  } while (0)
+
+}  // namespace contender
+
+#endif  // CONTENDER_UTIL_STATUSOR_H_

@@ -1,0 +1,51 @@
+// Streaming summary statistics (Welford) and small batch helpers.
+
+#ifndef CONTENDER_UTIL_SUMMARY_STATS_H_
+#define CONTENDER_UTIL_SUMMARY_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace contender {
+
+/// Accumulates count / mean / variance / min / max in one pass (Welford's
+/// algorithm, numerically stable).
+class SummaryStats {
+ public:
+  void Add(double x);
+
+  size_t count() const { return count_; }
+  double mean() const { return mean_; }
+  /// Sample variance (n-1 denominator); 0 when count < 2.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+  /// Merges another accumulator into this one.
+  void Merge(const SummaryStats& other);
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Mean of `v`; 0 for empty input.
+double Mean(const std::vector<double>& v);
+
+/// Sample standard deviation of `v`; 0 when v.size() < 2.
+double StdDev(const std::vector<double>& v);
+
+/// p-th percentile (0..100) by linear interpolation; requires non-empty v.
+double Percentile(std::vector<double> v, double p);
+
+/// Median; requires non-empty v.
+double Median(std::vector<double> v);
+
+}  // namespace contender
+
+#endif  // CONTENDER_UTIL_SUMMARY_STATS_H_

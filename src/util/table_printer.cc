@@ -1,0 +1,57 @@
+#include "util/table_printer.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+namespace contender {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  cells.resize(header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::Print(std::ostream& os) const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      const std::string& cell = row[c];
+      const size_t pad = widths[c] - cell.size();
+      os << "  ";
+      if (c == 0) {
+        os << cell << std::string(pad, ' ');
+      } else {
+        os << std::string(pad, ' ') << cell;
+      }
+    }
+    os << "\n";
+  };
+  print_row(header_);
+  size_t total = 0;
+  for (size_t w : widths) total += w + 2;
+  os << std::string(total, '-') << "\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string FormatDouble(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+  return buf;
+}
+
+std::string FormatPercent(double fraction, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", digits, fraction * 100.0);
+  return buf;
+}
+
+}  // namespace contender

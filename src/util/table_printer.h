@@ -1,0 +1,41 @@
+// Fixed-width ASCII table printer used by the bench harnesses to emit
+// paper-style tables and figure series.
+
+#ifndef CONTENDER_UTIL_TABLE_PRINTER_H_
+#define CONTENDER_UTIL_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace contender {
+
+/// Collects rows of string cells and renders them with aligned columns.
+///
+///   TablePrinter tp({"Template", "MRE"});
+///   tp.AddRow({"q62", "12.3%"});
+///   tp.Print(std::cout);
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders the table with a header underline. Cells are left-aligned in the
+  /// first column and right-aligned elsewhere (numeric convention).
+  void Print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` decimal places.
+std::string FormatDouble(double v, int digits = 2);
+
+/// Formats a fraction (0.254) as a percentage string ("25.4%").
+std::string FormatPercent(double fraction, int digits = 1);
+
+}  // namespace contender
+
+#endif  // CONTENDER_UTIL_TABLE_PRINTER_H_

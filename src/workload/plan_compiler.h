@@ -1,0 +1,36 @@
+// Lowers a query plan tree to the simulator's phase list.
+//
+// The compiler walks the plan in executor order and cuts the operator
+// stream into pipeline segments at blocking operators (Hash, Sort,
+// HashAggregate, Materialize) and at scan boundaries. Each segment becomes
+// one sim::Phase whose I/O, CPU and memory demands are the sums of its
+// operators' annotations.
+
+#ifndef CONTENDER_WORKLOAD_PLAN_COMPILER_H_
+#define CONTENDER_WORKLOAD_PLAN_COMPILER_H_
+
+#include "catalog/catalog.h"
+#include "sim/query_spec.h"
+#include "workload/query_plan.h"
+
+namespace contender {
+
+/// Per-instance parameter variation (template predicates differ between
+/// instances; plans are compiled fresh for every execution).
+struct InstanceParams {
+  /// Scales selectivity-driven quantities: CPU, random I/O, memory
+  /// footprints, and partial-scan fractions.
+  double selectivity = 1.0;
+  /// Scales all sequential scan volumes slightly (heap bloat, hint bits).
+  double io_scale = 1.0;
+};
+
+/// Compiles `plan` into phases. `name`/`template_id` are carried into the
+/// spec for accounting.
+sim::QuerySpec CompilePlan(const PlanNode& plan, const Catalog& catalog,
+                           const InstanceParams& params,
+                           const std::string& name, int template_id);
+
+}  // namespace contender
+
+#endif  // CONTENDER_WORKLOAD_PLAN_COMPILER_H_

@@ -1,0 +1,155 @@
+#include "workload/sampler.h"
+
+#include <algorithm>
+
+#include "ml/lhs.h"
+#include "sim/engine.h"
+#include "sim/spoiler.h"
+#include "workload/query_plan.h"
+
+namespace contender {
+
+WorkloadSampler::WorkloadSampler(const Workload* workload,
+                                 const sim::SimConfig& config,
+                                 const Options& options)
+    : workload_(workload), config_(config), options_(options),
+      rng_(options.seed) {}
+
+StatusOr<TemplateProfile> WorkloadSampler::ProfileTemplate(
+    int index, const std::vector<int>& mpls) {
+  if (index < 0 || index >= workload_->size()) {
+    return Status::InvalidArgument("ProfileTemplate: bad template index");
+  }
+  TemplateProfile profile;
+  profile.template_index = index;
+  profile.template_id = workload_->tmpl(index).id;
+
+  // Isolated cold-cache run (fresh engine => empty buffer pool).
+  sim::Engine engine(config_, rng_.Next());
+  const sim::QuerySpec spec = workload_->InstantiateNominal(index);
+  const int pid = engine.AddProcess(spec, 0.0);
+  CONTENDER_RETURN_IF_ERROR(engine.Run());
+  const sim::ProcessResult& r = engine.result(pid);
+  profile.isolated_latency = r.latency();
+  profile.io_fraction = r.io_fraction();
+
+  // Plan-derived (semantic) statistics.
+  const PlanNode plan = workload_->NominalPlan(index);
+  profile.plan_steps = CountPlanSteps(plan);
+  profile.records_accessed = SumPlanRows(plan);
+  profile.fact_tables = FactTablesScanned(plan, workload_->catalog());
+  double ws = 0.0;
+  for (const sim::Phase& phase : spec.phases) {
+    ws = std::max(ws, phase.mem_demand_bytes);
+  }
+  profile.working_set_bytes = ws;
+
+  for (int mpl : mpls) {
+    auto lmax = MeasureSpoilerLatency(index, mpl);
+    if (!lmax.ok()) return lmax.status();
+    profile.spoiler_latency[mpl] = *lmax;
+  }
+  return profile;
+}
+
+StatusOr<double> WorkloadSampler::MeasureScanTime(sim::TableId table) {
+  auto def = workload_->catalog().FindById(table);
+  if (!def.ok()) return def.status();
+  sim::QuerySpec spec;
+  spec.name = "scan-" + def->name;
+  sim::Phase phase;
+  phase.seq_io_bytes = def->bytes;
+  phase.table = def->id;
+  phase.table_bytes = def->bytes;
+  phase.cacheable = !def->is_fact;
+  spec.phases.push_back(phase);
+  sim::Engine engine(config_, rng_.Next());
+  const int pid = engine.AddProcess(spec, 0.0);
+  CONTENDER_RETURN_IF_ERROR(engine.Run());
+  return engine.result(pid).latency();
+}
+
+StatusOr<double> WorkloadSampler::MeasureSpoilerLatency(int index, int mpl) {
+  if (mpl < 2) {
+    return Status::InvalidArgument("spoiler requires MPL >= 2");
+  }
+  sim::Engine engine(config_, rng_.Next());
+  for (const sim::QuerySpec& s : sim::MakeSpoiler(config_, mpl)) {
+    engine.AddProcess(s, 0.0);
+  }
+  const sim::QuerySpec spec = workload_->InstantiateNominal(index);
+  const int pid = engine.AddProcess(spec, 0.0);
+  CONTENDER_RETURN_IF_ERROR(engine.RunUntilProcessCompletes(pid));
+  return engine.result(pid).latency();
+}
+
+StatusOr<std::vector<MixObservation>> WorkloadSampler::ObserveMix(
+    const std::vector<int>& mix) {
+  SteadyStateOptions ss = options_.steady_state;
+  ss.seed = rng_.Next();
+  auto result = RunSteadyState(*workload_, mix, config_, ss);
+  if (!result.ok()) return result.status();
+
+  std::vector<MixObservation> out;
+  for (size_t s = 0; s < result->streams.size(); ++s) {
+    MixObservation obs;
+    obs.primary_index = mix[s];
+    obs.mpl = static_cast<int>(mix.size());
+    for (size_t o = 0; o < mix.size(); ++o) {
+      if (o != s) obs.concurrent_indices.push_back(mix[o]);
+    }
+    obs.latency = result->streams[s].mean_latency;
+    out.push_back(std::move(obs));
+  }
+  return out;
+}
+
+StatusOr<std::vector<std::vector<int>>> WorkloadSampler::MixesForMpl(
+    int mpl) {
+  const int n = workload_->size();
+  if (mpl == 2) {
+    std::vector<MixSelection> pairs = AllPairs(n);
+    if (options_.max_pair_mixes > 0 &&
+        static_cast<int>(pairs.size()) > options_.max_pair_mixes) {
+      rng_.Shuffle(&pairs);
+      pairs.resize(static_cast<size_t>(options_.max_pair_mixes));
+    }
+    return pairs;
+  }
+  return LatinHypercubeRuns(n, mpl, options_.lhs_runs, &rng_);
+}
+
+StatusOr<TrainingData> WorkloadSampler::CollectAll() {
+  TrainingData data;
+
+  for (int i = 0; i < workload_->size(); ++i) {
+    auto profile = ProfileTemplate(i, options_.mpls);
+    if (!profile.ok()) return profile.status();
+    data.sampling_seconds += profile->isolated_latency;
+    for (const auto& [mpl, lmax] : profile->spoiler_latency) {
+      data.sampling_seconds += lmax;
+    }
+    data.profiles.push_back(std::move(*profile));
+  }
+
+  for (const TableDef& t : workload_->catalog().FactTables()) {
+    auto s_f = MeasureScanTime(t.id);
+    if (!s_f.ok()) return s_f.status();
+    data.scan_times[t.id] = *s_f;
+    data.sampling_seconds += *s_f;
+  }
+
+  for (int mpl : options_.mpls) {
+    auto mixes = MixesForMpl(mpl);
+    if (!mixes.ok()) return mixes.status();
+    for (const auto& mix : *mixes) {
+      auto obs = ObserveMix(mix);
+      if (!obs.ok()) return obs.status();
+      data.observations.insert(data.observations.end(), obs->begin(),
+                               obs->end());
+    }
+  }
+  return data;
+}
+
+}  // namespace contender

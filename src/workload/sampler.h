@@ -1,0 +1,79 @@
+// The workload sampler: orchestrates all measurements Contender trains on —
+// isolated (cold-cache) profiles, fact-table scan times (s_f), spoiler
+// latencies per MPL, and steady-state mix observations (all pairs at MPL 2,
+// Latin Hypercube runs at higher MPLs).
+
+#ifndef CONTENDER_WORKLOAD_SAMPLER_H_
+#define CONTENDER_WORKLOAD_SAMPLER_H_
+
+#include <map>
+#include <vector>
+
+#include "core/template_profile.h"
+#include "sim/config.h"
+#include "util/statusor.h"
+#include "workload/steady_state.h"
+#include "workload/workload.h"
+
+namespace contender {
+
+/// Everything the training phase collects.
+struct TrainingData {
+  std::vector<TemplateProfile> profiles;
+  /// s_f: isolated full-scan time per fact table.
+  std::map<sim::TableId, double> scan_times;
+  /// Steady-state observations, keyed implicitly by MPL in each entry.
+  std::vector<MixObservation> observations;
+  /// Total virtual seconds of sampling (for the §5.4 cost accounting).
+  double sampling_seconds = 0.0;
+};
+
+/// Sampling driver bound to one workload and one hardware model.
+class WorkloadSampler {
+ public:
+  struct Options {
+    /// MPLs to sample (mixes and spoiler latencies).
+    std::vector<int> mpls = {2, 3, 4, 5};
+    /// LHS rounds per MPL above 2 (paper: 4).
+    int lhs_runs = 4;
+    /// Cap on all-pairs sampling at MPL 2; <= 0 means all pairs.
+    int max_pair_mixes = 0;
+    SteadyStateOptions steady_state;
+    uint64_t seed = 42;
+  };
+
+  WorkloadSampler(const Workload* workload, const sim::SimConfig& config,
+                  const Options& options);
+
+  /// Isolated cold-cache profile of one template, including spoiler
+  /// latencies at the requested MPLs (pass {} to skip the spoiler runs).
+  StatusOr<TemplateProfile> ProfileTemplate(int index,
+                                            const std::vector<int>& mpls);
+
+  /// s_f for one table (isolated scan-only query).
+  StatusOr<double> MeasureScanTime(sim::TableId table);
+
+  /// l_max: latency of one template run against the spoiler at `mpl`.
+  StatusOr<double> MeasureSpoilerLatency(int index, int mpl);
+
+  /// Steady-state run of one mix; returns one observation per stream.
+  StatusOr<std::vector<MixObservation>> ObserveMix(
+      const std::vector<int>& mix);
+
+  /// Runs the full paper §2 sampling protocol.
+  StatusOr<TrainingData> CollectAll();
+
+  /// The mixes CollectAll() would execute, per MPL (exposed for the
+  /// sampling-cost accounting bench).
+  StatusOr<std::vector<std::vector<int>>> MixesForMpl(int mpl);
+
+ private:
+  const Workload* workload_;
+  sim::SimConfig config_;
+  Options options_;
+  Rng rng_;
+};
+
+}  // namespace contender
+
+#endif  // CONTENDER_WORKLOAD_SAMPLER_H_

@@ -1,0 +1,410 @@
+#include "workload/templates.h"
+
+#include "sim/config.h"
+
+namespace contender {
+
+namespace {
+
+using sim::kGB;
+using sim::kMB;
+
+// Shorthand: a dimension hash-joined under a fact probe.
+PlanNode DimJoin(const Catalog& c, PlanNode probe, const std::string& dim,
+                 double dim_rows, double rows_out, double build_mem) {
+  PlanNode build = SeqScan(c.Get(dim), 1.0, dim_rows);
+  return HashJoin(std::move(build), std::move(probe), rows_out, build_mem);
+}
+
+// TPC-DS q2: weekly sales rollup across catalog and web channels; unions
+// two fact scans and sorts a very large intermediate (memory-intensive).
+PlanNode BuildQ2(const Catalog& c) {
+  PlanNode cs = SeqScan(c.Get("catalog_sales"), 1.0, 144e6);
+  PlanNode ws = SeqScan(c.Get("web_sales"), 1.0, 72e6);
+  PlanNode uni = Append({std::move(cs), std::move(ws)}, 216e6);
+  PlanNode j = DimJoin(c, std::move(uni), "date_dim", 73049, 216e6, 8 * kMB);
+  PlanNode sorted = Sort(std::move(j), 4.0 * kGB);
+  return GroupAggregate(std::move(sorted), 10000);
+}
+
+// TPC-DS q8: store sales by store for customers in preferred zip codes.
+PlanNode BuildQ8(const Catalog& c) {
+  PlanNode cust = DimJoin(c, SeqScan(c.Get("customer"), 1.0, 2e6),
+                          "customer_address", 1e6, 1.8e6, 120 * kMB);
+  PlanNode ss = SeqScan(c.Get("store_sales"), 1.0, 288e6);
+  PlanNode j1 = HashJoin(std::move(cust), std::move(ss), 50e6, 260 * kMB);
+  PlanNode j2 = DimJoin(c, std::move(j1), "store", 402, 50e6, 0.1 * kMB);
+  PlanNode j3 = DimJoin(c, std::move(j2), "date_dim", 73049, 12e6, 8 * kMB);
+  PlanNode agg = HashAggregate(std::move(j3), 400, 60 * kMB);
+  return Sort(std::move(agg), 1 * kMB);
+}
+
+// TPC-DS q15: catalog sales by customer zip for a quarter.
+PlanNode BuildQ15(const Catalog& c) {
+  PlanNode cs = SeqScan(c.Get("catalog_sales"), 1.0, 144e6);
+  PlanNode j1 = DimJoin(c, std::move(cs), "customer", 2e6, 36e6, 280 * kMB);
+  PlanNode j2 =
+      DimJoin(c, std::move(j1), "customer_address", 1e6, 36e6, 140 * kMB);
+  PlanNode j3 = DimJoin(c, std::move(j2), "date_dim", 73049, 9e6, 8 * kMB);
+  PlanNode agg = HashAggregate(std::move(j3), 50000, 40 * kMB);
+  return Sort(std::move(agg), 4 * kMB);
+}
+
+// TPC-DS q17: store/catalog sales with returns — index-driven lookups on
+// the returns and catalog side make this template random-I/O heavy.
+PlanNode BuildQ17(const Catalog& c) {
+  PlanNode ss = SeqScan(c.Get("store_sales"), 0.55, 158e6);
+  PlanNode sr = IndexScan(c.Get("store_returns"), 320 * kMB, 3.2e6);
+  PlanNode j1 = HashJoin(std::move(sr), std::move(ss), 6e6, 300 * kMB);
+  PlanNode csr = IndexScan(c.Get("catalog_sales"), 260 * kMB, 2.4e6);
+  PlanNode j2 = HashJoin(std::move(csr), std::move(j1), 2e6, 220 * kMB);
+  PlanNode j3 = DimJoin(c, std::move(j2), "item", 204000, 2e6, 60 * kMB);
+  PlanNode j4 = DimJoin(c, std::move(j3), "date_dim", 73049, 1.5e6, 8 * kMB);
+  PlanNode agg = HashAggregate(std::move(j4), 120000, 1.1 * kGB);
+  return Sort(std::move(agg), 10 * kMB);
+}
+
+// TPC-DS q18: catalog sales by customer demographics.
+PlanNode BuildQ18(const Catalog& c) {
+  PlanNode cs = SeqScan(c.Get("catalog_sales"), 1.0, 144e6);
+  PlanNode j1 = DimJoin(c, std::move(cs), "customer_demographics", 1.92e6,
+                        28e6, 170 * kMB);
+  PlanNode j2 = DimJoin(c, std::move(j1), "customer", 2e6, 14e6, 280 * kMB);
+  PlanNode j3 = DimJoin(c, std::move(j2), "item", 204000, 14e6, 60 * kMB);
+  PlanNode j4 = DimJoin(c, std::move(j3), "date_dim", 73049, 4.5e6, 8 * kMB);
+  PlanNode agg = HashAggregate(std::move(j4), 110000, 450 * kMB);
+  return Sort(std::move(agg), 12 * kMB);
+}
+
+// TPC-DS q20: catalog sales by item class for a 30-day window.
+PlanNode BuildQ20(const Catalog& c) {
+  PlanNode cs = SeqScan(c.Get("catalog_sales"), 1.0, 144e6);
+  PlanNode j1 = DimJoin(c, std::move(cs), "item", 204000, 20e6, 60 * kMB);
+  PlanNode j2 = DimJoin(c, std::move(j1), "date_dim", 73049, 5e6, 8 * kMB);
+  PlanNode agg = GroupAggregate(Sort(std::move(j2), 140 * kMB), 60000);
+  return Limit(std::move(agg), 100);
+}
+
+// TPC-DS q22: inventory quantity-on-hand rollup; a giant hash aggregate
+// over the full inventory history makes this template memory-bound.
+PlanNode BuildQ22(const Catalog& c) {
+  PlanNode inv = SeqScan(c.Get("inventory"), 1.0, 399e6);
+  PlanNode j1 = DimJoin(c, std::move(inv), "item", 204000, 399e6, 60 * kMB);
+  PlanNode j2 = DimJoin(c, std::move(j1), "date_dim", 73049, 98e6, 8 * kMB);
+  PlanNode j3 = DimJoin(c, std::move(j2), "warehouse", 15, 98e6, 0.1 * kMB);
+  // Rollup over (product_name, brand, class, category): large group state.
+  PlanNode agg = HashAggregate(std::move(j3), 600000, 6.2 * kGB);
+  PlanNode rollup = GroupAggregate(std::move(agg), 600000);
+  return Limit(Sort(std::move(rollup), 90 * kMB), 100);
+}
+
+// TPC-DS q25: store/store-returns/catalog-sales chain via index lookups.
+PlanNode BuildQ25(const Catalog& c) {
+  PlanNode ss = SeqScan(c.Get("store_sales"), 0.5, 144e6);
+  PlanNode sr = IndexScan(c.Get("store_returns"), 400 * kMB, 4e6);
+  PlanNode j1 = HashJoin(std::move(sr), std::move(ss), 7e6, 360 * kMB);
+  PlanNode cs = IndexScan(c.Get("catalog_sales"), 350 * kMB, 3.2e6);
+  PlanNode j2 = HashJoin(std::move(cs), std::move(j1), 2.4e6, 290 * kMB);
+  PlanNode j3 = DimJoin(c, std::move(j2), "store", 402, 2.4e6, 0.1 * kMB);
+  PlanNode j4 = DimJoin(c, std::move(j3), "item", 204000, 1.8e6, 60 * kMB);
+  PlanNode agg = HashAggregate(std::move(j4), 90000, 1.0 * kGB);
+  return Sort(std::move(agg), 8 * kMB);
+}
+
+// TPC-DS q26: catalog sales averaged by item for one demographic slice —
+// a single pass over catalog_sales; I/O-bound.
+PlanNode BuildQ26(const Catalog& c) {
+  PlanNode cs = SeqScan(c.Get("catalog_sales"), 1.0, 144e6);
+  PlanNode j1 = DimJoin(c, std::move(cs), "customer_demographics", 1.92e6,
+                        18e6, 170 * kMB);
+  PlanNode j2 = DimJoin(c, std::move(j1), "date_dim", 73049, 4.6e6, 8 * kMB);
+  PlanNode j3 = DimJoin(c, std::move(j2), "item", 204000, 4.6e6, 60 * kMB);
+  PlanNode j4 = DimJoin(c, std::move(j3), "promotion", 1000, 1.1e6, 0.2 * kMB);
+  PlanNode agg = HashAggregate(std::move(j4), 40000, 30 * kMB);
+  return Limit(Sort(std::move(agg), 4 * kMB), 100);
+}
+
+// TPC-DS q27: store sales by item/state for one demographic slice.
+PlanNode BuildQ27(const Catalog& c) {
+  PlanNode ss = SeqScan(c.Get("store_sales"), 1.0, 288e6);
+  PlanNode j1 = DimJoin(c, std::move(ss), "customer_demographics", 1.92e6,
+                        36e6, 170 * kMB);
+  PlanNode j2 = DimJoin(c, std::move(j1), "date_dim", 73049, 9e6, 8 * kMB);
+  PlanNode j3 = DimJoin(c, std::move(j2), "store", 402, 9e6, 0.1 * kMB);
+  PlanNode j4 = DimJoin(c, std::move(j3), "item", 204000, 9e6, 60 * kMB);
+  PlanNode agg = HashAggregate(std::move(j4), 120000, 110 * kMB);
+  return Limit(Sort(std::move(agg), 12 * kMB), 100);
+}
+
+// TPC-DS q32: catalog sales with a correlated average lookup (random I/O).
+PlanNode BuildQ32(const Catalog& c) {
+  PlanNode cs = SeqScan(c.Get("catalog_sales"), 1.0, 144e6);
+  PlanNode sub = IndexScan(c.Get("catalog_sales"), 300 * kMB, 2.8e6);
+  PlanNode subagg = HashAggregate(std::move(sub), 17000, 20 * kMB);
+  PlanNode j1 = HashJoin(std::move(subagg), std::move(cs), 1.4e6, 20 * kMB);
+  PlanNode j2 = DimJoin(c, std::move(j1), "item", 204000, 600000, 60 * kMB);
+  PlanNode j3 = DimJoin(c, std::move(j2), "date_dim", 73049, 180000, 8 * kMB);
+  return GroupAggregate(std::move(j3), 1);
+}
+
+// TPC-DS q33: manufacturer revenue across all three sales channels.
+PlanNode BuildQ33(const Catalog& c) {
+  auto channel = [&](const std::string& fact, double rows) {
+    PlanNode f = SeqScan(c.Get(fact), 1.0, rows);
+    PlanNode j1 = DimJoin(c, std::move(f), "item", 204000, rows / 8,
+                          60 * kMB);
+    PlanNode j2 = DimJoin(c, std::move(j1), "customer_address", 1e6, rows / 24,
+                          140 * kMB);
+    PlanNode j3 =
+        DimJoin(c, std::move(j2), "date_dim", 73049, rows / 90, 8 * kMB);
+    return HashAggregate(std::move(j3), 6000, 20 * kMB);
+  };
+  PlanNode uni = Append({channel("store_sales", 288e6),
+                         channel("catalog_sales", 144e6),
+                         channel("web_sales", 72e6)},
+                        18000);
+  PlanNode agg = HashAggregate(std::move(uni), 6000, 1.25 * kGB);
+  return Limit(Sort(std::move(agg), 2 * kMB), 100);
+}
+
+// TPC-DS q40: catalog sales vs returns around a date boundary.
+PlanNode BuildQ40(const Catalog& c) {
+  PlanNode cs = SeqScan(c.Get("catalog_sales"), 1.0, 144e6);
+  PlanNode cr = SeqScan(c.Get("catalog_returns"), 1.0, 14.4e6);
+  PlanNode j1 = HashJoin(std::move(cr), std::move(cs), 14e6, 260 * kMB);
+  PlanNode j2 = DimJoin(c, std::move(j1), "warehouse", 15, 14e6, 0.1 * kMB);
+  PlanNode j3 = DimJoin(c, std::move(j2), "item", 204000, 3.4e6, 60 * kMB);
+  PlanNode j4 = DimJoin(c, std::move(j3), "date_dim", 73049, 1.2e6, 8 * kMB);
+  PlanNode agg = HashAggregate(std::move(j4), 80000, 70 * kMB);
+  return Limit(Sort(std::move(agg), 8 * kMB), 100);
+}
+
+// TPC-DS q46: store sales to specific households by city, sorted widely.
+PlanNode BuildQ46(const Catalog& c) {
+  PlanNode ss = SeqScan(c.Get("store_sales"), 1.0, 288e6);
+  PlanNode j1 = DimJoin(c, std::move(ss), "household_demographics", 7200,
+                        48e6, 1 * kMB);
+  PlanNode j2 =
+      DimJoin(c, std::move(j1), "customer_address", 1e6, 48e6, 140 * kMB);
+  PlanNode j3 = DimJoin(c, std::move(j2), "date_dim", 73049, 12e6, 8 * kMB);
+  PlanNode j4 = DimJoin(c, std::move(j3), "store", 402, 12e6, 0.1 * kMB);
+  PlanNode agg = HashAggregate(std::move(j4), 9e6, 380 * kMB);
+  PlanNode j5 = DimJoin(c, std::move(agg), "customer", 2e6, 9e6, 280 * kMB);
+  return Sort(std::move(j5), 1.3 * kGB);
+}
+
+// TPC-DS q56: item revenue across all three channels (ids in a list).
+PlanNode BuildQ56(const Catalog& c) {
+  auto channel = [&](const std::string& fact, double rows) {
+    PlanNode f = SeqScan(c.Get(fact), 1.0, rows);
+    PlanNode j1 = DimJoin(c, std::move(f), "item", 204000, rows / 10,
+                          60 * kMB);
+    PlanNode j2 = DimJoin(c, std::move(j1), "customer_address", 1e6,
+                          rows / 30, 140 * kMB);
+    PlanNode j3 =
+        DimJoin(c, std::move(j2), "date_dim", 73049, rows / 100, 8 * kMB);
+    return HashAggregate(std::move(j3), 9000, 25 * kMB);
+  };
+  PlanNode uni = Append({channel("store_sales", 288e6),
+                         channel("catalog_sales", 144e6),
+                         channel("web_sales", 72e6)},
+                        27000);
+  PlanNode agg = HashAggregate(std::move(uni), 9000, 1.2 * kGB);
+  return Limit(Sort(std::move(agg), 3 * kMB), 100);
+}
+
+// TPC-DS q60: category revenue across all three channels.
+PlanNode BuildQ60(const Catalog& c) {
+  auto channel = [&](const std::string& fact, double rows) {
+    PlanNode f = SeqScan(c.Get(fact), 1.0, rows);
+    PlanNode j1 = DimJoin(c, std::move(f), "item", 204000, rows / 9,
+                          60 * kMB);
+    PlanNode j2 = DimJoin(c, std::move(j1), "customer_address", 1e6,
+                          rows / 28, 140 * kMB);
+    PlanNode j3 =
+        DimJoin(c, std::move(j2), "date_dim", 73049, rows / 95, 8 * kMB);
+    return HashAggregate(std::move(j3), 8000, 24 * kMB);
+  };
+  PlanNode uni = Append({channel("store_sales", 288e6),
+                         channel("catalog_sales", 144e6),
+                         channel("web_sales", 72e6)},
+                        24000);
+  PlanNode agg = HashAggregate(std::move(uni), 8000, 1.3 * kGB);
+  return Limit(Sort(std::move(agg), 3 * kMB), 100);
+}
+
+// TPC-DS q61: promotional vs total store revenue — store_sales is scanned
+// twice (two independent subqueries); almost pure sequential I/O.
+PlanNode BuildQ61(const Catalog& c) {
+  auto branch = [&](bool promo) {
+    PlanNode ss = SeqScan(c.Get("store_sales"), 1.0, 288e6);
+    PlanNode j1 = DimJoin(c, std::move(ss), "store", 402, 96e6, 0.1 * kMB);
+    PlanNode j2 = DimJoin(c, std::move(j1), "date_dim", 73049, 24e6, 8 * kMB);
+    PlanNode j3 = DimJoin(c, std::move(j2), "customer", 2e6, 12e6, 1.6 * kGB);
+    PlanNode j4 =
+        DimJoin(c, std::move(j3), "customer_address", 1e6, 4e6, 140 * kMB);
+    PlanNode j5 = DimJoin(c, std::move(j4), "item", 204000, 2e6, 60 * kMB);
+    if (promo) {
+      j5 = DimJoin(c, std::move(j5), "promotion", 1000, 500000, 0.2 * kMB);
+    }
+    return GroupAggregate(std::move(j5), 1);
+  };
+  PlanNode join = NestedLoopJoin(branch(true), branch(false), 1);
+  return Limit(std::move(join), 100);
+}
+
+// TPC-DS q62: web sales shipping-delay buckets — one small fact scan plus
+// modest random I/O; partially CPU-bound (one of the lightest templates).
+PlanNode BuildQ62(const Catalog& c) {
+  PlanNode ws = SeqScan(c.Get("web_sales"), 1.0, 72e6);
+  PlanNode wr = SeqScan(c.Get("web_returns"), 1.0, 7.2e6);
+  PlanNode j0 = HashJoin(std::move(wr), std::move(ws), 70e6, 90 * kMB);
+  PlanNode probe = IndexScan(c.Get("web_sales"), 75 * kMB, 700000);
+  PlanNode j1 = HashJoin(std::move(probe), std::move(j0), 70e6, 30 * kMB);
+  PlanNode j2 = DimJoin(c, std::move(j1), "warehouse", 15, 70e6, 0.1 * kMB);
+  PlanNode j3 = DimJoin(c, std::move(j2), "ship_mode", 20, 70e6, 0.1 * kMB);
+  PlanNode j4 = DimJoin(c, std::move(j3), "web_site", 24, 70e6, 0.1 * kMB);
+  PlanNode j5 = DimJoin(c, std::move(j4), "date_dim", 73049, 17e6, 8 * kMB);
+  PlanNode agg = GroupAggregate(Sort(std::move(j5), 30 * kMB), 1200);
+  return Limit(std::move(agg), 100);
+}
+
+// TPC-DS q65: lowest-revenue items per store — store_sales aggregated
+// twice with a heavy aggregate; the CPU is the limiting factor.
+PlanNode BuildQ65(const Catalog& c) {
+  PlanNode ss1 = SeqScan(c.Get("store_sales"), 1.0, 288e6);
+  PlanNode agg1 = HashAggregate(std::move(ss1), 70e6, 1.4 * kGB);
+  PlanNode ss2 = SeqScan(c.Get("store_sales"), 0.2, 58e6);
+  PlanNode agg2 = HashAggregate(std::move(ss2), 14e6, 200 * kMB);
+  PlanNode agg2b = GroupAggregate(std::move(agg2), 400);
+  PlanNode j1 = HashJoin(std::move(agg2b), std::move(agg1), 9e6, 1 * kMB);
+  PlanNode j2 = DimJoin(c, std::move(j1), "store", 402, 9e6, 0.1 * kMB);
+  PlanNode j3 = DimJoin(c, std::move(j2), "item", 204000, 9e6, 60 * kMB);
+  // The per-store min() recomputation is CPU-heavy.
+  PlanNode win = WindowAgg(std::move(j3), 9e6);
+  PlanNode win2 = WindowAgg(std::move(win), 9e6);
+  return Limit(Sort(std::move(win2), 120 * kMB), 100);
+}
+
+// TPC-DS q66: warehouse shipping volumes across web and catalog channels.
+PlanNode BuildQ66(const Catalog& c) {
+  auto channel = [&](const std::string& fact, double rows) {
+    PlanNode f = SeqScan(c.Get(fact), 1.0, rows);
+    PlanNode j1 = DimJoin(c, std::move(f), "warehouse", 15, rows / 3,
+                          0.1 * kMB);
+    PlanNode j2 = DimJoin(c, std::move(j1), "time_dim", 86400, rows / 6,
+                          12 * kMB);
+    PlanNode j3 = DimJoin(c, std::move(j2), "ship_mode", 20, rows / 12,
+                          0.1 * kMB);
+    PlanNode j4 =
+        DimJoin(c, std::move(j3), "date_dim", 73049, rows / 40, 8 * kMB);
+    return HashAggregate(std::move(j4), 20000, 130 * kMB);
+  };
+  PlanNode uni = Append(
+      {channel("web_sales", 72e6), channel("catalog_sales", 144e6)}, 40000);
+  PlanNode agg = HashAggregate(std::move(uni), 20000, 130 * kMB);
+  return Limit(Sort(std::move(agg), 15 * kMB), 100);
+}
+
+// TPC-DS q70: store revenue ranked within state (rollup + window sort).
+PlanNode BuildQ70(const Catalog& c) {
+  PlanNode ss = SeqScan(c.Get("store_sales"), 1.0, 288e6);
+  PlanNode j1 = DimJoin(c, std::move(ss), "date_dim", 73049, 72e6, 8 * kMB);
+  PlanNode j2 = DimJoin(c, std::move(j1), "store", 402, 72e6, 0.1 * kMB);
+  PlanNode agg = HashAggregate(std::move(j2), 30e6, 850 * kMB);
+  PlanNode win = WindowAgg(Sort(std::move(agg), 450 * kMB), 30e6);
+  return Limit(Sort(std::move(win), 450 * kMB), 100);
+}
+
+// TPC-DS q71: brand revenue by hour across all three channels; tiny
+// intermediates and negligible CPU — the archetypal I/O-bound template.
+PlanNode BuildQ71(const Catalog& c) {
+  auto channel = [&](const std::string& fact, double rows) {
+    PlanNode f = SeqScan(c.Get(fact), 1.0, rows);
+    return DimJoin(c, std::move(f), "date_dim", 73049, rows / 30, 8 * kMB);
+  };
+  PlanNode uni = Append({channel("store_sales", 288e6),
+                         channel("catalog_sales", 144e6),
+                         channel("web_sales", 72e6)},
+                        16.8e6);
+  PlanNode j1 = DimJoin(c, std::move(uni), "item", 204000, 1.7e6, 60 * kMB);
+  PlanNode j2 = DimJoin(c, std::move(j1), "time_dim", 86400, 850000, 12 * kMB);
+  PlanNode agg = HashAggregate(std::move(j2), 48000, 20 * kMB);
+  return Sort(std::move(agg), 6 * kMB);
+}
+
+// TPC-DS q79: customers with large in-store purchases on high-vehicle days.
+PlanNode BuildQ79(const Catalog& c) {
+  PlanNode ss = SeqScan(c.Get("store_sales"), 1.0, 288e6);
+  PlanNode j1 = DimJoin(c, std::move(ss), "household_demographics", 7200,
+                        58e6, 1 * kMB);
+  PlanNode j2 = DimJoin(c, std::move(j1), "date_dim", 73049, 14e6, 8 * kMB);
+  PlanNode j3 = DimJoin(c, std::move(j2), "store", 402, 14e6, 0.1 * kMB);
+  PlanNode agg = HashAggregate(std::move(j3), 5e6, 220 * kMB);
+  PlanNode j4 = DimJoin(c, std::move(agg), "customer", 2e6, 5e6, 280 * kMB);
+  return Limit(Sort(std::move(j4), 150 * kMB), 100);
+}
+
+// TPC-DS q82: items in stock within a price band that sold in stores —
+// scans inventory (shared with q22) plus store_sales.
+PlanNode BuildQ82(const Catalog& c) {
+  PlanNode inv = SeqScan(c.Get("inventory"), 1.0, 399e6);
+  PlanNode j1 = DimJoin(c, std::move(inv), "item", 204000, 40e6, 60 * kMB);
+  PlanNode j2 = DimJoin(c, std::move(j1), "date_dim", 73049, 10e6, 8 * kMB);
+  PlanNode ss = SeqScan(c.Get("store_sales"), 1.0, 288e6);
+  PlanNode j3 = HashJoin(std::move(j2), std::move(ss), 8e6, 180 * kMB);
+  PlanNode probe = IndexScan(c.Get("store_sales"), 100 * kMB, 900000);
+  PlanNode j4 = HashJoin(std::move(probe), std::move(j3), 4e6, 40 * kMB);
+  PlanNode agg = HashAggregate(std::move(j4), 9000, 900 * kMB);
+  return Limit(Sort(std::move(agg), 2 * kMB), 100);
+}
+
+// TPC-DS q90: morning-to-evening web order ratio — web_sales scanned twice.
+PlanNode BuildQ90(const Catalog& c) {
+  auto branch = [&]() {
+    PlanNode ws = SeqScan(c.Get("web_sales"), 1.0, 72e6);
+    PlanNode j1 = DimJoin(c, std::move(ws), "household_demographics", 7200,
+                          12e6, 1 * kMB);
+    PlanNode j2 = DimJoin(c, std::move(j1), "time_dim", 86400, 1.5e6,
+                          12 * kMB);
+    PlanNode j3 = DimJoin(c, std::move(j2), "web_page", 2040, 750000,
+                          0.5 * kMB);
+    return GroupAggregate(std::move(j3), 1);
+  };
+  PlanNode join = NestedLoopJoin(branch(), branch(), 1);
+  return Limit(Sort(std::move(join), 0.1 * kMB), 100);
+}
+
+}  // namespace
+
+std::vector<QueryTemplate> MakePaperTemplates() {
+  return {
+      {2, "q2", "weekly channel rollup; memory-intensive sort", BuildQ2},
+      {8, "q8", "store sales for preferred zips", BuildQ8},
+      {15, "q15", "catalog sales by zip/quarter", BuildQ15},
+      {17, "q17", "sales-with-returns chain; random I/O", BuildQ17},
+      {18, "q18", "catalog sales by demographics", BuildQ18},
+      {20, "q20", "catalog item class revenue", BuildQ20},
+      {22, "q22", "inventory rollup; memory-bound", BuildQ22},
+      {25, "q25", "sales/returns chain; random I/O", BuildQ25},
+      {26, "q26", "catalog averages for demographic; I/O-bound", BuildQ26},
+      {27, "q27", "store sales by item/state", BuildQ27},
+      {32, "q32", "catalog excess-discount lookup; random I/O", BuildQ32},
+      {33, "q33", "manufacturer revenue, 3 channels; I/O-bound", BuildQ33},
+      {40, "q40", "catalog sales vs returns by warehouse", BuildQ40},
+      {46, "q46", "household store sales by city; big sort", BuildQ46},
+      {56, "q56", "item revenue, 3 channels", BuildQ56},
+      {60, "q60", "category revenue, 3 channels", BuildQ60},
+      {61, "q61", "promo vs total revenue; double fact scan", BuildQ61},
+      {62, "q62", "web shipping-delay buckets; light", BuildQ62},
+      {65, "q65", "lowest-revenue items; CPU-limited", BuildQ65},
+      {66, "q66", "warehouse shipping volumes", BuildQ66},
+      {70, "q70", "store revenue ranked in state", BuildQ70},
+      {71, "q71", "brand revenue by hour; I/O-bound", BuildQ71},
+      {79, "q79", "large purchases on busy days", BuildQ79},
+      {82, "q82", "in-stock items sold; scans inventory", BuildQ82},
+      {90, "q90", "web AM/PM order ratio; double web scan", BuildQ90},
+  };
+}
+
+}  // namespace contender

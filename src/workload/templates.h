@@ -1,0 +1,42 @@
+// The 25-template analytical workload of the paper (§2, §6.1): TPC-DS-style
+// query templates of moderate running time, hand-modeled to match every
+// characteristic the paper documents:
+//   - templates 26, 33, 61, 71 are I/O-bound (>= 97% of isolated time on I/O);
+//   - templates 17, 25, 32 are dominated by random I/O (index scans);
+//   - templates 62, 65 are CPU-limited;
+//   - templates 2, 22 are memory-intensive with multi-GB working sets;
+//   - templates 22 and 82 share a scan of the `inventory` fact table;
+//   - template 62 has one fact scan, small intermediates, ~87% I/O;
+//   - isolated latencies span roughly 2-9 minutes.
+
+#ifndef CONTENDER_WORKLOAD_TEMPLATES_H_
+#define CONTENDER_WORKLOAD_TEMPLATES_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "workload/query_plan.h"
+
+namespace contender {
+
+/// A parameterized query class. Instances share the plan structure and
+/// differ in their predicate parameters (InstanceParams at compile time).
+struct QueryTemplate {
+  /// Paper template number (TPC-DS query id).
+  int id = 0;
+  std::string name;
+  std::string description;
+  /// Builds the nominal (optimizer-estimate) plan.
+  std::function<PlanNode(const Catalog&)> build;
+};
+
+/// The paper's 25 templates:
+/// {2, 8, 15, 17, 18, 20, 22, 25, 26, 27, 32, 33, 40, 46, 56, 60, 61, 62,
+///  65, 66, 70, 71, 79, 82, 90}.
+std::vector<QueryTemplate> MakePaperTemplates();
+
+}  // namespace contender
+
+#endif  // CONTENDER_WORKLOAD_TEMPLATES_H_

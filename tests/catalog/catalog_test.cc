@@ -1,0 +1,75 @@
+#include "catalog/catalog.h"
+
+#include <gtest/gtest.h>
+#include <set>
+
+#include "sim/config.h"
+
+namespace contender {
+namespace {
+
+TEST(CatalogTest, TpcDsHasSevenFactTables) {
+  Catalog c = Catalog::TpcDs100();
+  auto facts = c.FactTables();
+  EXPECT_EQ(facts.size(), 7u);
+  std::set<std::string> names;
+  for (const TableDef& t : facts) names.insert(t.name);
+  EXPECT_TRUE(names.count("store_sales"));
+  EXPECT_TRUE(names.count("catalog_sales"));
+  EXPECT_TRUE(names.count("web_sales"));
+  EXPECT_TRUE(names.count("inventory"));
+}
+
+TEST(CatalogTest, LookupByNameAndId) {
+  Catalog c = Catalog::TpcDs100();
+  auto ss = c.FindByName("store_sales");
+  ASSERT_TRUE(ss.ok());
+  EXPECT_TRUE(ss->is_fact);
+  auto by_id = c.FindById(ss->id);
+  ASSERT_TRUE(by_id.ok());
+  EXPECT_EQ(by_id->name, "store_sales");
+}
+
+TEST(CatalogTest, MissingLookupsFail) {
+  Catalog c = Catalog::TpcDs100();
+  EXPECT_FALSE(c.FindByName("no_such_table").ok());
+  EXPECT_FALSE(c.FindById(-1).ok());
+  EXPECT_FALSE(c.FindById(10000).ok());
+}
+
+TEST(CatalogTest, IdsAreDenseAndOrdered) {
+  Catalog c = Catalog::TpcDs100();
+  for (size_t i = 0; i < c.tables().size(); ++i) {
+    EXPECT_EQ(c.tables()[i].id, static_cast<sim::TableId>(i));
+  }
+}
+
+TEST(CatalogTest, SizesApproximateScaleFactor100) {
+  Catalog c = Catalog::TpcDs100();
+  // store_sales dominates and the whole database lands near ~100 GB raw
+  // (heap sizes run somewhat smaller than the 100 GB raw scale).
+  EXPECT_GT(c.Get("store_sales").bytes, 30.0 * sim::kGB);
+  EXPECT_GT(c.TotalBytes(), 60.0 * sim::kGB);
+  EXPECT_LT(c.TotalBytes(), 120.0 * sim::kGB);
+  // Facts dwarf dimensions.
+  EXPECT_GT(c.Get("store_sales").bytes, 20.0 * c.Get("customer").bytes);
+}
+
+TEST(CatalogTest, DimensionsAreCacheableSized) {
+  Catalog c = Catalog::TpcDs100();
+  for (const TableDef& t : c.tables()) {
+    if (!t.is_fact) {
+      EXPECT_LT(t.bytes, 2.0 * sim::kGB) << t.name;
+    }
+  }
+}
+
+TEST(CatalogTest, CustomCatalogAssignsIds) {
+  Catalog c({{0, "a", 10.0, 1, false}, {0, "b", 20.0, 2, true}});
+  EXPECT_EQ(c.Get("a").id, 0);
+  EXPECT_EQ(c.Get("b").id, 1);
+  EXPECT_EQ(c.FactTables().size(), 1u);
+}
+
+}  // namespace
+}  // namespace contender

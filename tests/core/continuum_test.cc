@@ -1,0 +1,42 @@
+#include "core/continuum.h"
+
+#include <gtest/gtest.h>
+
+namespace contender {
+namespace {
+
+TEST(ContinuumTest, EndpointsMapToZeroAndOne) {
+  EXPECT_DOUBLE_EQ(*ContinuumPoint(100.0, 100.0, 300.0), 0.0);
+  EXPECT_DOUBLE_EQ(*ContinuumPoint(300.0, 100.0, 300.0), 1.0);
+  EXPECT_DOUBLE_EQ(*ContinuumPoint(200.0, 100.0, 300.0), 0.5);
+}
+
+TEST(ContinuumTest, ValuesOutsideRangeAreNotClamped) {
+  // Positive interactions can push observations below l_min (§5.3).
+  EXPECT_LT(*ContinuumPoint(90.0, 100.0, 300.0), 0.0);
+  EXPECT_GT(*ContinuumPoint(310.0, 100.0, 300.0), 1.0);
+}
+
+TEST(ContinuumTest, RoundTrip) {
+  for (double latency : {120.0, 180.0, 299.0}) {
+    const double point = *ContinuumPoint(latency, 100.0, 300.0);
+    EXPECT_NEAR(*LatencyFromContinuum(point, 100.0, 300.0), latency, 1e-12);
+  }
+}
+
+TEST(ContinuumTest, RejectsDegenerateRange) {
+  EXPECT_FALSE(ContinuumPoint(1.0, 0.0, 10.0).ok());
+  EXPECT_FALSE(ContinuumPoint(1.0, 10.0, 10.0).ok());
+  EXPECT_FALSE(ContinuumPoint(1.0, 10.0, 5.0).ok());
+  EXPECT_FALSE(LatencyFromContinuum(0.5, 10.0, 5.0).ok());
+}
+
+TEST(ContinuumTest, OutlierRuleAt105Percent) {
+  // §6.1: latency beyond 105% of the spoiler exceeds the continuum.
+  EXPECT_FALSE(ExceedsContinuum(104.0, 100.0));
+  EXPECT_FALSE(ExceedsContinuum(105.0, 100.0));
+  EXPECT_TRUE(ExceedsContinuum(105.1, 100.0));
+}
+
+}  // namespace
+}  // namespace contender

@@ -1,0 +1,90 @@
+#include "core/ml_baseline.h"
+
+#include <gtest/gtest.h>
+
+#include "core/plan_features.h"
+#include "ml/kfold.h"
+#include "test_support.h"
+
+namespace contender {
+namespace {
+
+using testing::PaperWorkload;
+using testing::SharedTrainingData;
+
+// A reduced dataset (MPL 2 only) keeps the KCCA eigenproblem small.
+const MlDataset& Mpl2Dataset() {
+  static const MlDataset* data = [] {
+    std::vector<MixObservation> mpl2;
+    for (const MixObservation& o : SharedTrainingData().observations) {
+      if (o.mpl == 2) mpl2.push_back(o);
+    }
+    return new MlDataset(BuildMlDataset(PaperWorkload(), mpl2));
+  }();
+  return *data;
+}
+
+TEST(MlBaselineTest, DatasetShape) {
+  const MlDataset& data = Mpl2Dataset();
+  EXPECT_EQ(data.features.size(), 650u);  // 325 pairs x 2 streams
+  EXPECT_EQ(data.latencies.size(), data.features.size());
+  EXPECT_EQ(data.primary_index.size(), data.features.size());
+  PlanFeatureExtractor extractor(&PaperWorkload().catalog());
+  for (const Vector& f : data.features) {
+    EXPECT_EQ(f.size(), extractor.mix_feature_dim());
+  }
+}
+
+TEST(MlBaselineTest, StaticWorkloadSplitEvaluates) {
+  const MlDataset& data = Mpl2Dataset();
+  // Mix-level split (same templates both sides), ~3:1 as in §3.
+  Rng rng(3);
+  std::vector<size_t> train, test;
+  for (size_t i = 0; i < data.features.size(); ++i) {
+    (rng.Uniform01() < 0.75 ? train : test).push_back(i);
+  }
+  auto svm = EvaluateSvmMre(data, train, test);
+  ASSERT_TRUE(svm.ok());
+  // Static workloads are learnable: clearly better than a naive +/-100%.
+  EXPECT_LT(*svm, 0.45);
+  EXPECT_GT(*svm, 0.0);
+}
+
+TEST(MlBaselineTest, KccaStaticSplitEvaluates) {
+  const MlDataset& data = Mpl2Dataset();
+  // Subsample to keep the 2n x 2n eigenproblem quick.
+  Rng rng(5);
+  std::vector<size_t> train, test;
+  for (size_t i = 0; i < data.features.size(); ++i) {
+    const double u = rng.Uniform01();
+    if (u < 0.25) {
+      train.push_back(i);
+    } else if (u < 0.33) {
+      test.push_back(i);
+    }
+  }
+  auto kcca = EvaluateKccaMre(data, train, test);
+  ASSERT_TRUE(kcca.ok());
+  EXPECT_LT(*kcca, 0.6);
+}
+
+TEST(MlBaselineTest, NewTemplateEvaluationHoldsOutPrimary) {
+  const Workload& w = PaperWorkload();
+  const MlDataset& data = Mpl2Dataset();
+  const int held_out = w.IndexOfId(62);
+  auto result = EvaluateNewTemplateMl(w, data, held_out);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->template_id, 62);
+  EXPECT_GT(result->test_examples, 0);
+  EXPECT_GT(result->kcca_mre, 0.0);
+  EXPECT_GT(result->svm_mre, 0.0);
+}
+
+TEST(MlBaselineTest, HeldOutTemplateWithNoObservationsFails) {
+  const Workload& w = PaperWorkload();
+  MlDataset empty;
+  EXPECT_FALSE(EvaluateNewTemplateMl(w, empty, 0).ok());
+}
+
+}  // namespace
+}  // namespace contender

@@ -1,0 +1,72 @@
+#include "core/plan_features.h"
+
+#include <gtest/gtest.h>
+
+#include "test_support.h"
+
+namespace contender {
+namespace {
+
+TEST(PlanFeaturesTest, DimensionsMatchSchema) {
+  Catalog c = Catalog::TpcDs100();
+  PlanFeatureExtractor extractor(&c);
+  const size_t expected = 2 * static_cast<size_t>(PlanNodeType::kNumTypes) +
+                          2 * c.tables().size();
+  EXPECT_EQ(extractor.query_feature_dim(), expected);
+  EXPECT_EQ(extractor.mix_feature_dim(), 2 * expected);
+}
+
+TEST(PlanFeaturesTest, CountsAndCardinalities) {
+  Catalog c = Catalog::TpcDs100();
+  PlanFeatureExtractor extractor(&c);
+  PlanNode plan = HashJoin(SeqScan(c.Get("item"), 1.0, 100.0),
+                           SeqScan(c.Get("store_sales"), 1.0, 200.0), 150.0,
+                           1e6);
+  Vector f = extractor.ExtractQueryFeatures(plan);
+  const size_t seq = 2 * static_cast<size_t>(PlanNodeType::kSeqScan);
+  const size_t hash = 2 * static_cast<size_t>(PlanNodeType::kHash);
+  const size_t join = 2 * static_cast<size_t>(PlanNodeType::kHashJoin);
+  EXPECT_DOUBLE_EQ(f[seq], 2.0);          // two seq scans
+  EXPECT_DOUBLE_EQ(f[seq + 1], 300.0);    // summed scan cardinalities
+  EXPECT_DOUBLE_EQ(f[hash], 1.0);
+  EXPECT_DOUBLE_EQ(f[join], 1.0);
+  EXPECT_DOUBLE_EQ(f[join + 1], 150.0);
+
+  // Per-table features: one scan each on item and store_sales.
+  const size_t base = 2 * static_cast<size_t>(PlanNodeType::kNumTypes);
+  const size_t item = base + 2 * static_cast<size_t>(c.Get("item").id);
+  const size_t ss = base + 2 * static_cast<size_t>(c.Get("store_sales").id);
+  EXPECT_DOUBLE_EQ(f[item], 1.0);
+  EXPECT_DOUBLE_EQ(f[item + 1], 100.0);
+  EXPECT_DOUBLE_EQ(f[ss], 1.0);
+  EXPECT_DOUBLE_EQ(f[ss + 1], 200.0);
+}
+
+TEST(PlanFeaturesTest, MixFeaturesConcatenatePrimaryAndSummedConcurrent) {
+  Catalog c = Catalog::TpcDs100();
+  PlanFeatureExtractor extractor(&c);
+  PlanNode primary = SeqScan(c.Get("store_sales"), 1.0, 10.0);
+  PlanNode conc1 = SeqScan(c.Get("catalog_sales"), 1.0, 20.0);
+  PlanNode conc2 = SeqScan(c.Get("catalog_sales"), 1.0, 30.0);
+  Vector mix = extractor.ExtractMixFeatures(primary, {&conc1, &conc2});
+  ASSERT_EQ(mix.size(), extractor.mix_feature_dim());
+  const size_t d = extractor.query_feature_dim();
+  const size_t seq = 2 * static_cast<size_t>(PlanNodeType::kSeqScan);
+  EXPECT_DOUBLE_EQ(mix[seq], 1.0);            // primary scan count
+  EXPECT_DOUBLE_EQ(mix[seq + 1], 10.0);       // primary rows
+  EXPECT_DOUBLE_EQ(mix[d + seq], 2.0);        // concurrent scan count
+  EXPECT_DOUBLE_EQ(mix[d + seq + 1], 50.0);   // concurrent summed rows
+}
+
+TEST(PlanFeaturesTest, DistinguishesTemplatesInPaperWorkload) {
+  const Workload& w = testing::PaperWorkload();
+  PlanFeatureExtractor extractor(&w.catalog());
+  std::set<Vector> distinct;
+  for (int i = 0; i < w.size(); ++i) {
+    distinct.insert(extractor.ExtractQueryFeatures(w.NominalPlan(i)));
+  }
+  EXPECT_EQ(distinct.size(), static_cast<size_t>(w.size()));
+}
+
+}  // namespace
+}  // namespace contender

@@ -1,0 +1,162 @@
+#include "core/predictor.h"
+
+#include <gtest/gtest.h>
+
+#include "math/metrics.h"
+#include "test_support.h"
+
+namespace contender {
+namespace {
+
+using testing::SharedTrainingData;
+
+const ContenderPredictor& SharedPredictor() {
+  static const ContenderPredictor* predictor = [] {
+    const TrainingData& data = SharedTrainingData();
+    ContenderPredictor::Options opts;
+    auto trained = ContenderPredictor::Train(data.profiles, data.scan_times,
+                                             data.observations, opts);
+    CONTENDER_CHECK(trained.ok()) << trained.status();
+    return new ContenderPredictor(std::move(*trained));
+  }();
+  return *predictor;
+}
+
+TEST(PredictorTest, TrainBuildsModelsAtEveryMpl) {
+  const ContenderPredictor& p = SharedPredictor();
+  for (int mpl : {2, 3, 4, 5}) {
+    auto models = p.ReferenceModels(mpl);
+    ASSERT_TRUE(models.ok());
+    EXPECT_EQ(models->size(), 25u);
+    EXPECT_TRUE(p.TransferModel(mpl).ok());
+  }
+  EXPECT_FALSE(p.ReferenceModels(7).ok());
+  EXPECT_FALSE(p.TransferModel(7).ok());
+}
+
+TEST(PredictorTest, TrainRejectsTinyWorkload) {
+  const TrainingData& data = SharedTrainingData();
+  std::vector<TemplateProfile> few(data.profiles.begin(),
+                                   data.profiles.begin() + 2);
+  EXPECT_FALSE(ContenderPredictor::Train(few, data.scan_times,
+                                         data.observations,
+                                         ContenderPredictor::Options{})
+                   .ok());
+}
+
+TEST(PredictorTest, KnownPredictionsAreReasonable) {
+  const ContenderPredictor& p = SharedPredictor();
+  const TrainingData& data = SharedTrainingData();
+  std::vector<double> observed, predicted;
+  for (const MixObservation& obs : data.observations) {
+    if (obs.mpl != 2) continue;
+    auto pred = p.PredictKnown(obs.primary_index, obs.concurrent_indices);
+    if (!pred.ok()) continue;
+    observed.push_back(obs.latency);
+    predicted.push_back(*pred);
+  }
+  ASSERT_GT(observed.size(), 500u);
+  // In-sample MRE must be solidly below the paper's 19% known-template
+  // figure; the simulator is cleaner than a production DBMS.
+  EXPECT_LT(MeanRelativeError(observed, predicted), 0.19);
+}
+
+TEST(PredictorTest, PredictionsRespondToContention) {
+  const ContenderPredictor& p = SharedPredictor();
+  const TrainingData& data = SharedTrainingData();
+  const Workload& w = testing::PaperWorkload();
+  // q71 (I/O-bound): an I/O-hungry disjoint partner (q27, store_sales is
+  // shared though... use q22's index: inventory+cpu, low I/O) should hurt
+  // less than a fully competing disjoint partner.
+  const int q71 = w.IndexOfId(71);
+  const int q22 = w.IndexOfId(22);
+  const int q17 = w.IndexOfId(17);  // random I/O heavy, mostly disjoint
+  auto light = p.PredictKnown(q71, {q22});
+  auto heavy = p.PredictKnown(q71, {q17});
+  ASSERT_TRUE(light.ok());
+  ASSERT_TRUE(heavy.ok());
+  EXPECT_LT(*light, *heavy);
+  // Both exceed isolation.
+  EXPECT_GT(*light,
+            data.profiles[static_cast<size_t>(q71)].isolated_latency * 0.9);
+}
+
+TEST(PredictorTest, SharedScanPartnerPredictedFasterThanDisjoint) {
+  const ContenderPredictor& p = SharedPredictor();
+  const Workload& w = testing::PaperWorkload();
+  const int q26 = w.IndexOfId(26);  // catalog_sales only
+  const int q20 = w.IndexOfId(20);  // catalog_sales only (shares scan)
+  const int q27 = w.IndexOfId(27);  // store_sales (disjoint)
+  auto shared = p.PredictKnown(q26, {q20});
+  auto disjoint = p.PredictKnown(q26, {q27});
+  ASSERT_TRUE(shared.ok());
+  ASSERT_TRUE(disjoint.ok());
+  EXPECT_LT(*shared, *disjoint);
+}
+
+TEST(PredictorTest, PredictKnownValidatesArguments) {
+  const ContenderPredictor& p = SharedPredictor();
+  EXPECT_FALSE(p.PredictKnown(-1, {0}).ok());
+  EXPECT_FALSE(p.PredictKnown(999, {0}).ok());
+  EXPECT_FALSE(p.PredictKnown(0, {999}).ok());
+  // MPL 7 has no reference models.
+  EXPECT_FALSE(p.PredictKnown(0, {1, 2, 3, 4, 5, 6}).ok());
+}
+
+TEST(PredictorTest, PredictNewWithMeasuredSpoiler) {
+  const ContenderPredictor& p = SharedPredictor();
+  const TrainingData& data = SharedTrainingData();
+  // Treat q26's profile as a "new" template.
+  const TemplateProfile& profile = testing::ProfileById(data, 26);
+  auto pred = p.PredictNew(profile, {0, 1, 2}, SpoilerSource::kMeasured);
+  ASSERT_TRUE(pred.ok());
+  EXPECT_GT(*pred, 0.5 * profile.isolated_latency);
+  EXPECT_LT(*pred, 1.2 * profile.spoiler_latency.at(4));
+}
+
+TEST(PredictorTest, PredictNewWithKnnSpoiler) {
+  const ContenderPredictor& p = SharedPredictor();
+  const TrainingData& data = SharedTrainingData();
+  TemplateProfile profile = testing::ProfileById(data, 26);
+  profile.spoiler_latency.clear();  // constant-time path needs none
+  auto pred = p.PredictNew(profile, {0, 1}, SpoilerSource::kKnnPredicted);
+  ASSERT_TRUE(pred.ok());
+  EXPECT_GT(*pred, 0.0);
+  // Measured path fails without spoiler latencies.
+  EXPECT_FALSE(p.PredictNew(profile, {0, 1}, SpoilerSource::kMeasured).ok());
+}
+
+TEST(PredictorTest, KnnSpoilerPredictionTracksMeasured) {
+  const ContenderPredictor& p = SharedPredictor();
+  const TrainingData& data = SharedTrainingData();
+  std::vector<double> observed, predicted;
+  for (const TemplateProfile& profile : data.profiles) {
+    for (int mpl : {2, 3, 4, 5}) {
+      auto pred = p.PredictSpoilerLatency(profile, mpl);
+      ASSERT_TRUE(pred.ok());
+      observed.push_back(profile.spoiler_latency.at(mpl));
+      predicted.push_back(*pred);
+    }
+  }
+  // In-sample: the template itself is among the KNN references, so error
+  // stays moderate.
+  EXPECT_LT(MeanRelativeError(observed, predicted), 0.35);
+}
+
+TEST(PredictorTest, UnknownYVariantUsesOwnSlope) {
+  const ContenderPredictor& p = SharedPredictor();
+  const TrainingData& data = SharedTrainingData();
+  const Workload& w = testing::PaperWorkload();
+  const int q26 = w.IndexOfId(26);
+  auto models = p.ReferenceModels(2);
+  ASSERT_TRUE(models.ok());
+  const double own_slope = models->at(q26).slope;
+  const TemplateProfile& profile = testing::ProfileById(data, 26);
+  auto pred = p.PredictNewWithKnownSlope(profile, {0}, own_slope,
+                                         SpoilerSource::kMeasured);
+  ASSERT_TRUE(pred.ok());
+  EXPECT_GT(*pred, 0.0);
+}
+
+}  // namespace
+}  // namespace contender

@@ -1,0 +1,102 @@
+#include "core/qs_transfer.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace contender {
+namespace {
+
+// Planted relations: slope = -0.001 * lmin + 1.0; intercept = -0.5*slope
+// + 0.3 (the Fig. 4 coefficient relationship).
+std::pair<std::vector<TemplateProfile>, std::map<int, QsModel>>
+PlantedReferences(int n, double noise, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<TemplateProfile> profiles;
+  std::map<int, QsModel> models;
+  for (int i = 0; i < n; ++i) {
+    TemplateProfile p;
+    p.template_index = i;
+    p.isolated_latency = rng.Uniform(100.0, 900.0);
+    profiles.push_back(p);
+    QsModel m;
+    m.slope = -0.001 * p.isolated_latency + 1.0 + rng.Normal(0.0, noise);
+    m.intercept = -0.5 * m.slope + 0.3 + rng.Normal(0.0, noise);
+    models[i] = m;
+  }
+  return {profiles, models};
+}
+
+TEST(QsTransferTest, RecoversPlantedRelationsExactly) {
+  auto [profiles, models] = PlantedReferences(10, 0.0, 3);
+  auto transfer = QsTransferModel::Fit(profiles, models);
+  ASSERT_TRUE(transfer.ok());
+  EXPECT_NEAR(transfer->slope_fit().slope, -0.001, 1e-9);
+  EXPECT_NEAR(transfer->slope_fit().intercept, 1.0, 1e-9);
+  EXPECT_NEAR(transfer->intercept_fit().slope, -0.5, 1e-9);
+  EXPECT_NEAR(transfer->intercept_fit().intercept, 0.3, 1e-9);
+
+  // Unknown-QS prediction for a new template at lmin = 500.
+  QsModel qs = transfer->PredictFromIsolatedLatency(500.0);
+  EXPECT_NEAR(qs.slope, 0.5, 1e-9);
+  EXPECT_NEAR(qs.intercept, 0.05, 1e-9);
+}
+
+TEST(QsTransferTest, UnknownYUsesSuppliedSlope) {
+  auto [profiles, models] = PlantedReferences(10, 0.0, 4);
+  auto transfer = QsTransferModel::Fit(profiles, models);
+  ASSERT_TRUE(transfer.ok());
+  QsModel qs = transfer->PredictInterceptFromSlope(0.8);
+  EXPECT_DOUBLE_EQ(qs.slope, 0.8);
+  EXPECT_NEAR(qs.intercept, -0.5 * 0.8 + 0.3, 1e-9);
+}
+
+TEST(QsTransferTest, ToleratesNoise) {
+  auto [profiles, models] = PlantedReferences(25, 0.05, 5);
+  auto transfer = QsTransferModel::Fit(profiles, models);
+  ASSERT_TRUE(transfer.ok());
+  EXPECT_NEAR(transfer->slope_fit().slope, -0.001, 3e-4);
+}
+
+TEST(QsTransferTest, NeedsAtLeastThreeReferences) {
+  auto [profiles, models] = PlantedReferences(2, 0.0, 6);
+  EXPECT_FALSE(QsTransferModel::Fit(profiles, models).ok());
+}
+
+TEST(QsTransferTest, RejectsBadIndices) {
+  auto [profiles, models] = PlantedReferences(5, 0.0, 7);
+  models[99] = QsModel{};
+  EXPECT_FALSE(QsTransferModel::Fit(profiles, models).ok());
+}
+
+TEST(QsTransferTest, FeatureCorrelationSignsAndRange) {
+  auto [profiles, models] = PlantedReferences(20, 0.02, 8);
+  // Fill other features with noise so they correlate weakly.
+  Rng rng(9);
+  for (TemplateProfile& p : profiles) {
+    p.io_fraction = rng.Uniform(0.3, 1.0);
+    p.working_set_bytes = rng.Uniform(1e7, 4e9);
+    p.plan_steps = static_cast<int>(rng.UniformInt(int64_t{5}, int64_t{40}));
+    p.records_accessed = rng.Uniform(1e6, 1e9);
+    p.spoiler_latency[2] = p.isolated_latency * rng.Uniform(1.5, 2.5);
+  }
+  auto correlations = CorrelateFeaturesWithQs(profiles, models, 2);
+  ASSERT_EQ(correlations.size(), 7u);
+  for (const FeatureCorrelation& fc : correlations) {
+    EXPECT_GE(fc.r2_intercept, -1.0);
+    EXPECT_LE(fc.r2_intercept, 1.0);
+    EXPECT_GE(fc.r2_slope, -1.0);
+    EXPECT_LE(fc.r2_slope, 1.0);
+  }
+  // Isolated latency was planted as the slope driver: strongest signed
+  // negative correlation with slope.
+  const FeatureCorrelation* iso = nullptr;
+  for (const auto& fc : correlations) {
+    if (fc.feature == "Isolated latency") iso = &fc;
+  }
+  ASSERT_NE(iso, nullptr);
+  EXPECT_LT(iso->r2_slope, -0.8);
+}
+
+}  // namespace
+}  // namespace contender

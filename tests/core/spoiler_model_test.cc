@@ -1,0 +1,117 @@
+#include "core/spoiler_model.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace contender {
+namespace {
+
+TemplateProfile MakeProfile(double lmin, double growth_slope,
+                            double growth_intercept, double ws, double pt) {
+  TemplateProfile p;
+  p.isolated_latency = lmin;
+  p.working_set_bytes = ws;
+  p.io_fraction = pt;
+  for (int mpl = 2; mpl <= 5; ++mpl) {
+    p.spoiler_latency[mpl] = (growth_slope * mpl + growth_intercept) * lmin;
+  }
+  return p;
+}
+
+TEST(SpoilerGrowthTest, FitsPlantedLinearGrowth) {
+  // Slowdown(n) = 1.2 n - 0.2 (so slowdown(1) = 1, consistent with lmin).
+  TemplateProfile p = MakeProfile(200.0, 1.2, -0.2, 1e8, 0.9);
+  auto model = FitSpoilerGrowth(p, {1, 2, 3, 4, 5});
+  ASSERT_TRUE(model.ok());
+  EXPECT_NEAR(model->slope, 1.2, 1e-9);
+  EXPECT_NEAR(model->intercept, -0.2, 1e-9);
+  EXPECT_NEAR(model->r_squared, 1.0, 1e-9);
+  EXPECT_NEAR(model->PredictLatency(4, 200.0), (1.2 * 4 - 0.2) * 200.0,
+              1e-6);
+}
+
+TEST(SpoilerGrowthTest, ExtrapolatesFromLowMpls) {
+  // Paper §5.5: train on MPLs 1–3, predict 4–5 within ~8%.
+  TemplateProfile p = MakeProfile(150.0, 1.1, -0.1, 1e8, 0.95);
+  auto model = FitSpoilerGrowth(p, {1, 2, 3});
+  ASSERT_TRUE(model.ok());
+  for (int mpl : {4, 5}) {
+    const double predicted = model->PredictLatency(mpl, 150.0);
+    const double actual = p.spoiler_latency.at(mpl);
+    EXPECT_NEAR(predicted, actual, 0.08 * actual);
+  }
+}
+
+TEST(SpoilerGrowthTest, RejectsInsufficientData) {
+  TemplateProfile p;
+  p.isolated_latency = 100.0;
+  EXPECT_FALSE(FitSpoilerGrowth(p, {2, 3}).ok());  // no spoiler latencies
+  EXPECT_FALSE(FitSpoilerGrowth(p, {1}).ok());     // single point
+  p.isolated_latency = 0.0;
+  EXPECT_FALSE(FitSpoilerGrowth(p, {1, 2}).ok());
+}
+
+// Two clusters of templates with distinct growth regimes; a new template
+// near a cluster must inherit that cluster's coefficients.
+TEST(KnnSpoilerTest, PredictsFromNearestCluster) {
+  std::vector<TemplateProfile> refs;
+  // Cluster A: small working sets, I/O-bound, growth slope ~1.2.
+  for (int i = 0; i < 4; ++i) {
+    refs.push_back(MakeProfile(100.0 + i * 50.0, 1.2, -0.2, 5e7 + i * 1e7,
+                               0.95));
+  }
+  // Cluster B: multi-GB working sets, CPU-bound, growth slope ~3.0.
+  for (int i = 0; i < 4; ++i) {
+    refs.push_back(MakeProfile(200.0 + i * 50.0, 3.0, -2.0, 3e9 + i * 2e8,
+                               0.4));
+  }
+  KnnSpoilerPredictor::Options opts;
+  opts.k = 3;
+  auto predictor = KnnSpoilerPredictor::Fit(refs, opts);
+  ASSERT_TRUE(predictor.ok());
+
+  TemplateProfile light = MakeProfile(120.0, 0.0, 0.0, 6e7, 0.93);
+  auto growth = predictor->PredictGrowthModel(light);
+  ASSERT_TRUE(growth.ok());
+  EXPECT_NEAR(growth->slope, 1.2, 1e-9);
+
+  TemplateProfile heavy = MakeProfile(300.0, 0.0, 0.0, 3.4e9, 0.45);
+  growth = predictor->PredictGrowthModel(heavy);
+  ASSERT_TRUE(growth.ok());
+  EXPECT_NEAR(growth->slope, 3.0, 1e-9);
+
+  auto lmax = predictor->Predict(heavy, 5);
+  ASSERT_TRUE(lmax.ok());
+  EXPECT_NEAR(*lmax, (3.0 * 5 - 2.0) * 300.0, 1e-6);
+}
+
+TEST(KnnSpoilerTest, RequiresEnoughReferences) {
+  std::vector<TemplateProfile> refs = {MakeProfile(100.0, 1.0, 0.0, 1e8,
+                                                   0.9)};
+  KnnSpoilerPredictor::Options opts;
+  opts.k = 3;
+  EXPECT_FALSE(KnnSpoilerPredictor::Fit(refs, opts).ok());
+}
+
+TEST(IoTimeSpoilerTest, RegressesGrowthOnIoFraction) {
+  // Plant growth slope = 2 * p_t, intercept = 0 (plus slowdown-at-1 = 1
+  // isn't enforced here; the regression is purely on the planted data).
+  std::vector<TemplateProfile> refs;
+  Rng rng(11);
+  for (int i = 0; i < 10; ++i) {
+    const double pt = 0.3 + 0.07 * i;
+    refs.push_back(MakeProfile(100.0 + 20.0 * i, 2.0 * pt, 0.0, 1e8, pt));
+  }
+  auto predictor = IoTimeSpoilerPredictor::Fit(refs, {1, 2, 3, 4, 5});
+  ASSERT_TRUE(predictor.ok());
+  TemplateProfile target = MakeProfile(500.0, 0.0, 0.0, 1e8, 0.8);
+  auto lmax = predictor->Predict(target, 4);
+  ASSERT_TRUE(lmax.ok());
+  // Planted: slowdown(4) = 2*0.8*4 = 6.4. The fit also sees the (1, 1)
+  // isolated anchor point, so allow slack.
+  EXPECT_NEAR(*lmax / 500.0, 6.4, 1.2);
+}
+
+}  // namespace
+}  // namespace contender

@@ -1,0 +1,234 @@
+// Integration tests asserting the qualitative shape of the paper's
+// headline results on the full pipeline. Magnitudes are simulator-specific;
+// orderings and directions are the paper's.
+
+#include <gtest/gtest.h>
+
+#include "core/predictor.h"
+#include "core/qs_model.h"
+#include "core/spoiler_model.h"
+#include "math/metrics.h"
+#include "test_support.h"
+
+namespace contender {
+namespace {
+
+using testing::PaperWorkload;
+using testing::ProfileById;
+using testing::SharedTrainingData;
+
+double VariantMre(CqiVariant variant) {
+  const TrainingData& data = SharedTrainingData();
+  std::vector<double> observed, predicted;
+  for (int mpl : {2, 3, 4, 5}) {
+    auto models = FitReferenceModels(data.profiles, data.scan_times,
+                                     data.observations, mpl, variant);
+    CONTENDER_CHECK(models.ok());
+    for (const auto& [t, model] : *models) {
+      auto set = BuildQsTrainingSet(data.profiles, data.scan_times,
+                                    data.observations, t, mpl, variant);
+      CONTENDER_CHECK(set.ok());
+      const TemplateProfile& p = data.profiles[static_cast<size_t>(t)];
+      for (size_t i = 0; i < set->cqi.size(); ++i) {
+        const double point = model.PredictContinuum(set->cqi[i]);
+        observed.push_back(set->latency[i]);
+        predicted.push_back(point * (p.spoiler_latency.at(mpl) -
+                                     p.isolated_latency) +
+                            p.isolated_latency);
+      }
+    }
+  }
+  return MeanRelativeError(observed, predicted);
+}
+
+// Table 2: Baseline I/O > Positive I/O >= CQI, and all below ~30%.
+TEST(ReproductionTest, Table2VariantOrdering) {
+  const double baseline = VariantMre(CqiVariant::kBaselineIo);
+  const double positive = VariantMre(CqiVariant::kPositiveIo);
+  const double full = VariantMre(CqiVariant::kFull);
+  EXPECT_GT(baseline, positive);
+  EXPECT_GE(positive + 0.01, full);  // CQI at least matches Positive I/O
+  EXPECT_LT(full, 0.30);
+}
+
+// §4 headline: CQI is highly correlated with concurrent latency.
+TEST(ReproductionTest, CqiCorrelatesWithLatency) {
+  const TrainingData& data = SharedTrainingData();
+  auto models = FitReferenceModels(data.profiles, data.scan_times,
+                                   data.observations, 2);
+  ASSERT_TRUE(models.ok());
+  double mean_r2 = 0.0;
+  for (const auto& [t, model] : *models) mean_r2 += model.r_squared;
+  mean_r2 /= static_cast<double>(models->size());
+  EXPECT_GT(mean_r2, 0.5);
+}
+
+// Fig. 6: the three spoiler growth regimes — q62 grows slowest, q71
+// linearly in between, q22 (memory-bound) much faster; all near-linear
+// except where spills kick in.
+TEST(ReproductionTest, Fig6SpoilerGrowthRegimes) {
+  const TrainingData& data = SharedTrainingData();
+  const TemplateProfile& q62 = ProfileById(data, 62);
+  const TemplateProfile& q71 = ProfileById(data, 71);
+  const TemplateProfile& q22 = ProfileById(data, 22);
+  auto slowdown5 = [](const TemplateProfile& p) {
+    return p.spoiler_latency.at(5) / p.isolated_latency;
+  };
+  EXPECT_LT(slowdown5(q62), slowdown5(q71));
+  EXPECT_GT(slowdown5(q22), 2.0 * slowdown5(q71));
+  // Absolute ordering at MPL 5 matches the figure: q22 on top.
+  EXPECT_GT(q22.spoiler_latency.at(5), q71.spoiler_latency.at(5));
+  EXPECT_GT(q71.spoiler_latency.at(5), q62.spoiler_latency.at(5));
+}
+
+// §5.5: spoiler latency extrapolates linearly (train 1-3, test 4-5).
+TEST(ReproductionTest, SpoilerLinearityAcrossWorkload) {
+  const TrainingData& data = SharedTrainingData();
+  std::vector<double> observed, predicted;
+  for (const TemplateProfile& p : data.profiles) {
+    auto model = FitSpoilerGrowth(p, {1, 2, 3});
+    ASSERT_TRUE(model.ok());
+    for (int mpl : {4, 5}) {
+      observed.push_back(p.spoiler_latency.at(mpl));
+      predicted.push_back(model->PredictLatency(mpl, p.isolated_latency));
+    }
+  }
+  // Paper: ~8% extrapolation error. Memory-bound templates are the rough
+  // tail here; the workload-wide figure stays moderate.
+  EXPECT_LT(MeanRelativeError(observed, predicted), 0.25);
+}
+
+// Fig. 9 shape: KNN spoiler prediction beats the I/O-Time baseline,
+// leave-one-template-out.
+TEST(ReproductionTest, Fig9KnnBeatsIoTime) {
+  const TrainingData& data = SharedTrainingData();
+  std::vector<double> obs, knn_pred, io_pred;
+  for (size_t held = 0; held < data.profiles.size(); ++held) {
+    std::vector<TemplateProfile> refs;
+    for (size_t i = 0; i < data.profiles.size(); ++i) {
+      if (i != held) refs.push_back(data.profiles[i]);
+    }
+    KnnSpoilerPredictor::Options opts;
+    auto knn = KnnSpoilerPredictor::Fit(refs, opts);
+    auto io = IoTimeSpoilerPredictor::Fit(refs, {1, 2, 3, 4, 5});
+    ASSERT_TRUE(knn.ok());
+    ASSERT_TRUE(io.ok());
+    for (int mpl : {2, 3, 4, 5}) {
+      const TemplateProfile& target = data.profiles[held];
+      obs.push_back(target.spoiler_latency.at(mpl));
+      knn_pred.push_back(*knn->Predict(target, mpl));
+      io_pred.push_back(*io->Predict(target, mpl));
+    }
+  }
+  const double knn_mre = MeanRelativeError(obs, knn_pred);
+  const double io_mre = MeanRelativeError(obs, io_pred);
+  EXPECT_LT(knn_mre, io_mre);
+}
+
+// Fig. 8 shape: known templates predict better than unknown templates.
+TEST(ReproductionTest, Fig8KnownBeatsUnknown) {
+  const TrainingData& data = SharedTrainingData();
+  ContenderPredictor::Options opts;
+  auto predictor = ContenderPredictor::Train(
+      data.profiles, data.scan_times, data.observations, opts);
+  ASSERT_TRUE(predictor.ok());
+
+  std::vector<double> known_obs, known_pred;
+  for (const MixObservation& o : data.observations) {
+    auto pred = predictor->PredictKnown(o.primary_index,
+                                        o.concurrent_indices);
+    if (!pred.ok()) continue;
+    known_obs.push_back(o.latency);
+    known_pred.push_back(*pred);
+  }
+  const double known_mre = MeanRelativeError(known_obs, known_pred);
+
+  // Unknown: leave one template out of the QS transfer, predict its mixes.
+  std::vector<double> unk_obs, unk_pred;
+  for (int held : {0, 5, 10, 15, 20}) {
+    std::vector<TemplateProfile> train_profiles;
+    std::vector<MixObservation> train_obs;
+    for (const TemplateProfile& p : data.profiles) {
+      if (p.template_index != held) train_profiles.push_back(p);
+    }
+    // Reindex: drop observations touching the held-out template.
+    std::vector<int> remap(data.profiles.size(), -1);
+    int next = 0;
+    for (const TemplateProfile& p : train_profiles) {
+      remap[static_cast<size_t>(p.template_index)] = next++;
+    }
+    for (MixObservation o : data.observations) {
+      bool touches_held = o.primary_index == held;
+      for (int c : o.concurrent_indices) touches_held |= (c == held);
+      if (touches_held) continue;
+      o.primary_index = remap[static_cast<size_t>(o.primary_index)];
+      for (int& c : o.concurrent_indices) {
+        c = remap[static_cast<size_t>(c)];
+      }
+      train_obs.push_back(std::move(o));
+    }
+    for (TemplateProfile& p : train_profiles) {
+      p.template_index = remap[static_cast<size_t>(p.template_index)];
+    }
+    auto held_out_predictor = ContenderPredictor::Train(
+        train_profiles, data.scan_times, train_obs, opts);
+    ASSERT_TRUE(held_out_predictor.ok());
+
+    const TemplateProfile& target = data.profiles[static_cast<size_t>(held)];
+    for (const MixObservation& o : data.observations) {
+      if (o.primary_index != held) continue;
+      bool partner_held = false;
+      for (int c : o.concurrent_indices) partner_held |= (c == held);
+      if (partner_held) continue;
+      std::vector<int> conc;
+      for (int c : o.concurrent_indices) {
+        conc.push_back(remap[static_cast<size_t>(c)]);
+      }
+      auto pred = held_out_predictor->PredictNew(target, conc,
+                                                 SpoilerSource::kMeasured);
+      if (!pred.ok()) continue;
+      unk_obs.push_back(o.latency);
+      unk_pred.push_back(*pred);
+    }
+  }
+  ASSERT_GT(unk_obs.size(), 50u);
+  const double unknown_mre = MeanRelativeError(unk_obs, unk_pred);
+  EXPECT_LT(known_mre, unknown_mre);
+  // Unknown-template accuracy stays bounded. The paper reports ~25%; on
+  // the simulated substrate the memory-bound templates' enormous continuum
+  // ranges push the mean-over-templates higher (see EXPERIMENTS.md).
+  EXPECT_LT(unknown_mre, 0.70);
+}
+
+// §6.2: extremely I/O-bound templates predict best; memory-intensive ones
+// worst (Fig. 7 structure).
+TEST(ReproductionTest, Fig7IoBoundBeatsMemoryBound) {
+  const TrainingData& data = SharedTrainingData();
+  auto models = FitReferenceModels(data.profiles, data.scan_times,
+                                   data.observations, 4);
+  ASSERT_TRUE(models.ok());
+  auto template_mre = [&](int id) {
+    const int idx = testing::PaperWorkload().IndexOfId(id);
+    auto set = BuildQsTrainingSet(data.profiles, data.scan_times,
+                                  data.observations, idx, 4);
+    CONTENDER_CHECK(set.ok());
+    const TemplateProfile& p = data.profiles[static_cast<size_t>(idx)];
+    std::vector<double> obs, pred;
+    for (size_t i = 0; i < set->cqi.size(); ++i) {
+      const double point = models->at(idx).PredictContinuum(set->cqi[i]);
+      obs.push_back(set->latency[i]);
+      pred.push_back(point * (p.spoiler_latency.at(4) - p.isolated_latency) +
+                     p.isolated_latency);
+    }
+    return MeanRelativeError(obs, pred);
+  };
+  double io_bound = (template_mre(26) + template_mre(33) + template_mre(61) +
+                     template_mre(71)) /
+                    4.0;
+  double memory_bound = (template_mre(2) + template_mre(22)) / 2.0;
+  EXPECT_LT(io_bound, memory_bound);
+  EXPECT_LT(io_bound, 0.15);
+}
+
+}  // namespace
+}  // namespace contender

@@ -1,0 +1,121 @@
+#include "math/eigen.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace contender {
+namespace {
+
+TEST(EigenTest, DiagonalMatrix) {
+  auto eig = SymmetricEigen({{3.0, 0.0}, {0.0, 1.0}});
+  ASSERT_TRUE(eig.ok());
+  EXPECT_NEAR(eig->values[0], 3.0, 1e-10);
+  EXPECT_NEAR(eig->values[1], 1.0, 1e-10);
+}
+
+TEST(EigenTest, KnownEigenpairs) {
+  // [[2,1],[1,2]] has eigenvalues 3 and 1.
+  auto eig = SymmetricEigen({{2.0, 1.0}, {1.0, 2.0}});
+  ASSERT_TRUE(eig.ok());
+  EXPECT_NEAR(eig->values[0], 3.0, 1e-10);
+  EXPECT_NEAR(eig->values[1], 1.0, 1e-10);
+  // Eigenvector for 3 is (1,1)/sqrt(2) up to sign.
+  const double v0 = eig->vectors(0, 0);
+  const double v1 = eig->vectors(1, 0);
+  EXPECT_NEAR(std::fabs(v0), 1.0 / std::sqrt(2.0), 1e-8);
+  EXPECT_NEAR(v0, v1, 1e-8);
+}
+
+TEST(EigenTest, RejectsNonSymmetric) {
+  EXPECT_FALSE(SymmetricEigen({{1.0, 2.0}, {0.0, 1.0}}).ok());
+  EXPECT_FALSE(SymmetricEigen(Matrix(2, 3)).ok());
+}
+
+class EigenReconstruction : public ::testing::TestWithParam<int> {};
+
+TEST_P(EigenReconstruction, VDVtEqualsInput) {
+  const int n = GetParam();
+  Rng rng(500 + static_cast<uint64_t>(n));
+  Matrix b(static_cast<size_t>(n), static_cast<size_t>(n));
+  for (size_t r = 0; r < b.rows(); ++r) {
+    for (size_t c = 0; c < b.cols(); ++c) b(r, c) = rng.Uniform(-1.0, 1.0);
+  }
+  Matrix a = b.Add(b.Transpose()).Scale(0.5);  // symmetric
+  auto eig = SymmetricEigen(a);
+  ASSERT_TRUE(eig.ok());
+
+  // Eigenvalues sorted descending.
+  for (size_t i = 1; i < eig->values.size(); ++i) {
+    EXPECT_GE(eig->values[i - 1], eig->values[i] - 1e-12);
+  }
+  // Reconstruct V diag(w) V^T.
+  Matrix d(static_cast<size_t>(n), static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    d(static_cast<size_t>(i), static_cast<size_t>(i)) =
+        eig->values[static_cast<size_t>(i)];
+  }
+  Matrix rec =
+      eig->vectors.Multiply(d).Multiply(eig->vectors.Transpose());
+  for (size_t r = 0; r < a.rows(); ++r) {
+    for (size_t c = 0; c < a.cols(); ++c) {
+      EXPECT_NEAR(rec(r, c), a(r, c), 1e-8);
+    }
+  }
+  // Orthonormal eigenvectors.
+  Matrix vtv = eig->vectors.Transpose().Multiply(eig->vectors);
+  for (size_t r = 0; r < vtv.rows(); ++r) {
+    for (size_t c = 0; c < vtv.cols(); ++c) {
+      EXPECT_NEAR(vtv(r, c), r == c ? 1.0 : 0.0, 1e-8);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, EigenReconstruction,
+                         ::testing::Values(2, 3, 5, 8, 16, 32));
+
+TEST(GeneralizedEigenTest, ReducesToOrdinaryWhenBIsIdentity) {
+  Matrix a = {{2.0, 1.0}, {1.0, 2.0}};
+  auto gen = GeneralizedSymmetricEigen(a, Matrix::Identity(2));
+  ASSERT_TRUE(gen.ok());
+  EXPECT_NEAR(gen->values[0], 3.0, 1e-9);
+  EXPECT_NEAR(gen->values[1], 1.0, 1e-9);
+}
+
+TEST(GeneralizedEigenTest, SatisfiesDefinition) {
+  Rng rng(77);
+  const size_t n = 5;
+  Matrix m(n, n), c(n, n);
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t cc = 0; cc < n; ++cc) {
+      m(r, cc) = rng.Uniform(-1.0, 1.0);
+      c(r, cc) = rng.Uniform(-1.0, 1.0);
+    }
+  }
+  Matrix a = m.Add(m.Transpose()).Scale(0.5);
+  Matrix b = c.Multiply(c.Transpose());
+  b.AddToDiagonal(1.0);  // SPD
+
+  auto gen = GeneralizedSymmetricEigen(a, b);
+  ASSERT_TRUE(gen.ok());
+  // Check A v = lambda B v for each eigenpair.
+  for (size_t k = 0; k < n; ++k) {
+    Vector v(n);
+    for (size_t i = 0; i < n; ++i) v[i] = gen->vectors(i, k);
+    Vector av = a.Multiply(v);
+    Vector bv = b.Multiply(v);
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(av[i], gen->values[k] * bv[i], 1e-7);
+    }
+  }
+}
+
+TEST(GeneralizedEigenTest, RejectsNonSpdB) {
+  Matrix a = Matrix::Identity(2);
+  EXPECT_FALSE(GeneralizedSymmetricEigen(a, {{1.0, 2.0}, {2.0, 1.0}}).ok());
+}
+
+}  // namespace
+}  // namespace contender

@@ -1,0 +1,66 @@
+#include "math/kernel.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace contender {
+namespace {
+
+TEST(KernelTest, GaussianBasics) {
+  EXPECT_DOUBLE_EQ(GaussianKernel({1.0, 2.0}, {1.0, 2.0}, 0.5), 1.0);
+  EXPECT_DOUBLE_EQ(GaussianKernel({0.0}, {1.0}, 1.0), std::exp(-1.0));
+  // Symmetric.
+  EXPECT_DOUBLE_EQ(GaussianKernel({1.0, 0.0}, {0.0, 2.0}, 0.3),
+                   GaussianKernel({0.0, 2.0}, {1.0, 0.0}, 0.3));
+}
+
+TEST(KernelTest, GramMatrixProperties) {
+  Rng rng(3);
+  std::vector<Vector> rows;
+  for (int i = 0; i < 8; ++i) {
+    rows.push_back({rng.Uniform01(), rng.Uniform01(), rng.Uniform01()});
+  }
+  Matrix k = GaussianGramMatrix(rows, 0.7);
+  ASSERT_EQ(k.rows(), 8u);
+  for (size_t i = 0; i < 8; ++i) {
+    EXPECT_DOUBLE_EQ(k(i, i), 1.0);
+    for (size_t j = 0; j < 8; ++j) {
+      EXPECT_DOUBLE_EQ(k(i, j), k(j, i));
+      EXPECT_GE(k(i, j), 0.0);
+      EXPECT_LE(k(i, j), 1.0);
+    }
+  }
+}
+
+TEST(KernelTest, CenteredGramHasZeroRowSums) {
+  Rng rng(5);
+  std::vector<Vector> rows;
+  for (int i = 0; i < 10; ++i) {
+    rows.push_back({rng.Normal(), rng.Normal()});
+  }
+  Matrix centered = CenterGramMatrix(GaussianGramMatrix(rows, 1.0));
+  for (size_t i = 0; i < centered.rows(); ++i) {
+    double row_sum = 0.0;
+    for (size_t j = 0; j < centered.cols(); ++j) row_sum += centered(i, j);
+    EXPECT_NEAR(row_sum, 0.0, 1e-9);
+  }
+}
+
+TEST(KernelTest, MedianHeuristicScalesWithData) {
+  std::vector<Vector> tight = {{0.0}, {0.1}, {0.2}};
+  std::vector<Vector> wide = {{0.0}, {10.0}, {20.0}};
+  EXPECT_GT(MedianHeuristicGamma(tight), MedianHeuristicGamma(wide));
+}
+
+TEST(KernelTest, MedianHeuristicDegenerateFallback) {
+  std::vector<Vector> same = {{1.0, 2.0}, {1.0, 2.0}};
+  const double g = MedianHeuristicGamma(same);
+  EXPECT_GT(g, 0.0);
+  EXPECT_LE(g, 1.0);
+}
+
+}  // namespace
+}  // namespace contender

@@ -1,0 +1,73 @@
+#include "math/metrics.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+namespace contender {
+namespace {
+
+TEST(MreTest, PaperEquationOne) {
+  // MRE = (1/n) sum |obs - pred| / obs.
+  EXPECT_DOUBLE_EQ(MeanRelativeError({100.0, 200.0}, {110.0, 180.0}),
+                   (0.1 + 0.1) / 2.0);
+}
+
+TEST(MreTest, PerfectPrediction) {
+  EXPECT_DOUBLE_EQ(MeanRelativeError({5.0, 7.0}, {5.0, 7.0}), 0.0);
+}
+
+TEST(MreTest, SkipsZeroObservations) {
+  EXPECT_DOUBLE_EQ(MeanRelativeError({0.0, 100.0}, {50.0, 150.0}), 0.5);
+}
+
+TEST(MreTest, EmptyInput) {
+  EXPECT_DOUBLE_EQ(MeanRelativeError({}, {}), 0.0);
+}
+
+TEST(MreTest, SymmetricInMagnitudeNotDirection) {
+  // Over- and under-prediction of equal absolute size count equally.
+  EXPECT_DOUBLE_EQ(MeanRelativeError({100.0}, {120.0}),
+                   MeanRelativeError({100.0}, {80.0}));
+}
+
+TEST(RSquaredTest, PerfectFitIsOne) {
+  EXPECT_DOUBLE_EQ(RSquared({1.0, 2.0, 3.0}, {1.0, 2.0, 3.0}), 1.0);
+}
+
+TEST(RSquaredTest, MeanPredictionIsZero) {
+  EXPECT_NEAR(RSquared({1.0, 2.0, 3.0}, {2.0, 2.0, 2.0}), 0.0, 1e-12);
+}
+
+TEST(RSquaredTest, ConstantObservationsGiveZero) {
+  EXPECT_DOUBLE_EQ(RSquared({2.0, 2.0}, {1.0, 3.0}), 0.0);
+}
+
+TEST(PearsonTest, PerfectCorrelations) {
+  EXPECT_NEAR(PearsonCorrelation({1.0, 2.0, 3.0}, {2.0, 4.0, 6.0}), 1.0,
+              1e-12);
+  EXPECT_NEAR(PearsonCorrelation({1.0, 2.0, 3.0}, {6.0, 4.0, 2.0}), -1.0,
+              1e-12);
+}
+
+TEST(PearsonTest, ConstantInputGivesZero) {
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({1.0, 1.0}, {2.0, 3.0}), 0.0);
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({1.0}, {2.0}), 0.0);
+}
+
+TEST(PearsonTest, ScaleInvariant) {
+  const std::vector<double> x = {1.0, 4.0, 2.0, 8.0};
+  const std::vector<double> y = {3.0, 1.0, 5.0, 9.0};
+  std::vector<double> y_scaled;
+  for (double v : y) y_scaled.push_back(10.0 * v - 4.0);
+  EXPECT_NEAR(PearsonCorrelation(x, y), PearsonCorrelation(x, y_scaled),
+              1e-12);
+}
+
+TEST(RmseTest, KnownValue) {
+  EXPECT_DOUBLE_EQ(Rmse({1.0, 2.0}, {2.0, 4.0}),
+                   std::sqrt((1.0 + 4.0) / 2.0));
+  EXPECT_DOUBLE_EQ(Rmse({}, {}), 0.0);
+}
+
+}  // namespace
+}  // namespace contender

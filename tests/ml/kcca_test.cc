@@ -1,0 +1,83 @@
+#include "ml/kcca.h"
+
+#include <gtest/gtest.h>
+
+#include "math/metrics.h"
+#include "util/random.h"
+
+namespace contender {
+namespace {
+
+TEST(KccaTest, RejectsBadInput) {
+  KccaModel::Options opts;
+  EXPECT_FALSE(KccaModel::Fit({}, {}, opts).ok());
+  EXPECT_FALSE(KccaModel::Fit({{1.0}, {2.0}}, {{1.0}}, opts).ok());
+  EXPECT_FALSE(
+      KccaModel::Fit({{1.0}, {2.0}, {3.0}}, {{1.0}, {2.0}, {3.0}}, opts)
+          .ok());  // < 4 examples
+}
+
+// Clustered data: feature clusters map to distinct latencies; KCCA should
+// project a new point near its cluster and predict the cluster latency.
+TEST(KccaTest, ClusterLatencyRecovery) {
+  Rng rng(4);
+  std::vector<Vector> x;
+  std::vector<Vector> y;
+  const std::vector<Vector> centers = {{0.0, 0.0}, {5.0, 5.0}, {10.0, 0.0}};
+  const std::vector<double> latencies = {100.0, 500.0, 900.0};
+  for (int rep = 0; rep < 12; ++rep) {
+    for (size_t c = 0; c < centers.size(); ++c) {
+      x.push_back({centers[c][0] + rng.Normal(0.0, 0.3),
+                   centers[c][1] + rng.Normal(0.0, 0.3)});
+      y.push_back({latencies[c] + rng.Normal(0.0, 10.0)});
+    }
+  }
+  KccaModel::Options opts;
+  opts.num_projections = 2;
+  auto model = KccaModel::Fit(x, y, opts);
+  ASSERT_TRUE(model.ok());
+
+  for (size_t c = 0; c < centers.size(); ++c) {
+    const double pred = model->PredictLatency(centers[c]);
+    EXPECT_NEAR(pred, latencies[c], 60.0) << "cluster " << c;
+  }
+}
+
+TEST(KccaTest, ProjectionDimensionMatchesOptions) {
+  Rng rng(6);
+  std::vector<Vector> x;
+  std::vector<Vector> y;
+  for (int i = 0; i < 20; ++i) {
+    const double v = rng.Uniform01();
+    x.push_back({v, 1.0 - v});
+    y.push_back({v * 100.0});
+  }
+  KccaModel::Options opts;
+  opts.num_projections = 3;
+  auto model = KccaModel::Fit(x, y, opts);
+  ASSERT_TRUE(model.ok());
+  EXPECT_EQ(model->Project({0.5, 0.5}).size(), 3u);
+}
+
+TEST(KccaTest, MonotoneRelationshipRecovered) {
+  // Latency is a monotone function of one feature; a prediction for a test
+  // point should interpolate sensibly.
+  Rng rng(8);
+  std::vector<Vector> x;
+  std::vector<Vector> y;
+  for (int i = 0; i < 40; ++i) {
+    const double v = rng.Uniform(0.0, 1.0);
+    x.push_back({v});
+    y.push_back({100.0 + 800.0 * v});
+  }
+  auto model = KccaModel::Fit(x, y, KccaModel::Options{});
+  ASSERT_TRUE(model.ok());
+  const double low = model->PredictLatency({0.05});
+  const double high = model->PredictLatency({0.95});
+  EXPECT_LT(low, high);
+  EXPECT_NEAR(low, 140.0, 120.0);
+  EXPECT_NEAR(high, 860.0, 120.0);
+}
+
+}  // namespace
+}  // namespace contender

@@ -1,0 +1,111 @@
+#include "ml/knn.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace contender {
+namespace {
+
+TEST(KnnTest, RejectsBadInput) {
+  KnnRegressor::Options opts;
+  EXPECT_FALSE(KnnRegressor::Fit({}, {}, opts).ok());
+  EXPECT_FALSE(KnnRegressor::Fit({{1.0}}, {{1.0}, {2.0}}, opts).ok());
+  EXPECT_FALSE(
+      KnnRegressor::Fit({{1.0}, {1.0, 2.0}}, {{1.0}, {1.0}}, opts).ok());
+  opts.k = 0;
+  EXPECT_FALSE(KnnRegressor::Fit({{1.0}}, {{1.0}}, opts).ok());
+}
+
+TEST(KnnTest, ExactNeighborWithKOne) {
+  KnnRegressor::Options opts;
+  opts.k = 1;
+  auto model = KnnRegressor::Fit({{0.0}, {10.0}, {20.0}},
+                                 {{1.0}, {2.0}, {3.0}}, opts);
+  ASSERT_TRUE(model.ok());
+  EXPECT_DOUBLE_EQ(model->Predict({9.0})[0], 2.0);
+  EXPECT_DOUBLE_EQ(model->Predict({-5.0})[0], 1.0);
+  EXPECT_DOUBLE_EQ(model->Predict({100.0})[0], 3.0);
+}
+
+TEST(KnnTest, AveragesKNeighbors) {
+  KnnRegressor::Options opts;
+  opts.k = 2;
+  opts.normalize = false;
+  auto model = KnnRegressor::Fit({{0.0}, {1.0}, {100.0}},
+                                 {{10.0}, {20.0}, {1000.0}}, opts);
+  ASSERT_TRUE(model.ok());
+  EXPECT_DOUBLE_EQ(model->Predict({0.4})[0], 15.0);
+}
+
+TEST(KnnTest, KLargerThanTrainingSetClamps) {
+  KnnRegressor::Options opts;
+  opts.k = 10;
+  auto model = KnnRegressor::Fit({{0.0}, {1.0}}, {{2.0}, {4.0}}, opts);
+  ASSERT_TRUE(model.ok());
+  EXPECT_DOUBLE_EQ(model->Predict({0.5})[0], 3.0);
+}
+
+TEST(KnnTest, MultiOutputTargets) {
+  KnnRegressor::Options opts;
+  opts.k = 1;
+  auto model = KnnRegressor::Fit({{0.0}, {10.0}},
+                                 {{1.0, -1.0}, {2.0, -2.0}}, opts);
+  ASSERT_TRUE(model.ok());
+  Vector out = model->Predict({9.5});
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_DOUBLE_EQ(out[0], 2.0);
+  EXPECT_DOUBLE_EQ(out[1], -2.0);
+}
+
+TEST(KnnTest, NormalizationBalancesScales) {
+  // Feature 0 spans ~1e9 (bytes), feature 1 spans ~1 (fraction). Without
+  // normalization feature 1 is invisible; with it, both matter. This is the
+  // spoiler predictor's exact situation (working set bytes vs p_t).
+  KnnRegressor::Options opts;
+  opts.k = 1;
+  opts.normalize = true;
+  std::vector<Vector> features = {
+      {1.0e9, 0.0}, {1.0e9, 1.0}, {2.0e9, 0.0}, {2.0e9, 1.0}};
+  std::vector<Vector> targets = {{1.0}, {2.0}, {3.0}, {4.0}};
+  auto model = KnnRegressor::Fit(features, targets, opts);
+  ASSERT_TRUE(model.ok());
+  // Nearest to (1.05e9, 0.9) should be (1e9, 1.0), not (1e9, 0.0).
+  EXPECT_DOUBLE_EQ(model->Predict({1.05e9, 0.9})[0], 2.0);
+}
+
+TEST(KnnTest, NeighborsOrderedByDistance) {
+  KnnRegressor::Options opts;
+  opts.k = 3;
+  opts.normalize = false;
+  auto model = KnnRegressor::Fit({{0.0}, {5.0}, {6.0}, {50.0}},
+                                 {{0.0}, {0.0}, {0.0}, {0.0}}, opts);
+  ASSERT_TRUE(model.ok());
+  std::vector<size_t> nn = model->Neighbors({5.4});
+  ASSERT_EQ(nn.size(), 3u);
+  EXPECT_EQ(nn[0], 1u);
+  EXPECT_EQ(nn[1], 2u);
+  EXPECT_EQ(nn[2], 0u);
+}
+
+TEST(KnnTest, RecoverySweep) {
+  // Smooth function recovery improves with more training data.
+  Rng rng(8);
+  KnnRegressor::Options opts;
+  opts.k = 3;
+  std::vector<Vector> features;
+  std::vector<Vector> targets;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.Uniform(0.0, 10.0);
+    features.push_back({x});
+    targets.push_back({3.0 * x + 1.0});
+  }
+  auto model = KnnRegressor::Fit(features, targets, opts);
+  ASSERT_TRUE(model.ok());
+  for (double q : {1.0, 3.3, 7.7, 9.0}) {
+    EXPECT_NEAR(model->Predict({q})[0], 3.0 * q + 1.0, 0.5);
+  }
+}
+
+}  // namespace
+}  // namespace contender

@@ -1,0 +1,96 @@
+#include "ml/lhs.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace contender {
+namespace {
+
+// The defining Latin-hypercube property (paper Fig. 1): in one run, every
+// template appears exactly once in each dimension.
+class LhsProperty : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(LhsProperty, EveryValueIntersectedOncePerDimension) {
+  const int n = std::get<0>(GetParam());
+  const int mpl = std::get<1>(GetParam());
+  Rng rng(static_cast<uint64_t>(n * 31 + mpl));
+  auto mixes = LatinHypercubeSample(n, mpl, &rng);
+  ASSERT_TRUE(mixes.ok());
+  ASSERT_EQ(mixes->size(), static_cast<size_t>(n));
+  for (int d = 0; d < mpl; ++d) {
+    std::set<int> seen;
+    for (const MixSelection& mix : *mixes) {
+      ASSERT_EQ(mix.size(), static_cast<size_t>(mpl));
+      seen.insert(mix[static_cast<size_t>(d)]);
+    }
+    EXPECT_EQ(seen.size(), static_cast<size_t>(n)) << "dimension " << d;
+    EXPECT_EQ(*seen.begin(), 0);
+    EXPECT_EQ(*seen.rbegin(), n - 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, LhsProperty,
+    ::testing::Combine(::testing::Values(2, 5, 17, 25),
+                       ::testing::Values(2, 3, 4, 5)));
+
+TEST(LhsTest, InvalidArguments) {
+  Rng rng(1);
+  EXPECT_FALSE(LatinHypercubeSample(0, 2, &rng).ok());
+  EXPECT_FALSE(LatinHypercubeSample(5, 0, &rng).ok());
+}
+
+TEST(LhsTest, RunsConcatenate) {
+  Rng rng(2);
+  auto mixes = LatinHypercubeRuns(10, 3, 4, &rng);
+  ASSERT_TRUE(mixes.ok());
+  EXPECT_EQ(mixes->size(), 40u);
+}
+
+TEST(LhsTest, DisjointRunsDiffer) {
+  Rng rng(3);
+  auto runs = LatinHypercubeRuns(25, 4, 2, &rng);
+  ASSERT_TRUE(runs.ok());
+  // The two runs should not be identical permutations.
+  bool differs = false;
+  for (size_t i = 0; i < 25; ++i) {
+    if ((*runs)[i] != (*runs)[i + 25]) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(AllPairsTest, CountsAndContents) {
+  auto pairs = AllPairs(3);
+  // 3-choose-2 with replacement = 6.
+  ASSERT_EQ(pairs.size(), 6u);
+  std::set<std::pair<int, int>> seen;
+  for (const MixSelection& p : pairs) {
+    ASSERT_EQ(p.size(), 2u);
+    EXPECT_LE(p[0], p[1]);
+    seen.insert({p[0], p[1]});
+  }
+  EXPECT_EQ(seen.size(), 6u);
+}
+
+TEST(AllPairsTest, PaperWorkloadPairCount) {
+  // 25 templates: C(26, 2) = 325 pairs.
+  EXPECT_EQ(AllPairs(25).size(), 325u);
+}
+
+TEST(DistinctMixCountTest, PaperNumbers) {
+  // Paper §2: 25 templates at MPL 5 yield 118,755 unique mixes.
+  EXPECT_EQ(DistinctMixCount(25, 5), 118755u);
+  EXPECT_EQ(DistinctMixCount(25, 2), 325u);
+  EXPECT_EQ(DistinctMixCount(1, 5), 1u);
+  EXPECT_EQ(DistinctMixCount(2, 3), 4u);
+}
+
+TEST(DistinctMixCountTest, SaturatesInsteadOfOverflowing) {
+  EXPECT_EQ(DistinctMixCount(1000000, 1000),
+            std::numeric_limits<uint64_t>::max());
+}
+
+}  // namespace
+}  // namespace contender

@@ -1,0 +1,128 @@
+#include "ml/svm.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "math/metrics.h"
+#include "util/random.h"
+
+namespace contender {
+namespace {
+
+TEST(SvrTest, RejectsBadInput) {
+  SvrModel::Options opts;
+  EXPECT_FALSE(SvrModel::Fit({}, {}, opts).ok());
+  EXPECT_FALSE(SvrModel::Fit({{1.0}}, {1.0}, opts).ok());
+  EXPECT_FALSE(SvrModel::Fit({{1.0}, {1.0, 2.0}}, {1.0, 2.0}, opts).ok());
+}
+
+TEST(SvrTest, FitsLinearFunction) {
+  Rng rng(3);
+  std::vector<Vector> x;
+  std::vector<double> y;
+  for (int i = 0; i < 120; ++i) {
+    const double xi = rng.Uniform(-3.0, 3.0);
+    x.push_back({xi});
+    y.push_back(2.0 * xi + 1.0);
+  }
+  SvrModel::Options opts;
+  auto model = SvrModel::Fit(x, y, opts);
+  ASSERT_TRUE(model.ok());
+  std::vector<double> obs, pred;
+  for (double q = -2.5; q <= 2.5; q += 0.5) {
+    obs.push_back(2.0 * q + 1.0);
+    pred.push_back(model->Predict({q}));
+  }
+  EXPECT_LT(Rmse(obs, pred), 0.5);
+}
+
+TEST(SvrTest, FitsSmoothNonlinearFunction) {
+  Rng rng(5);
+  std::vector<Vector> x;
+  std::vector<double> y;
+  for (int i = 0; i < 200; ++i) {
+    const double xi = rng.Uniform(0.0, 6.28);
+    x.push_back({xi});
+    y.push_back(std::sin(xi));
+  }
+  SvrModel::Options opts;
+  opts.c = 50.0;
+  opts.epsilon = 0.02;
+  auto model = SvrModel::Fit(x, y, opts);
+  ASSERT_TRUE(model.ok());
+  double worst = 0.0;
+  for (double q = 0.5; q < 6.0; q += 0.25) {
+    worst = std::max(worst, std::fabs(model->Predict({q}) - std::sin(q)));
+  }
+  EXPECT_LT(worst, 0.25);
+  EXPECT_GT(model->num_support_vectors(), 0u);
+}
+
+TEST(SvrTest, MultiDimensionalRecovery) {
+  Rng rng(7);
+  std::vector<Vector> x;
+  std::vector<double> y;
+  for (int i = 0; i < 300; ++i) {
+    Vector row = {rng.Uniform(-1.0, 1.0), rng.Uniform(-1.0, 1.0),
+                  rng.Uniform(-1.0, 1.0)};
+    y.push_back(row[0] - 2.0 * row[1] + 0.5 * row[2]);
+    x.push_back(std::move(row));
+  }
+  auto model = SvrModel::Fit(x, y, SvrModel::Options{});
+  ASSERT_TRUE(model.ok());
+  std::vector<double> obs, pred;
+  Rng test_rng(8);
+  for (int i = 0; i < 50; ++i) {
+    Vector q = {test_rng.Uniform(-0.8, 0.8), test_rng.Uniform(-0.8, 0.8),
+                test_rng.Uniform(-0.8, 0.8)};
+    obs.push_back(q[0] - 2.0 * q[1] + 0.5 * q[2]);
+    pred.push_back(model->Predict(q));
+  }
+  EXPECT_LT(Rmse(obs, pred), 0.35);
+}
+
+TEST(SvrTest, RobustToLabelNoise) {
+  Rng rng(9);
+  std::vector<Vector> x;
+  std::vector<double> y;
+  for (int i = 0; i < 200; ++i) {
+    const double xi = rng.Uniform(0.0, 10.0);
+    x.push_back({xi});
+    y.push_back(3.0 * xi + rng.Normal(0.0, 0.5));
+  }
+  auto model = SvrModel::Fit(x, y, SvrModel::Options{});
+  ASSERT_TRUE(model.ok());
+  EXPECT_NEAR(model->Predict({5.0}), 15.0, 1.5);
+}
+
+TEST(SvrTest, DeterministicForFixedSeed) {
+  std::vector<Vector> x;
+  std::vector<double> y;
+  Rng rng(11);
+  for (int i = 0; i < 60; ++i) {
+    const double xi = rng.Uniform01();
+    x.push_back({xi});
+    y.push_back(xi * xi);
+  }
+  SvrModel::Options opts;
+  opts.seed = 42;
+  auto a = SvrModel::Fit(x, y, opts);
+  auto b = SvrModel::Fit(x, y, opts);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (double q : {0.1, 0.5, 0.9}) {
+    EXPECT_DOUBLE_EQ(a->Predict({q}), b->Predict({q}));
+  }
+}
+
+TEST(SvrTest, ConstantLabelsPredictConstant) {
+  std::vector<Vector> x = {{0.0}, {1.0}, {2.0}, {3.0}};
+  std::vector<double> y = {5.0, 5.0, 5.0, 5.0};
+  auto model = SvrModel::Fit(x, y, SvrModel::Options{});
+  ASSERT_TRUE(model.ok());
+  EXPECT_NEAR(model->Predict({1.5}), 5.0, 0.3);
+}
+
+}  // namespace
+}  // namespace contender

@@ -1,0 +1,72 @@
+#include "sim/buffer_pool.h"
+
+#include <gtest/gtest.h>
+
+namespace contender::sim {
+namespace {
+
+TEST(BufferPoolTest, AdmitAndHit) {
+  BufferPool pool(100.0);
+  EXPECT_FALSE(pool.IsCached(1));
+  pool.Admit(1, 40.0);
+  EXPECT_TRUE(pool.IsCached(1));
+  EXPECT_DOUBLE_EQ(pool.cached_bytes(), 40.0);
+}
+
+TEST(BufferPoolTest, OversizedTableIgnored) {
+  BufferPool pool(100.0);
+  pool.Admit(1, 150.0);
+  EXPECT_FALSE(pool.IsCached(1));
+  EXPECT_DOUBLE_EQ(pool.cached_bytes(), 0.0);
+}
+
+TEST(BufferPoolTest, LruEviction) {
+  BufferPool pool(100.0);
+  pool.Admit(1, 50.0);
+  pool.Admit(2, 50.0);
+  // Touch 1 so 2 becomes the LRU victim.
+  pool.Touch(1);
+  pool.Admit(3, 30.0);
+  EXPECT_TRUE(pool.IsCached(1));
+  EXPECT_FALSE(pool.IsCached(2));
+  EXPECT_TRUE(pool.IsCached(3));
+}
+
+TEST(BufferPoolTest, DuplicateAdmitRefreshes) {
+  BufferPool pool(100.0);
+  pool.Admit(1, 60.0);
+  pool.Admit(1, 60.0);
+  EXPECT_DOUBLE_EQ(pool.cached_bytes(), 60.0);
+  EXPECT_EQ(pool.num_cached_tables(), 1u);
+}
+
+TEST(BufferPoolTest, CapacityShrinkEvicts) {
+  BufferPool pool(100.0);
+  pool.Admit(1, 40.0);
+  pool.Admit(2, 40.0);
+  EXPECT_EQ(pool.num_cached_tables(), 2u);
+  pool.SetCapacity(50.0);
+  // LRU victim (table 1) evicted to fit.
+  EXPECT_EQ(pool.num_cached_tables(), 1u);
+  EXPECT_FALSE(pool.IsCached(1));
+  EXPECT_TRUE(pool.IsCached(2));
+  EXPECT_LE(pool.cached_bytes(), 50.0);
+}
+
+TEST(BufferPoolTest, CapacityShrinkToZeroEvictsAll) {
+  BufferPool pool(100.0);
+  pool.Admit(1, 10.0);
+  pool.Admit(2, 10.0);
+  pool.SetCapacity(0.0);
+  EXPECT_EQ(pool.num_cached_tables(), 0u);
+  EXPECT_DOUBLE_EQ(pool.cached_bytes(), 0.0);
+}
+
+TEST(BufferPoolTest, TouchUnknownTableIsNoop) {
+  BufferPool pool(10.0);
+  pool.Touch(99);
+  EXPECT_EQ(pool.num_cached_tables(), 0u);
+}
+
+}  // namespace
+}  // namespace contender::sim

@@ -1,0 +1,96 @@
+#include "sim/disk.h"
+
+#include <gtest/gtest.h>
+
+namespace contender::sim {
+namespace {
+
+SimConfig Config() {
+  SimConfig c;
+  c.seq_bandwidth = 100.0 * kMB;
+  c.random_bandwidth = 2.0 * kMB;
+  c.seek_overhead = 0.1;
+  return c;
+}
+
+TEST(DiskTest, NoStreamsNoRates) {
+  DiskAllocation a = AllocateDiskBandwidth(Config(), DiskDemand{});
+  EXPECT_DOUBLE_EQ(a.seq_group_rate, 0.0);
+  EXPECT_TRUE(a.random_stream_rates.empty());
+}
+
+TEST(DiskTest, SingleSequentialStreamGetsFullBandwidth) {
+  DiskDemand d;
+  d.num_seq_groups = 1;
+  DiskAllocation a = AllocateDiskBandwidth(Config(), d);
+  EXPECT_DOUBLE_EQ(a.seq_group_rate, 100.0 * kMB);
+  EXPECT_DOUBLE_EQ(a.effective_bandwidth, 100.0 * kMB);
+}
+
+TEST(DiskTest, TwoSequentialStreamsShareWithSeekPenalty) {
+  DiskDemand d;
+  d.num_seq_groups = 2;
+  DiskAllocation a = AllocateDiskBandwidth(Config(), d);
+  // Effective bandwidth = 100 / 1.1; each group gets half of it.
+  EXPECT_NEAR(a.effective_bandwidth, 100.0 * kMB / 1.1, 1.0);
+  EXPECT_NEAR(a.seq_group_rate, 100.0 * kMB / 1.1 / 2.0, 1.0);
+}
+
+TEST(DiskTest, SingleRandomStreamCappedByIntrinsicRate) {
+  DiskDemand d;
+  d.random_stream_caps = {2.0 * kMB};
+  DiskAllocation a = AllocateDiskBandwidth(Config(), d);
+  ASSERT_EQ(a.random_stream_rates.size(), 1u);
+  EXPECT_DOUBLE_EQ(a.random_stream_rates[0], 2.0 * kMB);
+}
+
+TEST(DiskTest, RandomStreamDegradesWithTimeShare) {
+  DiskDemand d;
+  d.num_seq_groups = 3;
+  d.random_stream_caps = {2.0 * kMB};
+  DiskAllocation a = AllocateDiskBandwidth(Config(), d);
+  // 4 streams: the random stream owns 1/4 of device time.
+  EXPECT_DOUBLE_EQ(a.random_stream_rates[0], 0.5 * kMB);
+}
+
+TEST(DiskTest, MoreStreamsNeverIncreasePerStreamRate) {
+  double prev_seq = 1e18;
+  for (int groups = 1; groups <= 8; ++groups) {
+    DiskDemand d;
+    d.num_seq_groups = groups;
+    DiskAllocation a = AllocateDiskBandwidth(Config(), d);
+    EXPECT_LT(a.seq_group_rate, prev_seq);
+    prev_seq = a.seq_group_rate;
+  }
+}
+
+TEST(DiskTest, ConservationSequentialRatesFitEffectiveBandwidth) {
+  for (int groups = 1; groups <= 6; ++groups) {
+    for (int randoms = 0; randoms <= 4; ++randoms) {
+      DiskDemand d;
+      d.num_seq_groups = groups;
+      d.random_stream_caps.assign(static_cast<size_t>(randoms), 2.0 * kMB);
+      DiskAllocation a = AllocateDiskBandwidth(Config(), d);
+      // Sequential byte throughput must not exceed the sequential slices.
+      const double seq_total = a.seq_group_rate * groups;
+      const int streams = groups + randoms;
+      EXPECT_LE(seq_total, a.effective_bandwidth * groups / streams + 1.0);
+      for (double r : a.random_stream_rates) {
+        EXPECT_LE(r, 2.0 * kMB / streams + 1.0);
+      }
+    }
+  }
+}
+
+TEST(DiskTest, HeterogeneousRandomCaps) {
+  DiskDemand d;
+  d.num_seq_groups = 1;
+  d.random_stream_caps = {1.0 * kMB, 4.0 * kMB};
+  DiskAllocation a = AllocateDiskBandwidth(Config(), d);
+  // Each random stream gets 1/3 of its own cap (3 streams total).
+  EXPECT_NEAR(a.random_stream_rates[0], 1.0 * kMB / 3.0, 1.0);
+  EXPECT_NEAR(a.random_stream_rates[1], 4.0 * kMB / 3.0, 1.0);
+}
+
+}  // namespace
+}  // namespace contender::sim

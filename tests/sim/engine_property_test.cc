@@ -1,0 +1,204 @@
+// Property-based sweeps over the fluid engine: conservation, monotonicity
+// and fairness invariants that must hold for any workload shape.
+
+#include <gtest/gtest.h>
+
+#include "sim/engine.h"
+#include "sim/spoiler.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace contender::sim {
+namespace {
+
+SimConfig SweepConfig(bool noisy) {
+  SimConfig c;
+  c.seq_bandwidth = 120.0 * kMB;
+  c.random_bandwidth = 2.5 * kMB;
+  c.spill_bandwidth = 5.0 * kMB;
+  c.seek_overhead = 0.07;
+  c.random_io_sigma = noisy ? 0.3 : 0.0;
+  c.spill_io_sigma = noisy ? 0.1 : 0.0;
+  c.cpu_jitter = noisy ? 0.02 : 0.0;
+  c.startup_cpu_seconds = 0.0;
+  return c;
+}
+
+QuerySpec RandomQuery(Rng* rng, int table_pool) {
+  QuerySpec q;
+  q.name = "rand";
+  const int phases = static_cast<int>(rng->UniformInt(int64_t{1}, int64_t{4}));
+  for (int i = 0; i < phases; ++i) {
+    Phase p;
+    switch (rng->UniformInt(uint64_t{3})) {
+      case 0:
+        p.seq_io_bytes = rng->Uniform(50.0, 800.0) * kMB;
+        p.table = static_cast<TableId>(
+            rng->UniformInt(static_cast<uint64_t>(table_pool)));
+        p.table_bytes = p.seq_io_bytes;
+        break;
+      case 1:
+        p.rnd_io_bytes = rng->Uniform(5.0, 60.0) * kMB;
+        break;
+      default:
+        p.cpu_seconds = rng->Uniform(1.0, 30.0);
+        break;
+    }
+    if (rng->Uniform01() < 0.3) {
+      p.mem_demand_bytes = rng->Uniform(0.1, 2.0) * kGB;
+      p.spillable = true;
+    }
+    q.phases.push_back(p);
+  }
+  return q;
+}
+
+class EngineSweep : public ::testing::TestWithParam<int> {};
+
+// Every process completes; latencies are positive; total disk reads match
+// demands within the shared-scan savings; disk throughput never exceeds
+// the sequential bandwidth.
+TEST_P(EngineSweep, CompletionAndConservation) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 7919 + 13);
+  Engine engine(SweepConfig(true), rng.Next());
+  const int n = 2 + GetParam() % 5;
+  std::vector<int> pids;
+  double total_demand = 0.0;
+  for (int i = 0; i < n; ++i) {
+    QuerySpec q = RandomQuery(&rng, 3);
+    for (const Phase& p : q.phases) {
+      total_demand += p.seq_io_bytes + p.rnd_io_bytes;
+    }
+    pids.push_back(engine.AddProcess(q, rng.Uniform(0.0, 20.0)));
+  }
+  ASSERT_TRUE(engine.Run().ok());
+
+  double total_read = 0.0;
+  double total_saved = 0.0;
+  double total_spilled = 0.0;
+  for (int pid : pids) {
+    const ProcessResult& r = engine.result(pid);
+    EXPECT_TRUE(r.completed);
+    EXPECT_GT(r.latency(), 0.0);
+    EXPECT_LE(r.io_busy_seconds, r.latency() + 1e-6);
+    EXPECT_GE(r.io_fraction(), 0.0);
+    EXPECT_LE(r.io_fraction(), 1.0 + 1e-9);
+    total_read += r.disk_bytes_read;
+    total_saved += r.bytes_saved_by_shared_scan + r.bytes_saved_by_cache;
+    total_spilled += r.spill_bytes;
+  }
+  // Logical bytes = physical reads + sharing/cache savings; spills add
+  // physical traffic on top of the logical demand.
+  EXPECT_NEAR(total_read + total_saved, total_demand + total_spilled,
+              1e-3 * (total_demand + total_spilled) + 16.0);
+  // Physical throughput bound.
+  EXPECT_LE(total_read,
+            engine.config().seq_bandwidth * engine.now() * 1.001 + 1.0);
+  // All memory released at the end.
+  EXPECT_NEAR(engine.memory_in_use(), 0.0, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineSweep, ::testing::Range(0, 12));
+
+// Adding a contending process never speeds up a disjoint-scan query.
+class ContentionMonotonicity : public ::testing::TestWithParam<int> {};
+
+TEST_P(ContentionMonotonicity, MoreContentionNeverFaster) {
+  const SimConfig cfg = SweepConfig(false);
+  auto run = [&](int contenders) {
+    Engine engine(cfg, 5);
+    QuerySpec primary;
+    primary.name = "primary";
+    Phase p;
+    p.seq_io_bytes = 600.0 * kMB;
+    p.table = 100;  // disjoint from every contender
+    primary.phases.push_back(p);
+    const int pid = engine.AddProcess(primary, 0.0);
+    for (int i = 0; i < contenders; ++i) {
+      QuerySpec c;
+      c.name = "bg";
+      Phase cp;
+      cp.seq_io_bytes = 5000.0 * kMB;
+      cp.table = static_cast<TableId>(i);
+      c.phases.push_back(cp);
+      engine.AddProcess(c, 0.0);
+    }
+    CONTENDER_CHECK(engine.RunUntilProcessCompletes(pid).ok());
+    return engine.result(pid).latency();
+  };
+  const int k = GetParam();
+  EXPECT_LT(run(k), run(k + 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(Levels, ContentionMonotonicity,
+                         ::testing::Values(0, 1, 2, 3, 4));
+
+// The spoiler is a worse adversary than any same-MPL mix of real queries
+// with disjoint scans (its streams never pause for CPU).
+TEST(EngineProperty, SpoilerIsWorstCaseForIoBoundQuery) {
+  const SimConfig cfg = SweepConfig(false);
+  QuerySpec primary;
+  primary.name = "p";
+  Phase p;
+  p.seq_io_bytes = 700.0 * kMB;
+  p.table = 50;
+  primary.phases.push_back(p);
+
+  Engine spoiled(cfg, 1);
+  for (const QuerySpec& s : MakeSpoiler(cfg, 3)) spoiled.AddProcess(s, 0.0);
+  const int spid = spoiled.AddProcess(primary, 0.0);
+  ASSERT_TRUE(spoiled.RunUntilProcessCompletes(spid).ok());
+
+  Engine mixed(cfg, 1);
+  for (int i = 0; i < 2; ++i) {
+    QuerySpec c;
+    c.name = "real";
+    Phase cp;
+    cp.seq_io_bytes = 400.0 * kMB;
+    cp.table = static_cast<TableId>(i);
+    Phase think;
+    think.cpu_seconds = 5.0;  // real queries have CPU pauses
+    c.phases = {cp, think};
+    mixed.AddProcess(c, 0.0);
+  }
+  const int mpid = mixed.AddProcess(primary, 0.0);
+  ASSERT_TRUE(mixed.RunUntilProcessCompletes(mpid).ok());
+
+  EXPECT_GE(spoiled.result(spid).latency(),
+            mixed.result(mpid).latency() - 1e-6);
+}
+
+// Revocation: a large working set gets swapped when a comparable demand
+// arrives, and the victim's spill traffic is accounted.
+TEST(EngineProperty, MemoryReclaimVictimizesLargestHolder) {
+  SimConfig cfg = SweepConfig(false);
+  cfg.spill_amplification = 2.0;
+  Engine engine(cfg, 1);
+
+  QuerySpec big;
+  big.name = "big";
+  Phase bp;
+  bp.cpu_seconds = 2000.0;
+  bp.mem_demand_bytes = 5.0 * kGB;
+  bp.spillable = true;
+  big.phases.push_back(bp);
+  const int big_pid = engine.AddProcess(big, 0.0);
+
+  QuerySpec newcomer;
+  newcomer.name = "newcomer";
+  Phase np;
+  np.cpu_seconds = 1.0;
+  np.mem_demand_bytes = 4.0 * kGB;  // grantable is 6.6 GB -> pressure
+  np.spillable = true;
+  newcomer.phases.push_back(np);
+  const int new_pid = engine.AddProcess(newcomer, 10.0);
+
+  ASSERT_TRUE(engine.RunUntilProcessCompletes(new_pid).ok());
+  // The newcomer got (most of) its demand by revoking from `big`.
+  EXPECT_GT(engine.result(new_pid).max_memory_granted, 3.9 * kGB);
+  ASSERT_TRUE(engine.RunUntilProcessCompletes(big_pid).ok());
+  EXPECT_GT(engine.result(big_pid).spill_bytes, 0.0);
+}
+
+}  // namespace
+}  // namespace contender::sim

@@ -1,0 +1,68 @@
+#include "sim/spoiler.h"
+
+#include <gtest/gtest.h>
+#include <set>
+
+#include "sim/engine.h"
+
+namespace contender::sim {
+namespace {
+
+TEST(SpoilerTest, Composition) {
+  SimConfig cfg;
+  auto specs = MakeSpoiler(cfg, 4);
+  // One memory pin plus MPL-1 reader streams.
+  ASSERT_EQ(specs.size(), 4u);
+  EXPECT_GT(specs[0].pinned_memory_bytes, 0.0);
+  EXPECT_NEAR(specs[0].pinned_memory_bytes, 0.75 * cfg.ram_bytes, 1.0);
+  for (const QuerySpec& s : specs) EXPECT_TRUE(s.immortal);
+  // Readers use distinct private (negative) tables: no accidental sharing.
+  std::set<TableId> tables;
+  for (size_t i = 1; i < specs.size(); ++i) {
+    ASSERT_EQ(specs[i].phases.size(), 1u);
+    EXPECT_LT(specs[i].phases[0].table, 0);
+    tables.insert(specs[i].phases[0].table);
+  }
+  EXPECT_EQ(tables.size(), 3u);
+}
+
+TEST(SpoilerTest, PinFractionFollowsMpl) {
+  SimConfig cfg;
+  EXPECT_NEAR(MakeSpoiler(cfg, 2)[0].pinned_memory_bytes,
+              0.5 * cfg.ram_bytes, 1.0);
+  EXPECT_NEAR(MakeSpoiler(cfg, 5)[0].pinned_memory_bytes,
+              0.8 * cfg.ram_bytes, 1.0);
+}
+
+TEST(SpoilerTest, MplBelowTwoYieldsNothing) {
+  SimConfig cfg;
+  EXPECT_TRUE(MakeSpoiler(cfg, 1).empty());
+  EXPECT_TRUE(MakeSpoiler(cfg, 0).empty());
+}
+
+TEST(SpoilerTest, LatencyGrowsMonotonicallyWithMpl) {
+  SimConfig cfg;
+  cfg.random_io_sigma = 0.0;
+  cfg.cpu_jitter = 0.0;
+  double prev = 0.0;
+  for (int mpl = 2; mpl <= 5; ++mpl) {
+    Engine engine(cfg, 1);
+    for (const QuerySpec& s : MakeSpoiler(cfg, mpl)) {
+      engine.AddProcess(s, 0.0);
+    }
+    QuerySpec primary;
+    primary.name = "p";
+    Phase p;
+    p.seq_io_bytes = 2000.0 * kMB;
+    p.table = 0;
+    primary.phases.push_back(p);
+    const int pid = engine.AddProcess(primary, 0.0);
+    ASSERT_TRUE(engine.RunUntilProcessCompletes(pid).ok());
+    const double latency = engine.result(pid).latency();
+    EXPECT_GT(latency, prev);
+    prev = latency;
+  }
+}
+
+}  // namespace
+}  // namespace contender::sim

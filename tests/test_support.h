@@ -1,0 +1,50 @@
+// Shared fixtures: the paper workload and a lazily-collected training data
+// set, built once per test binary (collection is fast but not free).
+
+#ifndef CONTENDER_TESTS_TEST_SUPPORT_H_
+#define CONTENDER_TESTS_TEST_SUPPORT_H_
+
+#include "util/logging.h"
+#include "workload/sampler.h"
+#include "workload/workload.h"
+
+namespace contender::testing {
+
+/// The paper workload (25 templates over TPC-DS SF=100).
+inline const Workload& PaperWorkload() {
+  static const Workload* w = new Workload(Workload::Paper());
+  return *w;
+}
+
+/// Default hardware model.
+inline const sim::SimConfig& DefaultConfig() {
+  static const sim::SimConfig config;
+  return config;
+}
+
+/// Full training data (profiles, scan times, mix observations at MPL 2-5),
+/// collected once with a fixed seed.
+inline const TrainingData& SharedTrainingData() {
+  static const TrainingData* data = [] {
+    WorkloadSampler::Options options;
+    WorkloadSampler sampler(&PaperWorkload(), DefaultConfig(), options);
+    auto collected = sampler.CollectAll();
+    CONTENDER_CHECK(collected.ok()) << collected.status();
+    return new TrainingData(std::move(*collected));
+  }();
+  return *data;
+}
+
+/// Profile lookup by paper template id; CHECK-fails when missing.
+inline const TemplateProfile& ProfileById(const TrainingData& data, int id) {
+  for (const TemplateProfile& p : data.profiles) {
+    if (p.template_id == id) return p;
+  }
+  CONTENDER_CHECK(false) << "no profile for template id " << id;
+  static TemplateProfile dummy;
+  return dummy;
+}
+
+}  // namespace contender::testing
+
+#endif  // CONTENDER_TESTS_TEST_SUPPORT_H_

@@ -1,0 +1,54 @@
+#include "util/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace contender {
+namespace {
+
+Flags MakeFlags(std::vector<std::string> args) {
+  static std::vector<std::string> storage;
+  storage = std::move(args);
+  storage.insert(storage.begin(), "prog");
+  std::vector<char*> argv;
+  for (auto& s : storage) argv.push_back(s.data());
+  return Flags(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(FlagsTest, EqualsSyntax) {
+  Flags f = MakeFlags({"--seed=7", "--name=alpha", "--rate=0.5"});
+  EXPECT_EQ(f.GetInt("seed", 0), 7);
+  EXPECT_EQ(f.GetString("name", ""), "alpha");
+  EXPECT_DOUBLE_EQ(f.GetDouble("rate", 0.0), 0.5);
+  EXPECT_EQ(f.Seed(), 7u);
+}
+
+TEST(FlagsTest, SpaceSyntax) {
+  Flags f = MakeFlags({"--seed", "9", "--name", "beta"});
+  EXPECT_EQ(f.GetInt("seed", 0), 9);
+  EXPECT_EQ(f.GetString("name", ""), "beta");
+}
+
+TEST(FlagsTest, BooleanFlags) {
+  Flags f = MakeFlags({"--verbose", "--no-color"});
+  EXPECT_TRUE(f.GetBool("verbose", false));
+  EXPECT_FALSE(f.GetBool("color", true));
+  EXPECT_TRUE(f.GetBool("absent", true));
+  EXPECT_FALSE(f.GetBool("absent", false));
+}
+
+TEST(FlagsTest, DefaultsWhenAbsent) {
+  Flags f = MakeFlags({});
+  EXPECT_EQ(f.GetInt("seed", 42), 42);
+  EXPECT_EQ(f.Seed(), 42u);
+  EXPECT_EQ(f.GetString("x", "dflt"), "dflt");
+  EXPECT_FALSE(f.Has("x"));
+}
+
+TEST(FlagsTest, ExplicitFalseString) {
+  Flags f = MakeFlags({"--opt=false", "--zero=0"});
+  EXPECT_FALSE(f.GetBool("opt", true));
+  EXPECT_FALSE(f.GetBool("zero", true));
+}
+
+}  // namespace
+}  // namespace contender

@@ -1,0 +1,51 @@
+#include "util/table_printer.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace contender {
+namespace {
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter tp({"Name", "Value"});
+  tp.AddRow({"alpha", "1"});
+  tp.AddRow({"b", "22222"});
+  std::ostringstream os;
+  tp.Print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("Name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22222"), std::string::npos);
+  // Header underline present.
+  EXPECT_NE(out.find("---"), std::string::npos);
+  // Four lines: header, rule, two rows.
+  int newlines = 0;
+  for (char c : out) {
+    if (c == '\n') ++newlines;
+  }
+  EXPECT_EQ(newlines, 4);
+}
+
+TEST(TablePrinterTest, ShortRowsArePadded) {
+  TablePrinter tp({"A", "B", "C"});
+  tp.AddRow({"x"});
+  std::ostringstream os;
+  tp.Print(os);
+  SUCCEED();  // must not crash; cells padded to header width
+}
+
+TEST(FormatTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(2.0, 0), "2");
+  EXPECT_EQ(FormatDouble(-1.5, 1), "-1.5");
+}
+
+TEST(FormatTest, FormatPercent) {
+  EXPECT_EQ(FormatPercent(0.254, 1), "25.4%");
+  EXPECT_EQ(FormatPercent(1.0, 0), "100%");
+  EXPECT_EQ(FormatPercent(0.199, 0), "20%");
+}
+
+}  // namespace
+}  // namespace contender

@@ -1,0 +1,105 @@
+#include "workload/plan_compiler.h"
+
+#include <gtest/gtest.h>
+
+namespace contender {
+namespace {
+
+TEST(PlanCompilerTest, SingleScanBecomesOnePhase) {
+  Catalog c = Catalog::TpcDs100();
+  const TableDef& ss = c.Get("store_sales");
+  PlanNode plan = SeqScan(ss, 1.0, 288e6);
+  sim::QuerySpec spec = CompilePlan(plan, c, InstanceParams{}, "q", 1);
+  ASSERT_EQ(spec.phases.size(), 1u);
+  EXPECT_DOUBLE_EQ(spec.phases[0].seq_io_bytes, ss.bytes);
+  EXPECT_EQ(spec.phases[0].table, ss.id);
+  EXPECT_FALSE(spec.phases[0].cacheable);
+  EXPECT_GT(spec.phases[0].cpu_seconds, 0.0);
+}
+
+TEST(PlanCompilerTest, DimensionScanIsCacheable) {
+  Catalog c = Catalog::TpcDs100();
+  PlanNode plan = SeqScan(c.Get("item"), 1.0, 204000);
+  sim::QuerySpec spec = CompilePlan(plan, c, InstanceParams{}, "q", 1);
+  ASSERT_EQ(spec.phases.size(), 1u);
+  EXPECT_TRUE(spec.phases[0].cacheable);
+  EXPECT_DOUBLE_EQ(spec.phases[0].table_bytes, c.Get("item").bytes);
+}
+
+TEST(PlanCompilerTest, HashJoinProducesBuildThenProbePhases) {
+  Catalog c = Catalog::TpcDs100();
+  PlanNode plan = HashJoin(SeqScan(c.Get("item"), 1.0, 204000),
+                           SeqScan(c.Get("store_sales"), 1.0, 288e6), 36e6,
+                           60e6);
+  sim::QuerySpec spec = CompilePlan(plan, c, InstanceParams{}, "q", 1);
+  // dim scan phase (hash table resident while input feeds it), hash-build
+  // finalize phase (re-holds the memory, spill already paid), fact probe.
+  ASSERT_EQ(spec.phases.size(), 3u);
+  EXPECT_EQ(spec.phases[0].table, c.Get("item").id);
+  EXPECT_DOUBLE_EQ(spec.phases[0].mem_demand_bytes, 60e6);
+  EXPECT_TRUE(spec.phases[0].spillable);
+  EXPECT_DOUBLE_EQ(spec.phases[1].mem_demand_bytes, 60e6);
+  EXPECT_FALSE(spec.phases[1].spillable);
+  EXPECT_EQ(spec.phases[2].table, c.Get("store_sales").id);
+  // Probe CPU of the join lands in the probe phase.
+  EXPECT_GT(spec.phases[2].cpu_seconds, 0.0);
+}
+
+TEST(PlanCompilerTest, IndexScanBecomesRandomIoPhase) {
+  Catalog c = Catalog::TpcDs100();
+  PlanNode plan = IndexScan(c.Get("catalog_sales"), 50e6, 1e5);
+  sim::QuerySpec spec = CompilePlan(plan, c, InstanceParams{}, "q", 1);
+  ASSERT_EQ(spec.phases.size(), 1u);
+  EXPECT_DOUBLE_EQ(spec.phases[0].rnd_io_bytes, 50e6);
+  EXPECT_DOUBLE_EQ(spec.phases[0].seq_io_bytes, 0.0);
+}
+
+TEST(PlanCompilerTest, BlockingOperatorGetsOwnPhase) {
+  Catalog c = Catalog::TpcDs100();
+  PlanNode plan = Sort(SeqScan(c.Get("web_sales"), 1.0, 72e6), 500e6);
+  sim::QuerySpec spec = CompilePlan(plan, c, InstanceParams{}, "q", 1);
+  ASSERT_EQ(spec.phases.size(), 2u);
+  EXPECT_GT(spec.phases[0].seq_io_bytes, 0.0);
+  EXPECT_DOUBLE_EQ(spec.phases[1].seq_io_bytes, 0.0);
+  EXPECT_DOUBLE_EQ(spec.phases[1].mem_demand_bytes, 500e6);
+  EXPECT_GT(spec.phases[1].cpu_seconds, 0.0);
+}
+
+TEST(PlanCompilerTest, SelectivityScalesPartialScansAndCpu) {
+  Catalog c = Catalog::TpcDs100();
+  PlanNode plan = SeqScan(c.Get("store_sales"), 0.5, 144e6);
+  InstanceParams lo{0.9, 1.0};
+  InstanceParams hi{1.1, 1.0};
+  sim::QuerySpec a = CompilePlan(plan, c, lo, "q", 1);
+  sim::QuerySpec b = CompilePlan(plan, c, hi, "q", 1);
+  EXPECT_LT(a.phases[0].seq_io_bytes, b.phases[0].seq_io_bytes);
+  EXPECT_LT(a.phases[0].cpu_seconds, b.phases[0].cpu_seconds);
+}
+
+TEST(PlanCompilerTest, FullScansNotScaledBySelectivity) {
+  Catalog c = Catalog::TpcDs100();
+  PlanNode plan = SeqScan(c.Get("store_sales"), 1.0, 288e6);
+  sim::QuerySpec a = CompilePlan(plan, c, InstanceParams{0.9, 1.0}, "q", 1);
+  sim::QuerySpec b = CompilePlan(plan, c, InstanceParams{1.1, 1.0}, "q", 1);
+  EXPECT_DOUBLE_EQ(a.phases[0].seq_io_bytes, b.phases[0].seq_io_bytes);
+}
+
+TEST(PlanCompilerTest, IoScaleAffectsAllSequentialVolume) {
+  Catalog c = Catalog::TpcDs100();
+  PlanNode plan = SeqScan(c.Get("store_sales"), 1.0, 288e6);
+  sim::QuerySpec a = CompilePlan(plan, c, InstanceParams{1.0, 1.05}, "q", 1);
+  EXPECT_NEAR(a.phases[0].seq_io_bytes, 1.05 * c.Get("store_sales").bytes,
+              1.0);
+}
+
+TEST(PlanCompilerTest, CarriesIdentity) {
+  Catalog c = Catalog::TpcDs100();
+  PlanNode plan = SeqScan(c.Get("item"), 1.0, 1.0);
+  sim::QuerySpec spec = CompilePlan(plan, c, InstanceParams{}, "q99", 99);
+  EXPECT_EQ(spec.name, "q99");
+  EXPECT_EQ(spec.template_id, 99);
+  EXPECT_FALSE(spec.immortal);
+}
+
+}  // namespace
+}  // namespace contender

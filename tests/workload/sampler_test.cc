@@ -1,0 +1,134 @@
+#include "workload/sampler.h"
+
+#include <gtest/gtest.h>
+
+#include "test_support.h"
+
+namespace contender {
+namespace {
+
+using testing::DefaultConfig;
+using testing::PaperWorkload;
+using testing::SharedTrainingData;
+
+WorkloadSampler MakeSampler() {
+  WorkloadSampler::Options opts;
+  return WorkloadSampler(&PaperWorkload(), DefaultConfig(), opts);
+}
+
+TEST(SamplerTest, ProfileHasAllFields) {
+  WorkloadSampler sampler = MakeSampler();
+  auto p = sampler.ProfileTemplate(0, {2, 3});
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->template_index, 0);
+  EXPECT_EQ(p->template_id, PaperWorkload().tmpl(0).id);
+  EXPECT_GT(p->isolated_latency, 0.0);
+  EXPECT_GT(p->io_fraction, 0.0);
+  EXPECT_LE(p->io_fraction, 1.0);
+  EXPECT_GT(p->plan_steps, 0);
+  EXPECT_GT(p->records_accessed, 0.0);
+  EXPECT_EQ(p->spoiler_latency.size(), 2u);
+  EXPECT_GT(p->spoiler_latency.at(2), p->isolated_latency);
+  EXPECT_GT(p->spoiler_latency.at(3), p->spoiler_latency.at(2));
+}
+
+TEST(SamplerTest, ProfileRejectsBadIndex) {
+  WorkloadSampler sampler = MakeSampler();
+  EXPECT_FALSE(sampler.ProfileTemplate(-1, {}).ok());
+  EXPECT_FALSE(sampler.ProfileTemplate(1000, {}).ok());
+}
+
+TEST(SamplerTest, ScanTimeMatchesBytesOverBandwidth) {
+  WorkloadSampler sampler = MakeSampler();
+  const TableDef& ss = PaperWorkload().catalog().Get("store_sales");
+  auto s_f = sampler.MeasureScanTime(ss.id);
+  ASSERT_TRUE(s_f.ok());
+  const double expected = ss.bytes / DefaultConfig().seq_bandwidth;
+  EXPECT_NEAR(*s_f, expected, 0.05 * expected + 1.0);
+}
+
+TEST(SamplerTest, ScanTimeRejectsUnknownTable) {
+  WorkloadSampler sampler = MakeSampler();
+  EXPECT_FALSE(sampler.MeasureScanTime(-3).ok());
+}
+
+TEST(SamplerTest, SpoilerLatencyRequiresMplAtLeastTwo) {
+  WorkloadSampler sampler = MakeSampler();
+  EXPECT_FALSE(sampler.MeasureSpoilerLatency(0, 1).ok());
+}
+
+TEST(SamplerTest, ObserveMixYieldsOneObservationPerStream) {
+  WorkloadSampler sampler = MakeSampler();
+  auto obs = sampler.ObserveMix({0, 4, 9});
+  ASSERT_TRUE(obs.ok());
+  ASSERT_EQ(obs->size(), 3u);
+  EXPECT_EQ((*obs)[0].primary_index, 0);
+  EXPECT_EQ((*obs)[0].mpl, 3);
+  EXPECT_EQ((*obs)[0].concurrent_indices, (std::vector<int>{4, 9}));
+  EXPECT_EQ((*obs)[1].concurrent_indices, (std::vector<int>{0, 9}));
+  for (const MixObservation& o : *obs) EXPECT_GT(o.latency, 0.0);
+}
+
+TEST(SamplerTest, MixesForMplTwoIsAllPairs) {
+  WorkloadSampler sampler = MakeSampler();
+  auto mixes = sampler.MixesForMpl(2);
+  ASSERT_TRUE(mixes.ok());
+  EXPECT_EQ(mixes->size(), 325u);  // C(26, 2) over 25 templates
+}
+
+TEST(SamplerTest, MixesForHigherMplUseLhsRuns) {
+  WorkloadSampler sampler = MakeSampler();
+  auto mixes = sampler.MixesForMpl(4);
+  ASSERT_TRUE(mixes.ok());
+  // 4 LHS runs x 25 templates.
+  EXPECT_EQ(mixes->size(), 100u);
+  for (const auto& mix : *mixes) EXPECT_EQ(mix.size(), 4u);
+}
+
+TEST(SamplerTest, PairCapIsRespected) {
+  WorkloadSampler::Options opts;
+  opts.max_pair_mixes = 50;
+  WorkloadSampler sampler(&PaperWorkload(), DefaultConfig(), opts);
+  auto mixes = sampler.MixesForMpl(2);
+  ASSERT_TRUE(mixes.ok());
+  EXPECT_EQ(mixes->size(), 50u);
+}
+
+TEST(SamplerTest, CollectAllCoversEveryTemplateAndMpl) {
+  const TrainingData& data = SharedTrainingData();
+  EXPECT_EQ(data.profiles.size(), 25u);
+  EXPECT_EQ(data.scan_times.size(), 7u);  // all fact tables
+  EXPECT_GT(data.sampling_seconds, 0.0);
+  // 325 pair mixes x 2 + 3 MPLs x 100 LHS mixes x MPL observations.
+  EXPECT_EQ(data.observations.size(),
+            325u * 2u + 100u * 3u + 100u * 4u + 100u * 5u);
+  std::set<int> mpls;
+  for (const MixObservation& o : data.observations) mpls.insert(o.mpl);
+  EXPECT_EQ(mpls, (std::set<int>{2, 3, 4, 5}));
+  // Every template appears as a primary at MPL 2.
+  std::set<int> primaries;
+  for (const MixObservation& o : data.observations) {
+    if (o.mpl == 2) primaries.insert(o.primary_index);
+  }
+  EXPECT_EQ(primaries.size(), 25u);
+}
+
+TEST(SamplerTest, SpoilerLatencyDominatesMixLatencies) {
+  // The spoiler is a worst case: only a small fraction of steady-state
+  // observations may exceed 105% of it (paper §6.1 reports ~4%).
+  const TrainingData& data = SharedTrainingData();
+  int over = 0, total = 0;
+  for (const MixObservation& o : data.observations) {
+    const TemplateProfile& p =
+        data.profiles[static_cast<size_t>(o.primary_index)];
+    auto it = p.spoiler_latency.find(o.mpl);
+    if (it == p.spoiler_latency.end()) continue;
+    ++total;
+    if (o.latency > 1.05 * it->second) ++over;
+  }
+  ASSERT_GT(total, 0);
+  EXPECT_LT(static_cast<double>(over) / total, 0.08);
+}
+
+}  // namespace
+}  // namespace contender

@@ -1,0 +1,114 @@
+// Steady-state protocol tests (paper §2, Fig. 2).
+
+#include "workload/steady_state.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/engine.h"
+#include "test_support.h"
+
+namespace contender {
+namespace {
+
+using testing::DefaultConfig;
+using testing::PaperWorkload;
+
+TEST(SteadyStateTest, RejectsBadArguments) {
+  const Workload& w = PaperWorkload();
+  SteadyStateOptions opts;
+  EXPECT_FALSE(RunSteadyState(w, {}, DefaultConfig(), opts).ok());
+  EXPECT_FALSE(RunSteadyState(w, {0, 999}, DefaultConfig(), opts).ok());
+  opts.samples_per_stream = 0;
+  EXPECT_FALSE(RunSteadyState(w, {0, 1}, DefaultConfig(), opts).ok());
+}
+
+TEST(SteadyStateTest, CollectsRequestedSamplesPerStream) {
+  const Workload& w = PaperWorkload();
+  SteadyStateOptions opts;
+  opts.samples_per_stream = 5;
+  opts.warmup_per_stream = 1;
+  auto result = RunSteadyState(w, {0, 1}, DefaultConfig(), opts);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->streams.size(), 2u);
+  for (const StreamResult& s : result->streams) {
+    EXPECT_EQ(s.latencies.size(), 5u);
+    EXPECT_GT(s.mean_latency, 0.0);
+    for (double l : s.latencies) EXPECT_GT(l, 0.0);
+  }
+  EXPECT_GT(result->duration, 0.0);
+}
+
+TEST(SteadyStateTest, StreamsKeepTheirTemplates) {
+  const Workload& w = PaperWorkload();
+  SteadyStateOptions opts;
+  opts.samples_per_stream = 2;
+  auto result = RunSteadyState(w, {3, 7, 3}, DefaultConfig(), opts);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->streams.size(), 3u);
+  EXPECT_EQ(result->streams[0].template_index, 3);
+  EXPECT_EQ(result->streams[1].template_index, 7);
+  EXPECT_EQ(result->streams[2].template_index, 3);
+}
+
+TEST(SteadyStateTest, DeterministicForFixedSeed) {
+  const Workload& w = PaperWorkload();
+  SteadyStateOptions opts;
+  opts.samples_per_stream = 3;
+  opts.seed = 77;
+  auto a = RunSteadyState(w, {0, 5}, DefaultConfig(), opts);
+  auto b = RunSteadyState(w, {0, 5}, DefaultConfig(), opts);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (size_t s = 0; s < a->streams.size(); ++s) {
+    EXPECT_EQ(a->streams[s].latencies, b->streams[s].latencies);
+  }
+}
+
+TEST(SteadyStateTest, ConcurrencySlowsQueriesVsIsolation) {
+  const Workload& w = PaperWorkload();
+  // q26 (I/O-bound, catalog_sales) against q27 (store_sales): disjoint
+  // fact scans, so both must slow down vs isolation.
+  const int q26 = w.IndexOfId(26);
+  const int q27 = w.IndexOfId(27);
+  SteadyStateOptions opts;
+  opts.samples_per_stream = 3;
+
+  sim::Engine solo(DefaultConfig(), 5);
+  const int pid = solo.AddProcess(w.InstantiateNominal(q26), 0.0);
+  ASSERT_TRUE(solo.Run().ok());
+  const double isolated = solo.result(pid).latency();
+
+  auto mix = RunSteadyState(w, {q26, q27}, DefaultConfig(), opts);
+  ASSERT_TRUE(mix.ok());
+  EXPECT_GT(mix->streams[0].mean_latency, 1.2 * isolated);
+}
+
+TEST(SteadyStateTest, SharedScansYieldPositiveInteraction) {
+  const Workload& w = PaperWorkload();
+  // q26 and q20 both scan only catalog_sales; the synchronized scan means
+  // running them together costs far less than a disjoint partner does.
+  const int q26 = w.IndexOfId(26);
+  const int q20 = w.IndexOfId(20);
+  const int q27 = w.IndexOfId(27);  // disjoint (store_sales)
+  SteadyStateOptions opts;
+  opts.samples_per_stream = 3;
+  auto shared = RunSteadyState(w, {q26, q20}, DefaultConfig(), opts);
+  auto disjoint = RunSteadyState(w, {q26, q27}, DefaultConfig(), opts);
+  ASSERT_TRUE(shared.ok());
+  ASSERT_TRUE(disjoint.ok());
+  EXPECT_LT(shared->streams[0].mean_latency,
+            0.85 * disjoint->streams[0].mean_latency);
+}
+
+TEST(SteadyStateTest, WarmupSamplesAreDropped) {
+  const Workload& w = PaperWorkload();
+  SteadyStateOptions with_warmup;
+  with_warmup.samples_per_stream = 3;
+  with_warmup.warmup_per_stream = 2;
+  auto result = RunSteadyState(w, {0, 1}, DefaultConfig(), with_warmup);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->streams[0].latencies.size(), 3u);
+}
+
+}  // namespace
+}  // namespace contender
