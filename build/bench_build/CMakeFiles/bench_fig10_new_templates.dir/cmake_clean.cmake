@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig10_new_templates"
+  "../bench/bench_fig10_new_templates.pdb"
+  "CMakeFiles/bench_fig10_new_templates.dir/bench_fig10_new_templates.cc.o"
+  "CMakeFiles/bench_fig10_new_templates.dir/bench_fig10_new_templates.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_new_templates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

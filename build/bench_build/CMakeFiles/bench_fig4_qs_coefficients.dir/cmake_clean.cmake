@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_qs_coefficients"
+  "../bench/bench_fig4_qs_coefficients.pdb"
+  "CMakeFiles/bench_fig4_qs_coefficients.dir/bench_fig4_qs_coefficients.cc.o"
+  "CMakeFiles/bench_fig4_qs_coefficients.dir/bench_fig4_qs_coefficients.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_qs_coefficients.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig4_qs_coefficients.
+# This may be replaced when dependencies are built.

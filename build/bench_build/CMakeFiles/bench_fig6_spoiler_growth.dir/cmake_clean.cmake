@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_spoiler_growth"
+  "../bench/bench_fig6_spoiler_growth.pdb"
+  "CMakeFiles/bench_fig6_spoiler_growth.dir/bench_fig6_spoiler_growth.cc.o"
+  "CMakeFiles/bench_fig6_spoiler_growth.dir/bench_fig6_spoiler_growth.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_spoiler_growth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_cqi_known"
+  "../bench/bench_fig7_cqi_known.pdb"
+  "CMakeFiles/bench_fig7_cqi_known.dir/bench_fig7_cqi_known.cc.o"
+  "CMakeFiles/bench_fig7_cqi_known.dir/bench_fig7_cqi_known.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_cqi_known.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

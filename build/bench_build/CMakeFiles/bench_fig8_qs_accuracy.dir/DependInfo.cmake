@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig8_qs_accuracy.cc" "bench_build/CMakeFiles/bench_fig8_qs_accuracy.dir/bench_fig8_qs_accuracy.cc.o" "gcc" "bench_build/CMakeFiles/bench_fig8_qs_accuracy.dir/bench_fig8_qs_accuracy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/contender_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/contender_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/contender_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/contender_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/contender_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/contender_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/contender_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

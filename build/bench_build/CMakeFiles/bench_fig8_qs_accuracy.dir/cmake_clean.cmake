@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig8_qs_accuracy"
+  "../bench/bench_fig8_qs_accuracy.pdb"
+  "CMakeFiles/bench_fig8_qs_accuracy.dir/bench_fig8_qs_accuracy.cc.o"
+  "CMakeFiles/bench_fig8_qs_accuracy.dir/bench_fig8_qs_accuracy.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_qs_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

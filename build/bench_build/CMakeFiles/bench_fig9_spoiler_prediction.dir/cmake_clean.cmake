@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig9_spoiler_prediction"
+  "../bench/bench_fig9_spoiler_prediction.pdb"
+  "CMakeFiles/bench_fig9_spoiler_prediction.dir/bench_fig9_spoiler_prediction.cc.o"
+  "CMakeFiles/bench_fig9_spoiler_prediction.dir/bench_fig9_spoiler_prediction.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_spoiler_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sampling_cost"
+  "../bench/bench_sampling_cost.pdb"
+  "CMakeFiles/bench_sampling_cost.dir/bench_sampling_cost.cc.o"
+  "CMakeFiles/bench_sampling_cost.dir/bench_sampling_cost.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sampling_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

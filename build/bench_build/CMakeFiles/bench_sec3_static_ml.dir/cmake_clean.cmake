@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sec3_static_ml"
+  "../bench/bench_sec3_static_ml.pdb"
+  "CMakeFiles/bench_sec3_static_ml.dir/bench_sec3_static_ml.cc.o"
+  "CMakeFiles/bench_sec3_static_ml.dir/bench_sec3_static_ml.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec3_static_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

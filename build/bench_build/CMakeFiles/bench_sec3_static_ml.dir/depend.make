@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_sec3_static_ml.
+# This may be replaced when dependencies are built.

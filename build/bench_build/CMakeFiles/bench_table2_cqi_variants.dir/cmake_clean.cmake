@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_cqi_variants"
+  "../bench/bench_table2_cqi_variants.pdb"
+  "CMakeFiles/bench_table2_cqi_variants.dir/bench_table2_cqi_variants.cc.o"
+  "CMakeFiles/bench_table2_cqi_variants.dir/bench_table2_cqi_variants.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_cqi_variants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table2_cqi_variants.
+# This may be replaced when dependencies are built.

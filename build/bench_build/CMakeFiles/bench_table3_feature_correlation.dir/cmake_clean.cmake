@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table3_feature_correlation"
+  "../bench/bench_table3_feature_correlation.pdb"
+  "CMakeFiles/bench_table3_feature_correlation.dir/bench_table3_feature_correlation.cc.o"
+  "CMakeFiles/bench_table3_feature_correlation.dir/bench_table3_feature_correlation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_feature_correlation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

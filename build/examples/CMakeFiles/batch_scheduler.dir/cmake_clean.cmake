@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/batch_scheduler.dir/batch_scheduler.cpp.o"
+  "CMakeFiles/batch_scheduler.dir/batch_scheduler.cpp.o.d"
+  "batch_scheduler"
+  "batch_scheduler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/batch_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

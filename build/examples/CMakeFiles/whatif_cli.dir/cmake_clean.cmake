@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whatif_cli.dir/whatif_cli.cpp.o"
+  "CMakeFiles/whatif_cli.dir/whatif_cli.cpp.o.d"
+  "whatif_cli"
+  "whatif_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whatif_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/contender_catalog.dir/catalog.cc.o"
+  "CMakeFiles/contender_catalog.dir/catalog.cc.o.d"
+  "libcontender_catalog.a"
+  "libcontender_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/contender_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/continuum.cc" "src/core/CMakeFiles/contender_core.dir/continuum.cc.o" "gcc" "src/core/CMakeFiles/contender_core.dir/continuum.cc.o.d"
+  "/root/repo/src/core/cqi.cc" "src/core/CMakeFiles/contender_core.dir/cqi.cc.o" "gcc" "src/core/CMakeFiles/contender_core.dir/cqi.cc.o.d"
+  "/root/repo/src/core/ml_baseline.cc" "src/core/CMakeFiles/contender_core.dir/ml_baseline.cc.o" "gcc" "src/core/CMakeFiles/contender_core.dir/ml_baseline.cc.o.d"
+  "/root/repo/src/core/plan_features.cc" "src/core/CMakeFiles/contender_core.dir/plan_features.cc.o" "gcc" "src/core/CMakeFiles/contender_core.dir/plan_features.cc.o.d"
+  "/root/repo/src/core/predictor.cc" "src/core/CMakeFiles/contender_core.dir/predictor.cc.o" "gcc" "src/core/CMakeFiles/contender_core.dir/predictor.cc.o.d"
+  "/root/repo/src/core/qs_model.cc" "src/core/CMakeFiles/contender_core.dir/qs_model.cc.o" "gcc" "src/core/CMakeFiles/contender_core.dir/qs_model.cc.o.d"
+  "/root/repo/src/core/qs_transfer.cc" "src/core/CMakeFiles/contender_core.dir/qs_transfer.cc.o" "gcc" "src/core/CMakeFiles/contender_core.dir/qs_transfer.cc.o.d"
+  "/root/repo/src/core/spoiler_model.cc" "src/core/CMakeFiles/contender_core.dir/spoiler_model.cc.o" "gcc" "src/core/CMakeFiles/contender_core.dir/spoiler_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/contender_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/contender_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/contender_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/contender_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/contender_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/contender_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/contender_core.dir/continuum.cc.o"
+  "CMakeFiles/contender_core.dir/continuum.cc.o.d"
+  "CMakeFiles/contender_core.dir/cqi.cc.o"
+  "CMakeFiles/contender_core.dir/cqi.cc.o.d"
+  "CMakeFiles/contender_core.dir/ml_baseline.cc.o"
+  "CMakeFiles/contender_core.dir/ml_baseline.cc.o.d"
+  "CMakeFiles/contender_core.dir/plan_features.cc.o"
+  "CMakeFiles/contender_core.dir/plan_features.cc.o.d"
+  "CMakeFiles/contender_core.dir/predictor.cc.o"
+  "CMakeFiles/contender_core.dir/predictor.cc.o.d"
+  "CMakeFiles/contender_core.dir/qs_model.cc.o"
+  "CMakeFiles/contender_core.dir/qs_model.cc.o.d"
+  "CMakeFiles/contender_core.dir/qs_transfer.cc.o"
+  "CMakeFiles/contender_core.dir/qs_transfer.cc.o.d"
+  "CMakeFiles/contender_core.dir/spoiler_model.cc.o"
+  "CMakeFiles/contender_core.dir/spoiler_model.cc.o.d"
+  "libcontender_core.a"
+  "libcontender_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/contender_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

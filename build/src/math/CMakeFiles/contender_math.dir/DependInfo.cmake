@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/math/eigen.cc" "src/math/CMakeFiles/contender_math.dir/eigen.cc.o" "gcc" "src/math/CMakeFiles/contender_math.dir/eigen.cc.o.d"
+  "/root/repo/src/math/kernel.cc" "src/math/CMakeFiles/contender_math.dir/kernel.cc.o" "gcc" "src/math/CMakeFiles/contender_math.dir/kernel.cc.o.d"
+  "/root/repo/src/math/matrix.cc" "src/math/CMakeFiles/contender_math.dir/matrix.cc.o" "gcc" "src/math/CMakeFiles/contender_math.dir/matrix.cc.o.d"
+  "/root/repo/src/math/metrics.cc" "src/math/CMakeFiles/contender_math.dir/metrics.cc.o" "gcc" "src/math/CMakeFiles/contender_math.dir/metrics.cc.o.d"
+  "/root/repo/src/math/regression.cc" "src/math/CMakeFiles/contender_math.dir/regression.cc.o" "gcc" "src/math/CMakeFiles/contender_math.dir/regression.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/contender_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

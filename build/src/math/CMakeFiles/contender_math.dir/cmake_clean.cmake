@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/contender_math.dir/eigen.cc.o"
+  "CMakeFiles/contender_math.dir/eigen.cc.o.d"
+  "CMakeFiles/contender_math.dir/kernel.cc.o"
+  "CMakeFiles/contender_math.dir/kernel.cc.o.d"
+  "CMakeFiles/contender_math.dir/matrix.cc.o"
+  "CMakeFiles/contender_math.dir/matrix.cc.o.d"
+  "CMakeFiles/contender_math.dir/metrics.cc.o"
+  "CMakeFiles/contender_math.dir/metrics.cc.o.d"
+  "CMakeFiles/contender_math.dir/regression.cc.o"
+  "CMakeFiles/contender_math.dir/regression.cc.o.d"
+  "libcontender_math.a"
+  "libcontender_math.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/contender_math.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

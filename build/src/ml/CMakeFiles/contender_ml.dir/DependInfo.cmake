@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/kcca.cc" "src/ml/CMakeFiles/contender_ml.dir/kcca.cc.o" "gcc" "src/ml/CMakeFiles/contender_ml.dir/kcca.cc.o.d"
+  "/root/repo/src/ml/kfold.cc" "src/ml/CMakeFiles/contender_ml.dir/kfold.cc.o" "gcc" "src/ml/CMakeFiles/contender_ml.dir/kfold.cc.o.d"
+  "/root/repo/src/ml/knn.cc" "src/ml/CMakeFiles/contender_ml.dir/knn.cc.o" "gcc" "src/ml/CMakeFiles/contender_ml.dir/knn.cc.o.d"
+  "/root/repo/src/ml/lhs.cc" "src/ml/CMakeFiles/contender_ml.dir/lhs.cc.o" "gcc" "src/ml/CMakeFiles/contender_ml.dir/lhs.cc.o.d"
+  "/root/repo/src/ml/svm.cc" "src/ml/CMakeFiles/contender_ml.dir/svm.cc.o" "gcc" "src/ml/CMakeFiles/contender_ml.dir/svm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/math/CMakeFiles/contender_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/contender_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

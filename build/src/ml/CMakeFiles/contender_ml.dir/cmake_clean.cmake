@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/contender_ml.dir/kcca.cc.o"
+  "CMakeFiles/contender_ml.dir/kcca.cc.o.d"
+  "CMakeFiles/contender_ml.dir/kfold.cc.o"
+  "CMakeFiles/contender_ml.dir/kfold.cc.o.d"
+  "CMakeFiles/contender_ml.dir/knn.cc.o"
+  "CMakeFiles/contender_ml.dir/knn.cc.o.d"
+  "CMakeFiles/contender_ml.dir/lhs.cc.o"
+  "CMakeFiles/contender_ml.dir/lhs.cc.o.d"
+  "CMakeFiles/contender_ml.dir/svm.cc.o"
+  "CMakeFiles/contender_ml.dir/svm.cc.o.d"
+  "libcontender_ml.a"
+  "libcontender_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/contender_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

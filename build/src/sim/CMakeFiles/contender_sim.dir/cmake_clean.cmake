@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/contender_sim.dir/buffer_pool.cc.o"
+  "CMakeFiles/contender_sim.dir/buffer_pool.cc.o.d"
+  "CMakeFiles/contender_sim.dir/disk.cc.o"
+  "CMakeFiles/contender_sim.dir/disk.cc.o.d"
+  "CMakeFiles/contender_sim.dir/engine.cc.o"
+  "CMakeFiles/contender_sim.dir/engine.cc.o.d"
+  "CMakeFiles/contender_sim.dir/spoiler.cc.o"
+  "CMakeFiles/contender_sim.dir/spoiler.cc.o.d"
+  "libcontender_sim.a"
+  "libcontender_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/contender_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

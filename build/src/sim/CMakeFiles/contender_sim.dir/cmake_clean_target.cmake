@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcontender_sim.a"
+)

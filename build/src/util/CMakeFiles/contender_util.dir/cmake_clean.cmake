@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/contender_util.dir/flags.cc.o"
+  "CMakeFiles/contender_util.dir/flags.cc.o.d"
+  "CMakeFiles/contender_util.dir/logging.cc.o"
+  "CMakeFiles/contender_util.dir/logging.cc.o.d"
+  "CMakeFiles/contender_util.dir/random.cc.o"
+  "CMakeFiles/contender_util.dir/random.cc.o.d"
+  "CMakeFiles/contender_util.dir/status.cc.o"
+  "CMakeFiles/contender_util.dir/status.cc.o.d"
+  "CMakeFiles/contender_util.dir/summary_stats.cc.o"
+  "CMakeFiles/contender_util.dir/summary_stats.cc.o.d"
+  "CMakeFiles/contender_util.dir/table_printer.cc.o"
+  "CMakeFiles/contender_util.dir/table_printer.cc.o.d"
+  "libcontender_util.a"
+  "libcontender_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/contender_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/plan_compiler.cc" "src/workload/CMakeFiles/contender_workload.dir/plan_compiler.cc.o" "gcc" "src/workload/CMakeFiles/contender_workload.dir/plan_compiler.cc.o.d"
+  "/root/repo/src/workload/query_plan.cc" "src/workload/CMakeFiles/contender_workload.dir/query_plan.cc.o" "gcc" "src/workload/CMakeFiles/contender_workload.dir/query_plan.cc.o.d"
+  "/root/repo/src/workload/sampler.cc" "src/workload/CMakeFiles/contender_workload.dir/sampler.cc.o" "gcc" "src/workload/CMakeFiles/contender_workload.dir/sampler.cc.o.d"
+  "/root/repo/src/workload/steady_state.cc" "src/workload/CMakeFiles/contender_workload.dir/steady_state.cc.o" "gcc" "src/workload/CMakeFiles/contender_workload.dir/steady_state.cc.o.d"
+  "/root/repo/src/workload/templates.cc" "src/workload/CMakeFiles/contender_workload.dir/templates.cc.o" "gcc" "src/workload/CMakeFiles/contender_workload.dir/templates.cc.o.d"
+  "/root/repo/src/workload/workload.cc" "src/workload/CMakeFiles/contender_workload.dir/workload.cc.o" "gcc" "src/workload/CMakeFiles/contender_workload.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/catalog/CMakeFiles/contender_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/contender_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/contender_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/contender_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/contender_math.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

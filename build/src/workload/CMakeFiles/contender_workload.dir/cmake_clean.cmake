@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/contender_workload.dir/plan_compiler.cc.o"
+  "CMakeFiles/contender_workload.dir/plan_compiler.cc.o.d"
+  "CMakeFiles/contender_workload.dir/query_plan.cc.o"
+  "CMakeFiles/contender_workload.dir/query_plan.cc.o.d"
+  "CMakeFiles/contender_workload.dir/sampler.cc.o"
+  "CMakeFiles/contender_workload.dir/sampler.cc.o.d"
+  "CMakeFiles/contender_workload.dir/steady_state.cc.o"
+  "CMakeFiles/contender_workload.dir/steady_state.cc.o.d"
+  "CMakeFiles/contender_workload.dir/templates.cc.o"
+  "CMakeFiles/contender_workload.dir/templates.cc.o.d"
+  "CMakeFiles/contender_workload.dir/workload.cc.o"
+  "CMakeFiles/contender_workload.dir/workload.cc.o.d"
+  "libcontender_workload.a"
+  "libcontender_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/contender_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/continuum_test.dir/core/continuum_test.cc.o"
+  "CMakeFiles/continuum_test.dir/core/continuum_test.cc.o.d"
+  "continuum_test"
+  "continuum_test.pdb"
+  "continuum_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/continuum_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

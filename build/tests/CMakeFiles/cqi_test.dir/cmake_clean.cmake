@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cqi_test.dir/core/cqi_test.cc.o"
+  "CMakeFiles/cqi_test.dir/core/cqi_test.cc.o.d"
+  "cqi_test"
+  "cqi_test.pdb"
+  "cqi_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cqi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/database_growth_test.dir/integration/database_growth_test.cc.o"
+  "CMakeFiles/database_growth_test.dir/integration/database_growth_test.cc.o.d"
+  "database_growth_test"
+  "database_growth_test.pdb"
+  "database_growth_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/database_growth_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

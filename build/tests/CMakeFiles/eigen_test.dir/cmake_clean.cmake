@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eigen_test.dir/math/eigen_test.cc.o"
+  "CMakeFiles/eigen_test.dir/math/eigen_test.cc.o.d"
+  "eigen_test"
+  "eigen_test.pdb"
+  "eigen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eigen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_property_test.dir/sim/engine_property_test.cc.o"
+  "CMakeFiles/engine_property_test.dir/sim/engine_property_test.cc.o.d"
+  "engine_property_test"
+  "engine_property_test.pdb"
+  "engine_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kcca_test.dir/ml/kcca_test.cc.o"
+  "CMakeFiles/kcca_test.dir/ml/kcca_test.cc.o.d"
+  "kcca_test"
+  "kcca_test.pdb"
+  "kcca_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kcca_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kfold_test.dir/ml/kfold_test.cc.o"
+  "CMakeFiles/kfold_test.dir/ml/kfold_test.cc.o.d"
+  "kfold_test"
+  "kfold_test.pdb"
+  "kfold_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kfold_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

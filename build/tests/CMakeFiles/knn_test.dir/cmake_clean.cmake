@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/knn_test.dir/ml/knn_test.cc.o"
+  "CMakeFiles/knn_test.dir/ml/knn_test.cc.o.d"
+  "knn_test"
+  "knn_test.pdb"
+  "knn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/knn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lhs_test.dir/ml/lhs_test.cc.o"
+  "CMakeFiles/lhs_test.dir/ml/lhs_test.cc.o.d"
+  "lhs_test"
+  "lhs_test.pdb"
+  "lhs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lhs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_baseline_test.dir/core/ml_baseline_test.cc.o"
+  "CMakeFiles/ml_baseline_test.dir/core/ml_baseline_test.cc.o.d"
+  "ml_baseline_test"
+  "ml_baseline_test.pdb"
+  "ml_baseline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_baseline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

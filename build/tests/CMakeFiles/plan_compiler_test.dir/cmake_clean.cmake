@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plan_compiler_test.dir/workload/plan_compiler_test.cc.o"
+  "CMakeFiles/plan_compiler_test.dir/workload/plan_compiler_test.cc.o.d"
+  "plan_compiler_test"
+  "plan_compiler_test.pdb"
+  "plan_compiler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plan_compiler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plan_features_test.dir/core/plan_features_test.cc.o"
+  "CMakeFiles/plan_features_test.dir/core/plan_features_test.cc.o.d"
+  "plan_features_test"
+  "plan_features_test.pdb"
+  "plan_features_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plan_features_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

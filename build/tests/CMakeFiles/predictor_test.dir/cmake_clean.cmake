@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predictor_test.dir/core/predictor_test.cc.o"
+  "CMakeFiles/predictor_test.dir/core/predictor_test.cc.o.d"
+  "predictor_test"
+  "predictor_test.pdb"
+  "predictor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predictor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

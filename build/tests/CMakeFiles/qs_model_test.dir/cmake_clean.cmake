@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qs_model_test.dir/core/qs_model_test.cc.o"
+  "CMakeFiles/qs_model_test.dir/core/qs_model_test.cc.o.d"
+  "qs_model_test"
+  "qs_model_test.pdb"
+  "qs_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qs_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

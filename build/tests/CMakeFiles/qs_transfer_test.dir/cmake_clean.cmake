@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qs_transfer_test.dir/core/qs_transfer_test.cc.o"
+  "CMakeFiles/qs_transfer_test.dir/core/qs_transfer_test.cc.o.d"
+  "qs_transfer_test"
+  "qs_transfer_test.pdb"
+  "qs_transfer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qs_transfer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spoiler_model_test.dir/core/spoiler_model_test.cc.o"
+  "CMakeFiles/spoiler_model_test.dir/core/spoiler_model_test.cc.o.d"
+  "spoiler_model_test"
+  "spoiler_model_test.pdb"
+  "spoiler_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spoiler_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

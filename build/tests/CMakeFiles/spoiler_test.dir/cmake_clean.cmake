@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spoiler_test.dir/sim/spoiler_test.cc.o"
+  "CMakeFiles/spoiler_test.dir/sim/spoiler_test.cc.o.d"
+  "spoiler_test"
+  "spoiler_test.pdb"
+  "spoiler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spoiler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/steady_state_test.dir/workload/steady_state_test.cc.o"
+  "CMakeFiles/steady_state_test.dir/workload/steady_state_test.cc.o.d"
+  "steady_state_test"
+  "steady_state_test.pdb"
+  "steady_state_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/steady_state_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/summary_stats_test.dir/util/summary_stats_test.cc.o"
+  "CMakeFiles/summary_stats_test.dir/util/summary_stats_test.cc.o.d"
+  "summary_stats_test"
+  "summary_stats_test.pdb"
+  "summary_stats_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/summary_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

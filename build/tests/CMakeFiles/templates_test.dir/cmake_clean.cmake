@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/templates_test.dir/workload/templates_test.cc.o"
+  "CMakeFiles/templates_test.dir/workload/templates_test.cc.o.d"
+  "templates_test"
+  "templates_test.pdb"
+  "templates_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/templates_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
