@@ -30,14 +30,18 @@ struct Experiment {
 };
 
 /// Collects the full §2 sampling protocol (isolated profiles, spoiler
-/// latencies, scan times, all pairs at MPL 2, LHS runs at MPL 3–5).
-/// Honors --seed and --lhs_runs.
+/// latencies, scan times, all pairs at MPL 2, LHS runs at MPL 3–5), fanned
+/// across a sim::BatchRunner pool and memoized in the process-wide
+/// sim::RunCache (repeated collection with the same seed replays instead of
+/// re-simulating). Honors --seed, --lhs_runs and --threads (0 = hardware
+/// concurrency); results are bit-identical for every thread count.
 inline Experiment CollectExperiment(const Flags& flags) {
   Experiment e;
   e.seed = flags.Seed();
   WorkloadSampler::Options options;
   options.seed = e.seed;
   options.lhs_runs = static_cast<int>(flags.GetInt("lhs_runs", 4));
+  options.threads = static_cast<int>(flags.GetInt("threads", 0));
   WorkloadSampler sampler(&e.workload, e.config, options);
   auto data = sampler.CollectAll();
   CONTENDER_CHECK(data.ok()) << data.status();

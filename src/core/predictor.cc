@@ -1,8 +1,10 @@
 #include "core/predictor.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "core/continuum.h"
+#include "sim/batch_runner.h"
 
 namespace contender {
 
@@ -19,33 +21,49 @@ StatusOr<ContenderPredictor> ContenderPredictor::Train(
   p.profiles_ = std::move(profiles);
   p.scan_times_ = std::move(scan_times);
 
-  for (int mpl : options.mpls) {
-    auto models = FitReferenceModels(p.profiles_, p.scan_times_, observations,
-                                     mpl, options.variant);
-    if (!models.ok()) return models.status();
-    if (models->empty()) {
-      return Status::FailedPrecondition(
-          "ContenderPredictor: no reference QS models at an MPL; "
-          "missing observations?");
-    }
-    StatusOr<QsTransferModel> transfer =
-        options.transfer_feature == TransferFeature::kIsolatedLatency
-            ? QsTransferModel::Fit(p.profiles_, *models)
-            : QsTransferModel::FitOnFeature(
-                  p.profiles_, *models, [mpl](const TemplateProfile& t) {
-                    const double slowdown =
-                        t.spoiler_latency.at(mpl) / t.isolated_latency;
-                    return 1.0 / std::max(slowdown - 1.0, 0.05);
-                  });
-    if (!transfer.ok()) return transfer.status();
-    p.reference_models_[mpl] = std::move(*models);
-    p.transfer_models_.emplace(mpl, std::move(*transfer));
+  // The per-MPL fits are independent; fan them across the pool and merge in
+  // MPL order so the trained predictor is bit-identical for any pool width.
+  sim::BatchRunner::Options runner_opts;
+  runner_opts.threads = options.train_threads;
+  runner_opts.cache = nullptr;  // model fits are cheap; no memoization
+  sim::BatchRunner runner(runner_opts);
+
+  using MplFit = std::pair<std::map<int, QsModel>, QsTransferModel>;
+  std::vector<StatusOr<MplFit>> fits = runner.Map(
+      options.mpls.size(), [&p, &observations, &options](size_t k)
+          -> StatusOr<MplFit> {
+        const int mpl = options.mpls[k];
+        auto models = FitReferenceModels(p.profiles_, p.scan_times_,
+                                         observations, mpl, options.variant);
+        if (!models.ok()) return models.status();
+        if (models->empty()) {
+          return Status::FailedPrecondition(
+              "ContenderPredictor: no reference QS models at an MPL; "
+              "missing observations?");
+        }
+        StatusOr<QsTransferModel> transfer =
+            options.transfer_feature == TransferFeature::kIsolatedLatency
+                ? QsTransferModel::Fit(p.profiles_, *models)
+                : QsTransferModel::FitOnFeature(
+                      p.profiles_, *models, [mpl](const TemplateProfile& t) {
+                        const double slowdown =
+                            t.spoiler_latency.at(mpl) / t.isolated_latency;
+                        return 1.0 / std::max(slowdown - 1.0, 0.05);
+                      });
+        if (!transfer.ok()) return transfer.status();
+        return std::make_pair(std::move(*models), std::move(*transfer));
+      });
+  for (size_t k = 0; k < options.mpls.size(); ++k) {
+    if (!fits[k].ok()) return fits[k].status();
+    const int mpl = options.mpls[k];
+    p.reference_models_[mpl] = std::move(fits[k]->first);
+    p.transfer_models_.emplace(mpl, std::move(fits[k]->second));
   }
 
   KnnSpoilerPredictor::Options knn_opts;
   knn_opts.k = options.knn_k;
   knn_opts.train_mpls = options.spoiler_train_mpls;
-  auto knn = KnnSpoilerPredictor::Fit(p.profiles_, knn_opts);
+  auto knn = KnnSpoilerPredictor::Fit(p.profiles_, knn_opts, &runner.pool());
   if (!knn.ok()) return knn.status();
   p.knn_spoiler_.emplace(std::move(*knn));
   return p;

@@ -52,6 +52,9 @@ class ContenderPredictor {
     std::vector<int> spoiler_train_mpls = {1, 2, 3, 4, 5};
     /// Feature the QS slope is transferred from for new templates.
     TransferFeature transfer_feature = TransferFeature::kIsolatedLatency;
+    /// Pool width for the per-MPL model fits; <= 0 selects hardware
+    /// concurrency. Results are bit-identical for every width.
+    int train_threads = 0;
   };
 
   /// Trains on the known workload: isolated profiles (with spoiler

@@ -1,6 +1,36 @@
 #include "core/spoiler_model.h"
 
+#include <future>
+
 namespace contender {
+
+namespace {
+
+/// Fits every reference template's growth model, index-aligned with
+/// `profiles` (fanned across `pool` when given; failed fits become errors in
+/// place, so callers can skip them in deterministic order).
+std::vector<StatusOr<SpoilerGrowthModel>> FitAllGrowthModels(
+    const std::vector<TemplateProfile>& profiles,
+    const std::vector<int>& train_mpls, ThreadPool* pool) {
+  std::vector<StatusOr<SpoilerGrowthModel>> out;
+  out.reserve(profiles.size());
+  if (pool == nullptr) {
+    for (const TemplateProfile& p : profiles) {
+      out.push_back(FitSpoilerGrowth(p, train_mpls));
+    }
+    return out;
+  }
+  std::vector<std::future<StatusOr<SpoilerGrowthModel>>> futures;
+  futures.reserve(profiles.size());
+  for (const TemplateProfile& p : profiles) {
+    futures.push_back(pool->Submit(
+        [&p, &train_mpls] { return FitSpoilerGrowth(p, train_mpls); }));
+  }
+  for (auto& future : futures) out.push_back(future.get());
+  return out;
+}
+
+}  // namespace
 
 StatusOr<SpoilerGrowthModel> FitSpoilerGrowth(
     const TemplateProfile& profile, const std::vector<int>& train_mpls) {
@@ -36,12 +66,15 @@ StatusOr<SpoilerGrowthModel> FitSpoilerGrowth(
 
 StatusOr<KnnSpoilerPredictor> KnnSpoilerPredictor::Fit(
     const std::vector<TemplateProfile>& reference_profiles,
-    const Options& options) {
+    const Options& options, ThreadPool* pool) {
+  std::vector<StatusOr<SpoilerGrowthModel>> growths =
+      FitAllGrowthModels(reference_profiles, options.train_mpls, pool);
   std::vector<Vector> features;
   std::vector<Vector> targets;
-  for (const TemplateProfile& p : reference_profiles) {
-    auto growth = FitSpoilerGrowth(p, options.train_mpls);
+  for (size_t i = 0; i < reference_profiles.size(); ++i) {
+    const StatusOr<SpoilerGrowthModel>& growth = growths[i];
     if (!growth.ok()) continue;
+    const TemplateProfile& p = reference_profiles[i];
     features.push_back({p.working_set_bytes, p.io_fraction});
     targets.push_back({growth->slope, growth->intercept});
   }
@@ -83,11 +116,14 @@ StatusOr<double> KnnSpoilerPredictor::Predict(const TemplateProfile& target,
 
 StatusOr<IoTimeSpoilerPredictor> IoTimeSpoilerPredictor::Fit(
     const std::vector<TemplateProfile>& reference_profiles,
-    const std::vector<int>& train_mpls) {
+    const std::vector<int>& train_mpls, ThreadPool* pool) {
+  std::vector<StatusOr<SpoilerGrowthModel>> growths =
+      FitAllGrowthModels(reference_profiles, train_mpls, pool);
   std::vector<double> pt, slopes, intercepts;
-  for (const TemplateProfile& p : reference_profiles) {
-    auto growth = FitSpoilerGrowth(p, train_mpls);
+  for (size_t i = 0; i < reference_profiles.size(); ++i) {
+    const StatusOr<SpoilerGrowthModel>& growth = growths[i];
     if (!growth.ok()) continue;
+    const TemplateProfile& p = reference_profiles[i];
     pt.push_back(p.io_fraction);
     slopes.push_back(growth->slope);
     intercepts.push_back(growth->intercept);

@@ -14,6 +14,7 @@
 #include "math/regression.h"
 #include "ml/knn.h"
 #include "util/statusor.h"
+#include "util/thread_pool.h"
 
 namespace contender {
 
@@ -48,9 +49,11 @@ class KnnSpoilerPredictor {
     std::vector<int> train_mpls = {1, 2, 3, 4, 5};
   };
 
+  /// Fits one growth model per reference template (fanned across `pool`
+  /// when non-null; the result is identical either way).
   static StatusOr<KnnSpoilerPredictor> Fit(
       const std::vector<TemplateProfile>& reference_profiles,
-      const Options& options);
+      const Options& options, ThreadPool* pool = nullptr);
 
   /// Predicted l_max of `target` at `mpl` using only its isolated stats.
   StatusOr<double> Predict(const TemplateProfile& target, int mpl) const;
@@ -71,7 +74,7 @@ class IoTimeSpoilerPredictor {
  public:
   static StatusOr<IoTimeSpoilerPredictor> Fit(
       const std::vector<TemplateProfile>& reference_profiles,
-      const std::vector<int>& train_mpls);
+      const std::vector<int>& train_mpls, ThreadPool* pool = nullptr);
 
   StatusOr<double> Predict(const TemplateProfile& target, int mpl) const;
 

@@ -1,0 +1,76 @@
+// A fixed-size worker pool with a FIFO work queue and future-based result
+// delivery. Tasks are arbitrary callables; an exception thrown by a task is
+// captured and rethrown from its future's get(). The destructor stops
+// accepting new work, drains every task already queued, and joins the
+// workers.
+//
+// Determinism contract: tasks are *started* in submission order but may
+// *complete* in any order. Callers that need reproducible output must derive
+// all randomness (seeds) before submission and order results by submission
+// index — see sim::BatchRunner, which does exactly that.
+
+#ifndef CONTENDER_UTIL_THREAD_POOL_H_
+#define CONTENDER_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace contender {
+
+/// Fixed-size thread pool with a shared FIFO queue.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers; values < 1 are clamped to 1.
+  explicit ThreadPool(int num_threads);
+
+  /// Drains the queue (already-submitted tasks still run) and joins.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `fn` and returns a future for its result. If `fn` throws, the
+  /// exception is rethrown from std::future::get().
+  template <typename Fn>
+  auto Submit(Fn&& fn) -> std::future<std::invoke_result_t<std::decay_t<Fn>>> {
+    using R = std::invoke_result_t<std::decay_t<Fn>>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(fn));
+    std::future<R> future = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      queue_.push([task] { (*task)(); });
+    }
+    wake_.notify_one();
+    return future;
+  }
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Tasks submitted but not yet picked up by a worker (diagnostic only).
+  size_t QueueDepth() const;
+
+  /// A sensible default pool width for this machine (>= 1).
+  static int DefaultThreads();
+
+ private:
+  void WorkerLoop();
+
+  mutable std::mutex mutex_;
+  std::condition_variable wake_;
+  std::queue<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace contender
+
+#endif  // CONTENDER_UTIL_THREAD_POOL_H_

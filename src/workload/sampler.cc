@@ -3,7 +3,6 @@
 #include <algorithm>
 
 #include "ml/lhs.h"
-#include "sim/engine.h"
 #include "sim/spoiler.h"
 #include "workload/query_plan.h"
 
@@ -15,44 +14,37 @@ WorkloadSampler::WorkloadSampler(const Workload* workload,
     : workload_(workload), config_(config), options_(options),
       rng_(options.seed) {}
 
-StatusOr<TemplateProfile> WorkloadSampler::ProfileTemplate(
-    int index, const std::vector<int>& mpls) {
-  if (index < 0 || index >= workload_->size()) {
-    return Status::InvalidArgument("ProfileTemplate: bad template index");
+sim::BatchRunner& WorkloadSampler::runner() {
+  if (runner_ == nullptr) {
+    sim::BatchRunner::Options opts;
+    opts.threads = options_.threads;
+    opts.cache = options_.cache;
+    runner_ = std::make_unique<sim::BatchRunner>(opts);
   }
-  TemplateProfile profile;
-  profile.template_index = index;
-  profile.template_id = workload_->tmpl(index).id;
-
-  // Isolated cold-cache run (fresh engine => empty buffer pool).
-  sim::Engine engine(config_, rng_.Next());
-  const sim::QuerySpec spec = workload_->InstantiateNominal(index);
-  const int pid = engine.AddProcess(spec, 0.0);
-  CONTENDER_RETURN_IF_ERROR(engine.Run());
-  const sim::ProcessResult& r = engine.result(pid);
-  profile.isolated_latency = r.latency();
-  profile.io_fraction = r.io_fraction();
-
-  // Plan-derived (semantic) statistics.
-  const PlanNode plan = workload_->NominalPlan(index);
-  profile.plan_steps = CountPlanSteps(plan);
-  profile.records_accessed = SumPlanRows(plan);
-  profile.fact_tables = FactTablesScanned(plan, workload_->catalog());
-  double ws = 0.0;
-  for (const sim::Phase& phase : spec.phases) {
-    ws = std::max(ws, phase.mem_demand_bytes);
-  }
-  profile.working_set_bytes = ws;
-
-  for (int mpl : mpls) {
-    auto lmax = MeasureSpoilerLatency(index, mpl);
-    if (!lmax.ok()) return lmax.status();
-    profile.spoiler_latency[mpl] = *lmax;
-  }
-  return profile;
+  return *runner_;
 }
 
-StatusOr<double> WorkloadSampler::MeasureScanTime(sim::TableId table) {
+sim::EngineRun WorkloadSampler::IsolatedRun(int index, uint64_t seed) const {
+  sim::EngineRun run;
+  run.specs.push_back(workload_->InstantiateNominal(index));
+  run.config = config_;
+  run.seed = seed;
+  return run;
+}
+
+sim::EngineRun WorkloadSampler::SpoilerRun(int index, int mpl,
+                                           uint64_t seed) const {
+  sim::EngineRun run;
+  run.specs = sim::MakeSpoiler(config_, mpl);
+  run.specs.push_back(workload_->InstantiateNominal(index));
+  run.config = config_;
+  run.seed = seed;
+  run.run_until = static_cast<int>(run.specs.size()) - 1;
+  return run;
+}
+
+StatusOr<sim::EngineRun> WorkloadSampler::ScanRun(sim::TableId table,
+                                                  uint64_t seed) const {
   auto def = workload_->catalog().FindById(table);
   if (!def.ok()) return def.status();
   sim::QuerySpec spec;
@@ -63,31 +55,74 @@ StatusOr<double> WorkloadSampler::MeasureScanTime(sim::TableId table) {
   phase.table_bytes = def->bytes;
   phase.cacheable = !def->is_fact;
   spec.phases.push_back(phase);
-  sim::Engine engine(config_, rng_.Next());
-  const int pid = engine.AddProcess(spec, 0.0);
-  CONTENDER_RETURN_IF_ERROR(engine.Run());
-  return engine.result(pid).latency();
+  sim::EngineRun run;
+  run.specs.push_back(std::move(spec));
+  run.config = config_;
+  run.seed = seed;
+  return run;
+}
+
+TemplateProfile WorkloadSampler::MakeProfileSkeleton(int index) const {
+  TemplateProfile profile;
+  profile.template_index = index;
+  profile.template_id = workload_->tmpl(index).id;
+  const PlanNode plan = workload_->NominalPlan(index);
+  profile.plan_steps = CountPlanSteps(plan);
+  profile.records_accessed = SumPlanRows(plan);
+  profile.fact_tables = FactTablesScanned(plan, workload_->catalog());
+  const sim::QuerySpec spec = workload_->InstantiateNominal(index);
+  double ws = 0.0;
+  for (const sim::Phase& phase : spec.phases) {
+    ws = std::max(ws, phase.mem_demand_bytes);
+  }
+  profile.working_set_bytes = ws;
+  return profile;
+}
+
+StatusOr<TemplateProfile> WorkloadSampler::ProfileTemplate(
+    int index, const std::vector<int>& mpls) {
+  if (index < 0 || index >= workload_->size()) {
+    return Status::InvalidArgument("ProfileTemplate: bad template index");
+  }
+  TemplateProfile profile = MakeProfileSkeleton(index);
+
+  // Isolated cold-cache run (fresh engine => empty buffer pool).
+  auto isolated = runner().RunOne(IsolatedRun(index, rng_.Next()));
+  if (!isolated.ok()) return isolated.status();
+  const sim::ProcessResult& r = isolated->results.back();
+  profile.isolated_latency = r.latency();
+  profile.io_fraction = r.io_fraction();
+
+  for (int mpl : mpls) {
+    auto lmax = MeasureSpoilerLatency(index, mpl);
+    if (!lmax.ok()) return lmax.status();
+    profile.spoiler_latency[mpl] = *lmax;
+  }
+  return profile;
+}
+
+StatusOr<double> WorkloadSampler::MeasureScanTime(sim::TableId table) {
+  auto run = ScanRun(table, rng_.Next());
+  if (!run.ok()) return run.status();
+  auto outcome = runner().RunOne(*run);
+  if (!outcome.ok()) return outcome.status();
+  return outcome->results.back().latency();
 }
 
 StatusOr<double> WorkloadSampler::MeasureSpoilerLatency(int index, int mpl) {
   if (mpl < 2) {
     return Status::InvalidArgument("spoiler requires MPL >= 2");
   }
-  sim::Engine engine(config_, rng_.Next());
-  for (const sim::QuerySpec& s : sim::MakeSpoiler(config_, mpl)) {
-    engine.AddProcess(s, 0.0);
-  }
-  const sim::QuerySpec spec = workload_->InstantiateNominal(index);
-  const int pid = engine.AddProcess(spec, 0.0);
-  CONTENDER_RETURN_IF_ERROR(engine.RunUntilProcessCompletes(pid));
-  return engine.result(pid).latency();
+  auto outcome = runner().RunOne(SpoilerRun(index, mpl, rng_.Next()));
+  if (!outcome.ok()) return outcome.status();
+  return outcome->results.back().latency();
 }
 
-StatusOr<std::vector<MixObservation>> WorkloadSampler::ObserveMix(
-    const std::vector<int>& mix) {
+StatusOr<std::vector<MixObservation>> WorkloadSampler::ObserveMixSeeded(
+    const std::vector<int>& mix, uint64_t seed) const {
   SteadyStateOptions ss = options_.steady_state;
-  ss.seed = rng_.Next();
-  auto result = RunSteadyState(*workload_, mix, config_, ss);
+  ss.seed = seed;
+  auto result = RunSteadyState(*workload_, mix, config_, ss, options_.cache);
   if (!result.ok()) return result.status();
 
   std::vector<MixObservation> out;
@@ -102,6 +137,11 @@ StatusOr<std::vector<MixObservation>> WorkloadSampler::ObserveMix(
     out.push_back(std::move(obs));
   }
   return out;
+}
+
+StatusOr<std::vector<MixObservation>> WorkloadSampler::ObserveMix(
+    const std::vector<int>& mix) {
+  return ObserveMixSeeded(mix, rng_.Next());
 }
 
 StatusOr<std::vector<std::vector<int>>> WorkloadSampler::MixesForMpl(
@@ -121,33 +161,103 @@ StatusOr<std::vector<std::vector<int>>> WorkloadSampler::MixesForMpl(
 
 StatusOr<TrainingData> WorkloadSampler::CollectAll() {
   TrainingData data;
-
-  for (int i = 0; i < workload_->size(); ++i) {
-    auto profile = ProfileTemplate(i, options_.mpls);
-    if (!profile.ok()) return profile.status();
-    data.sampling_seconds += profile->isolated_latency;
-    for (const auto& [mpl, lmax] : profile->spoiler_latency) {
-      data.sampling_seconds += lmax;
+  const int n = workload_->size();
+  for (int mpl : options_.mpls) {
+    if (mpl < 2) {
+      return Status::InvalidArgument("CollectAll: spoiler MPLs must be >= 2");
     }
-    data.profiles.push_back(std::move(*profile));
   }
 
-  for (const TableDef& t : workload_->catalog().FactTables()) {
-    auto s_f = MeasureScanTime(t.id);
-    if (!s_f.ok()) return s_f.status();
-    data.scan_times[t.id] = *s_f;
-    data.sampling_seconds += *s_f;
+  // Phase 1: derive every run's seed in the exact order the sequential
+  // protocol consumes the sampler Rng, so the collected data is
+  // bit-identical to single-threaded sampling regardless of pool width.
+  struct ProfileTask {
+    uint64_t isolated_seed = 0;
+    std::vector<std::pair<int, uint64_t>> spoiler_seeds;  // (mpl, seed)
+  };
+  std::vector<ProfileTask> profile_tasks(static_cast<size_t>(n));
+  for (ProfileTask& task : profile_tasks) {
+    task.isolated_seed = rng_.Next();
+    for (int mpl : options_.mpls) {
+      task.spoiler_seeds.emplace_back(mpl, rng_.Next());
+    }
   }
-
+  const std::vector<TableDef> fact_tables = workload_->catalog().FactTables();
+  std::vector<uint64_t> scan_seeds;
+  scan_seeds.reserve(fact_tables.size());
+  for (size_t f = 0; f < fact_tables.size(); ++f) {
+    scan_seeds.push_back(rng_.Next());
+  }
+  struct MixTask {
+    std::vector<int> mix;
+    uint64_t seed = 0;
+  };
+  std::vector<MixTask> mix_tasks;
   for (int mpl : options_.mpls) {
     auto mixes = MixesForMpl(mpl);
     if (!mixes.ok()) return mixes.status();
-    for (const auto& mix : *mixes) {
-      auto obs = ObserveMix(mix);
-      if (!obs.ok()) return obs.status();
-      data.observations.insert(data.observations.end(), obs->begin(),
-                               obs->end());
+    for (auto& mix : *mixes) {
+      mix_tasks.push_back({std::move(mix), rng_.Next()});
     }
+  }
+
+  // Phase 2: fan every engine run (isolated, spoilers, scans) across the
+  // pool; the flattened run list is consumed back in submission order.
+  std::vector<sim::EngineRun> runs;
+  for (int i = 0; i < n; ++i) {
+    const ProfileTask& task = profile_tasks[static_cast<size_t>(i)];
+    runs.push_back(IsolatedRun(i, task.isolated_seed));
+    for (const auto& [mpl, seed] : task.spoiler_seeds) {
+      runs.push_back(SpoilerRun(i, mpl, seed));
+    }
+  }
+  for (size_t f = 0; f < fact_tables.size(); ++f) {
+    auto run = ScanRun(fact_tables[f].id, scan_seeds[f]);
+    if (!run.ok()) return run.status();
+    runs.push_back(std::move(*run));
+  }
+  std::vector<StatusOr<sim::EngineRunResult>> outcomes = runner().Run(runs);
+
+  size_t cursor = 0;
+  for (int i = 0; i < n; ++i) {
+    const StatusOr<sim::EngineRunResult>& isolated = outcomes[cursor++];
+    if (!isolated.ok()) return isolated.status();
+    TemplateProfile profile = MakeProfileSkeleton(i);
+    profile.isolated_latency = isolated->results.back().latency();
+    profile.io_fraction = isolated->results.back().io_fraction();
+    for (const auto& [mpl, seed] : profile_tasks[static_cast<size_t>(i)]
+                                       .spoiler_seeds) {
+      (void)seed;
+      const StatusOr<sim::EngineRunResult>& spoiled = outcomes[cursor++];
+      if (!spoiled.ok()) return spoiled.status();
+      profile.spoiler_latency[mpl] = spoiled->results.back().latency();
+    }
+    data.sampling_seconds += profile.isolated_latency;
+    for (const auto& [mpl, lmax] : profile.spoiler_latency) {
+      (void)mpl;
+      data.sampling_seconds += lmax;
+    }
+    data.profiles.push_back(std::move(profile));
+  }
+  for (size_t f = 0; f < fact_tables.size(); ++f) {
+    const StatusOr<sim::EngineRunResult>& scan = outcomes[cursor++];
+    if (!scan.ok()) return scan.status();
+    const double s_f = scan->results.back().latency();
+    data.scan_times[fact_tables[f].id] = s_f;
+    data.sampling_seconds += s_f;
+  }
+
+  // Phase 3: steady-state mix observations, fanned the same way (each run
+  // memoizes through the cache inside RunSteadyState).
+  auto mix_results = runner().Map(
+      mix_tasks.size(),
+      [this, &mix_tasks](size_t m) {
+        return ObserveMixSeeded(mix_tasks[m].mix, mix_tasks[m].seed);
+      });
+  for (const auto& obs : mix_results) {
+    if (!obs.ok()) return obs.status();
+    data.observations.insert(data.observations.end(), obs->begin(),
+                             obs->end());
   }
   return data;
 }

@@ -2,14 +2,23 @@
 // isolated (cold-cache) profiles, fact-table scan times (s_f), spoiler
 // latencies per MPL, and steady-state mix observations (all pairs at MPL 2,
 // Latin Hypercube runs at higher MPLs).
+//
+// The training runs are mutually independent simulations, so CollectAll()
+// fans them across a sim::BatchRunner pool and memoizes each run in a
+// sim::RunCache. Seeds are derived in the exact order the sequential
+// protocol consumes them, so the collected data is bit-identical for every
+// pool width (including 1) and across cold/warm cache states.
 
 #ifndef CONTENDER_WORKLOAD_SAMPLER_H_
 #define CONTENDER_WORKLOAD_SAMPLER_H_
 
 #include <map>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "core/template_profile.h"
+#include "sim/batch_runner.h"
 #include "sim/config.h"
 #include "util/statusor.h"
 #include "workload/steady_state.h"
@@ -40,6 +49,10 @@ class WorkloadSampler {
     int max_pair_mixes = 0;
     SteadyStateOptions steady_state;
     uint64_t seed = 42;
+    /// Pool width for CollectAll; <= 0 selects hardware concurrency.
+    int threads = 0;
+    /// Run memoization cache; nullptr disables caching.
+    sim::RunCache* cache = &sim::RunCache::Global();
   };
 
   WorkloadSampler(const Workload* workload, const sim::SimConfig& config,
@@ -60,7 +73,7 @@ class WorkloadSampler {
   StatusOr<std::vector<MixObservation>> ObserveMix(
       const std::vector<int>& mix);
 
-  /// Runs the full paper §2 sampling protocol.
+  /// Runs the full paper §2 sampling protocol, fanned across the pool.
   StatusOr<TrainingData> CollectAll();
 
   /// The mixes CollectAll() would execute, per MPL (exposed for the
@@ -68,10 +81,26 @@ class WorkloadSampler {
   StatusOr<std::vector<std::vector<int>>> MixesForMpl(int mpl);
 
  private:
+  /// One isolated cold-cache run of a template's nominal instance.
+  sim::EngineRun IsolatedRun(int index, uint64_t seed) const;
+  /// Spoiler streams at `mpl` plus the primary; waits for the primary.
+  sim::EngineRun SpoilerRun(int index, int mpl, uint64_t seed) const;
+  /// Isolated full scan of one table.
+  StatusOr<sim::EngineRun> ScanRun(sim::TableId table, uint64_t seed) const;
+  /// Profile fields derived from the plan alone (no simulation).
+  TemplateProfile MakeProfileSkeleton(int index) const;
+  /// Steady-state observation of one mix under an explicit seed
+  /// (thread-safe; memoizes through the options cache).
+  StatusOr<std::vector<MixObservation>> ObserveMixSeeded(
+      const std::vector<int>& mix, uint64_t seed) const;
+
+  sim::BatchRunner& runner();
+
   const Workload* workload_;
   sim::SimConfig config_;
   Options options_;
   Rng rng_;
+  std::unique_ptr<sim::BatchRunner> runner_;
 };
 
 }  // namespace contender

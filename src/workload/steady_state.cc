@@ -7,10 +7,63 @@
 
 namespace contender {
 
+namespace {
+
+/// Content hash pinning a steady-state run: hardware model, steady-state
+/// protocol (incl. seed), and the mix — both the indices and each member's
+/// nominal spec, so workload content changes invalidate the key. Instance
+/// parameter jitter is derived from the seed, so (nominal specs, seed) pins
+/// the full instance stream.
+uint64_t HashSteadyStateRun(const Workload& workload,
+                            const std::vector<int>& mix,
+                            const sim::SimConfig& config,
+                            const SteadyStateOptions& options) {
+  sim::RunHasher hasher;
+  hasher.Add(config);
+  hasher.Add(options.seed);
+  hasher.Add(options.samples_per_stream);
+  hasher.Add(options.warmup_per_stream);
+  hasher.Add(static_cast<uint64_t>(mix.size()));
+  for (int idx : mix) {
+    hasher.Add(idx);
+    hasher.Add(workload.InstantiateNominal(idx));
+  }
+  return hasher.Digest();
+}
+
+/// Trims warmup/tail samples and computes per-stream means from the raw
+/// collected latencies (shared by the live and cache-replay paths).
+SteadyStateResult AssembleResult(
+    const std::vector<int>& mix, const SteadyStateOptions& options,
+    const std::vector<std::vector<double>>& collected, double duration) {
+  SteadyStateResult result;
+  result.streams.resize(mix.size());
+  for (size_t s = 0; s < mix.size(); ++s) {
+    StreamResult& sr = result.streams[s];
+    sr.template_index = mix[s];
+    const auto& c = collected[s];
+    const size_t begin =
+        static_cast<size_t>(options.warmup_per_stream) < c.size()
+            ? static_cast<size_t>(options.warmup_per_stream)
+            : c.size();
+    const size_t end =
+        std::min(c.size(),
+                 begin + static_cast<size_t>(options.samples_per_stream));
+    sr.latencies.assign(c.begin() + static_cast<long>(begin),
+                        c.begin() + static_cast<long>(end));
+    sr.mean_latency = Mean(sr.latencies);
+  }
+  result.duration = duration;
+  return result;
+}
+
+}  // namespace
+
 StatusOr<SteadyStateResult> RunSteadyState(const Workload& workload,
                                            const std::vector<int>& mix,
                                            const sim::SimConfig& config,
-                                           const SteadyStateOptions& options) {
+                                           const SteadyStateOptions& options,
+                                           sim::RunCache* cache) {
   if (mix.empty()) {
     return Status::InvalidArgument("RunSteadyState: empty mix");
   }
@@ -24,14 +77,20 @@ StatusOr<SteadyStateResult> RunSteadyState(const Workload& workload,
         "RunSteadyState: samples_per_stream must be positive");
   }
 
+  uint64_t key = 0;
+  if (cache != nullptr) {
+    key = HashSteadyStateRun(workload, mix, config, options);
+    if (std::optional<sim::RunCache::Entry> entry = cache->Lookup(key)) {
+      return AssembleResult(mix, options, entry->series, entry->duration);
+    }
+  }
+
   Rng rng(options.seed);
   sim::Engine engine(config, rng.Next());
 
   const size_t num_streams = mix.size();
   const int needed = options.warmup_per_stream + options.samples_per_stream;
 
-  SteadyStateResult result;
-  result.streams.resize(num_streams);
   std::vector<std::vector<double>> collected(num_streams);
   std::unordered_map<int, size_t> stream_of_process;
 
@@ -66,23 +125,13 @@ StatusOr<SteadyStateResult> RunSteadyState(const Workload& workload,
   Status st = engine.Run();
   if (!st.ok()) return st;
 
-  for (size_t s = 0; s < num_streams; ++s) {
-    StreamResult& sr = result.streams[s];
-    sr.template_index = mix[s];
-    const auto& c = collected[s];
-    const size_t begin =
-        static_cast<size_t>(options.warmup_per_stream) < c.size()
-            ? static_cast<size_t>(options.warmup_per_stream)
-            : c.size();
-    const size_t end =
-        std::min(c.size(),
-                 begin + static_cast<size_t>(options.samples_per_stream));
-    sr.latencies.assign(c.begin() + static_cast<long>(begin),
-                        c.begin() + static_cast<long>(end));
-    sr.mean_latency = Mean(sr.latencies);
+  if (cache != nullptr) {
+    sim::RunCache::Entry entry;
+    entry.series = collected;
+    entry.duration = engine.now();
+    cache->Insert(key, std::move(entry));
   }
-  result.duration = engine.now();
-  return result;
+  return AssembleResult(mix, options, collected, engine.now());
 }
 
 }  // namespace contender

@@ -8,19 +8,8 @@
 namespace contender {
 namespace {
 
+using testing::SharedPredictor;
 using testing::SharedTrainingData;
-
-const ContenderPredictor& SharedPredictor() {
-  static const ContenderPredictor* predictor = [] {
-    const TrainingData& data = SharedTrainingData();
-    ContenderPredictor::Options opts;
-    auto trained = ContenderPredictor::Train(data.profiles, data.scan_times,
-                                             data.observations, opts);
-    CONTENDER_CHECK(trained.ok()) << trained.status();
-    return new ContenderPredictor(std::move(*trained));
-  }();
-  return *predictor;
-}
 
 TEST(PredictorTest, TrainBuildsModelsAtEveryMpl) {
   const ContenderPredictor& p = SharedPredictor();

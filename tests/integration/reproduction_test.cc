@@ -129,14 +129,12 @@ TEST(ReproductionTest, Fig9KnnBeatsIoTime) {
 TEST(ReproductionTest, Fig8KnownBeatsUnknown) {
   const TrainingData& data = SharedTrainingData();
   ContenderPredictor::Options opts;
-  auto predictor = ContenderPredictor::Train(
-      data.profiles, data.scan_times, data.observations, opts);
-  ASSERT_TRUE(predictor.ok());
+  const ContenderPredictor& predictor = testing::SharedPredictor();
 
   std::vector<double> known_obs, known_pred;
   for (const MixObservation& o : data.observations) {
-    auto pred = predictor->PredictKnown(o.primary_index,
-                                        o.concurrent_indices);
+    auto pred = predictor.PredictKnown(o.primary_index,
+                                       o.concurrent_indices);
     if (!pred.ok()) continue;
     known_obs.push_back(o.latency);
     known_pred.push_back(*pred);
@@ -146,44 +144,17 @@ TEST(ReproductionTest, Fig8KnownBeatsUnknown) {
   // Unknown: leave one template out of the QS transfer, predict its mixes.
   std::vector<double> unk_obs, unk_pred;
   for (int held : {0, 5, 10, 15, 20}) {
-    std::vector<TemplateProfile> train_profiles;
-    std::vector<MixObservation> train_obs;
-    for (const TemplateProfile& p : data.profiles) {
-      if (p.template_index != held) train_profiles.push_back(p);
-    }
-    // Reindex: drop observations touching the held-out template.
-    std::vector<int> remap(data.profiles.size(), -1);
-    int next = 0;
-    for (const TemplateProfile& p : train_profiles) {
-      remap[static_cast<size_t>(p.template_index)] = next++;
-    }
-    for (MixObservation o : data.observations) {
-      bool touches_held = o.primary_index == held;
-      for (int c : o.concurrent_indices) touches_held |= (c == held);
-      if (touches_held) continue;
-      o.primary_index = remap[static_cast<size_t>(o.primary_index)];
-      for (int& c : o.concurrent_indices) {
-        c = remap[static_cast<size_t>(c)];
-      }
-      train_obs.push_back(std::move(o));
-    }
-    for (TemplateProfile& p : train_profiles) {
-      p.template_index = remap[static_cast<size_t>(p.template_index)];
-    }
+    const testing::HeldOutTraining view =
+        testing::MakeHeldOutTraining(data, {held});
     auto held_out_predictor = ContenderPredictor::Train(
-        train_profiles, data.scan_times, train_obs, opts);
+        view.profiles, data.scan_times, view.observations, opts);
     ASSERT_TRUE(held_out_predictor.ok());
 
     const TemplateProfile& target = data.profiles[static_cast<size_t>(held)];
     for (const MixObservation& o : data.observations) {
       if (o.primary_index != held) continue;
-      bool partner_held = false;
-      for (int c : o.concurrent_indices) partner_held |= (c == held);
-      if (partner_held) continue;
       std::vector<int> conc;
-      for (int c : o.concurrent_indices) {
-        conc.push_back(remap[static_cast<size_t>(c)]);
-      }
+      if (!view.RemapConcurrent(o.concurrent_indices, &conc)) continue;
       auto pred = held_out_predictor->PredictNew(target, conc,
                                                  SpoilerSource::kMeasured);
       if (!pred.ok()) continue;

@@ -1,9 +1,14 @@
-// Shared fixtures: the paper workload and a lazily-collected training data
-// set, built once per test binary (collection is fast but not free).
+// Shared fixtures: the paper workload, a lazily-collected training data set
+// and a trained predictor, built once per test binary (collection is fast
+// but not free), plus held-out-template reindexing helpers used by the
+// predictor and reproduction suites.
 
 #ifndef CONTENDER_TESTS_TEST_SUPPORT_H_
 #define CONTENDER_TESTS_TEST_SUPPORT_H_
 
+#include <vector>
+
+#include "core/predictor.h"
 #include "util/logging.h"
 #include "workload/sampler.h"
 #include "workload/workload.h"
@@ -43,6 +48,75 @@ inline const TemplateProfile& ProfileById(const TrainingData& data, int id) {
   CONTENDER_CHECK(false) << "no profile for template id " << id;
   static TemplateProfile dummy;
   return dummy;
+}
+
+/// A predictor trained once on SharedTrainingData with default options.
+inline const ContenderPredictor& SharedPredictor() {
+  static const ContenderPredictor* predictor = [] {
+    const TrainingData& data = SharedTrainingData();
+    ContenderPredictor::Options opts;
+    auto trained = ContenderPredictor::Train(data.profiles, data.scan_times,
+                                             data.observations, opts);
+    CONTENDER_CHECK(trained.ok()) << trained.status();
+    return new ContenderPredictor(std::move(*trained));
+  }();
+  return *predictor;
+}
+
+/// A training view with some templates held out: profiles reindexed,
+/// observations touching a held-out template dropped.
+struct HeldOutTraining {
+  std::vector<TemplateProfile> profiles;
+  std::vector<MixObservation> observations;
+  /// Maps original template index -> reindexed position (-1 if held out).
+  std::vector<int> remap;
+
+  /// Remaps original concurrent indices; returns false when any partner is
+  /// held out (the mix is unusable for held-out evaluation).
+  bool RemapConcurrent(const std::vector<int>& concurrent,
+                       std::vector<int>* out) const {
+    out->clear();
+    for (int c : concurrent) {
+      const int mapped = remap[static_cast<size_t>(c)];
+      if (mapped < 0) return false;
+      out->push_back(mapped);
+    }
+    return true;
+  }
+};
+
+/// Builds the held-out view of `data` (profiles reindexed contiguously;
+/// observations whose primary or partners are held out dropped).
+inline HeldOutTraining MakeHeldOutTraining(const TrainingData& data,
+                                           const std::vector<int>& held_out) {
+  HeldOutTraining view;
+  view.remap.assign(data.profiles.size(), -1);
+  auto is_held = [&held_out](int idx) {
+    for (int h : held_out) {
+      if (h == idx) return true;
+    }
+    return false;
+  };
+  int next = 0;
+  for (const TemplateProfile& p : data.profiles) {
+    if (is_held(p.template_index)) continue;
+    TemplateProfile copy = p;
+    view.remap[static_cast<size_t>(p.template_index)] = next;
+    copy.template_index = next++;
+    view.profiles.push_back(std::move(copy));
+  }
+  for (const MixObservation& o : data.observations) {
+    bool touches = is_held(o.primary_index);
+    for (int c : o.concurrent_indices) touches |= is_held(c);
+    if (touches) continue;
+    MixObservation copy = o;
+    copy.primary_index = view.remap[static_cast<size_t>(o.primary_index)];
+    for (int& c : copy.concurrent_indices) {
+      c = view.remap[static_cast<size_t>(c)];
+    }
+    view.observations.push_back(std::move(copy));
+  }
+  return view;
 }
 
 }  // namespace contender::testing
