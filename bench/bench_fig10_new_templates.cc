@@ -66,10 +66,12 @@ int main(int argc, char** argv) {
       // Isolated Prediction: +/-25% randomized error on the isolated
       // statistics (congruent with the error of [11]).
       TemplateProfile noisy = target;
-      noisy.isolated_latency *= perturb_rng.Uniform(0.75, 1.25);
-      noisy.io_fraction =
-          std::min(1.0, noisy.io_fraction * perturb_rng.Uniform(0.75, 1.25));
-      noisy.working_set_bytes *= perturb_rng.Uniform(0.75, 1.25);
+      noisy.isolated_latency =
+          noisy.isolated_latency * perturb_rng.Uniform(0.75, 1.25);
+      noisy.io_fraction = units::Fraction::Clamp(
+          noisy.io_fraction.value() * perturb_rng.Uniform(0.75, 1.25));
+      noisy.working_set_bytes =
+          noisy.working_set_bytes * perturb_rng.Uniform(0.75, 1.25);
       auto iso_mre = HeldOutMre(
           e, view, held, mpl, [&](const std::vector<int>& conc) {
             return predictor->PredictNew(noisy, conc,

@@ -16,7 +16,7 @@ int main(int argc, char** argv) {
   bench::Experiment e = bench::CollectExperiment(flags);
 
   auto models = FitReferenceModels(e.data.profiles, e.data.scan_times,
-                                   e.data.observations, mpl);
+                                   e.data.observations, units::Mpl(mpl));
   CONTENDER_CHECK(models.ok()) << models.status();
 
   std::cout << "=== Figure 4: QS coefficient relationship (MPL " << mpl

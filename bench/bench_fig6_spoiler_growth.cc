@@ -24,9 +24,9 @@ int main(int argc, char** argv) {
     const int idx = e.workload.IndexOfId(id);
     const TemplateProfile& p = e.data.profiles[static_cast<size_t>(idx)];
     std::vector<std::string> row = {"q" + std::to_string(id),
-                                    FormatDouble(p.isolated_latency, 0)};
+                                    FormatDouble(p.isolated_latency.value(), 0)};
     for (int mpl : {2, 3, 4, 5}) {
-      row.push_back(FormatDouble(p.spoiler_latency.at(mpl), 0));
+      row.push_back(FormatDouble(p.spoiler_latency.at(mpl).value(), 0));
     }
     row.push_back(FormatDouble(
         p.spoiler_latency.at(5) / p.isolated_latency, 1) + "x");
@@ -42,8 +42,9 @@ int main(int argc, char** argv) {
     if (!model.ok()) continue;
     r2.Add(model->r_squared);
     for (int mpl : {4, 5}) {
-      observed.push_back(p.spoiler_latency.at(mpl));
-      predicted.push_back(model->PredictLatency(mpl, p.isolated_latency));
+      observed.push_back(p.spoiler_latency.at(mpl).value());
+      predicted.push_back(
+          model->PredictLatency(units::Mpl(mpl), p.isolated_latency).value());
     }
   }
   std::cout << "\nLinear extrapolation (fit MPL 1-3 -> predict MPL 4-5): MRE "

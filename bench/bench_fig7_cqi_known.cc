@@ -31,8 +31,8 @@ int main(int argc, char** argv) {
   for (const auto& [t, mre] : rows) {
     const TemplateProfile& p = e.data.profiles[static_cast<size_t>(t)];
     table.AddRow({"q" + std::to_string(p.template_id), FormatPercent(mre),
-                  FormatDouble(p.io_fraction, 2),
-                  FormatDouble(p.working_set_bytes / 1e6, 0)});
+                  FormatDouble(p.io_fraction.value(), 2),
+                  FormatDouble(p.working_set_bytes.value() / 1e6, 0)});
   }
   table.Print(std::cout);
 

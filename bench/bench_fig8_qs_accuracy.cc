@@ -33,7 +33,7 @@ int main(int argc, char** argv) {
   std::map<int, std::map<int, QsModel>> own_models;  // mpl -> template -> QS
   for (int mpl : {2, 3, 4, 5}) {
     auto models = FitReferenceModels(e.data.profiles, e.data.scan_times,
-                                     e.data.observations, mpl);
+                                     e.data.observations, units::Mpl(mpl));
     CONTENDER_CHECK(models.ok());
     own_models[mpl] = std::move(*models);
   }

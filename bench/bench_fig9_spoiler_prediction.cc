@@ -34,9 +34,9 @@ int main(int argc, char** argv) {
       CONTENDER_CHECK(knn.ok());
       CONTENDER_CHECK(io.ok());
       const TemplateProfile& target = e.data.profiles[held];
-      obs.push_back(target.spoiler_latency.at(mpl));
-      knn_pred.push_back(*knn->Predict(target, mpl));
-      io_pred.push_back(*io->Predict(target, mpl));
+      obs.push_back(target.spoiler_latency.at(mpl).value());
+      knn_pred.push_back(knn->Predict(target, units::Mpl(mpl))->value());
+      io_pred.push_back(io->Predict(target, units::Mpl(mpl))->value());
     }
     const double knn_mre = MeanRelativeError(obs, knn_pred);
     const double io_mre = MeanRelativeError(obs, io_pred);

@@ -42,7 +42,7 @@ void BM_IsolatedQueryExecution(benchmark::State& state) {
   uint64_t seed = 1;
   for (auto _ : state) {
     sim::Engine engine(config, seed++);
-    const int pid = engine.AddProcess(w.InstantiateNominal(idx), 0.0);
+    const int pid = engine.AddProcess(w.InstantiateNominal(idx), units::Seconds(0.0));
     CONTENDER_CHECK(engine.Run().ok());
     benchmark::DoNotOptimize(engine.result(pid).latency());
   }
@@ -56,10 +56,10 @@ void BM_SpoilerRun(benchmark::State& state) {
   uint64_t seed = 1;
   for (auto _ : state) {
     sim::Engine engine(config, seed++);
-    for (const auto& s : sim::MakeSpoiler(config, mpl)) {
-      engine.AddProcess(s, 0.0);
+    for (const auto& s : sim::MakeSpoiler(config, units::Mpl(mpl))) {
+      engine.AddProcess(s, units::Seconds(0.0));
     }
-    const int pid = engine.AddProcess(w.InstantiateNominal(0), 0.0);
+    const int pid = engine.AddProcess(w.InstantiateNominal(0), units::Seconds(0.0));
     CONTENDER_CHECK(engine.RunUntilProcessCompletes(pid).ok());
     benchmark::DoNotOptimize(engine.result(pid).latency());
   }
@@ -98,7 +98,7 @@ void BM_FitReferenceModels(benchmark::State& state) {
   const TrainingData& data = BenchData();
   for (auto _ : state) {
     auto models = FitReferenceModels(data.profiles, data.scan_times,
-                                     data.observations, 4);
+                                     data.observations, units::Mpl(4));
     benchmark::DoNotOptimize(models.ok());
   }
 }
@@ -110,7 +110,7 @@ void BM_KnnSpoilerPredict(benchmark::State& state) {
   auto predictor = KnnSpoilerPredictor::Fit(data.profiles, opts);
   CONTENDER_CHECK(predictor.ok());
   for (auto _ : state) {
-    auto lmax = predictor->Predict(data.profiles[7], 4);
+    auto lmax = predictor->Predict(data.profiles[7], units::Mpl(4));
     benchmark::DoNotOptimize(lmax.ok());
   }
 }

@@ -59,7 +59,7 @@ TrainedRun RunPipeline(const Workload& workload, const sim::SimConfig& config,
   for (const MixObservation& o : run.data.observations) {
     auto pred = predictor->PredictKnown(o.primary_index,
                                         o.concurrent_indices);
-    run.predictions.push_back(pred.ok() ? *pred : -1.0);
+    run.predictions.push_back(pred.ok() ? pred->value() : -1.0);
   }
   return run;
 }

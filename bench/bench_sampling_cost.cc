@@ -53,10 +53,10 @@ int main(int argc, char** argv) {
       }
     }
     // Contender linear: isolated + spoiler per MPL.
-    double linear = p.isolated_latency;
-    for (int mpl : mpls) linear += p.spoiler_latency.at(mpl);
+    double linear = p.isolated_latency.value();
+    for (int mpl : mpls) linear += p.spoiler_latency.at(mpl).value();
     // Contender constant: isolated only.
-    const double constant = p.isolated_latency;
+    const double constant = p.isolated_latency.value();
 
     prior_cost.Add(prior);
     linear_cost.Add(linear);

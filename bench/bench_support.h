@@ -56,20 +56,21 @@ inline std::optional<double> KFoldQsMre(const Experiment& e,
                                         int template_index, int mpl,
                                         CqiVariant variant, int folds = 5) {
   auto set = BuildQsTrainingSet(e.data.profiles, e.data.scan_times,
-                                e.data.observations, template_index, mpl,
-                                variant);
+                                e.data.observations, template_index,
+                                units::Mpl(mpl), variant);
   if (!set.ok() || set->cqi.size() < static_cast<size_t>(folds)) {
     return std::nullopt;
   }
   const TemplateProfile& p =
       e.data.profiles[static_cast<size_t>(template_index)];
-  const double l_min = p.isolated_latency;
-  const double l_max = p.spoiler_latency.at(mpl);
+  const double l_min = p.isolated_latency.value();
+  const double l_max = p.spoiler_latency.at(mpl).value();
 
   Rng rng(e.seed ^ static_cast<uint64_t>(template_index * 131 + mpl));
   std::vector<double> observed, predicted;
   for (const FoldSplit& split : KFoldSplits(set->cqi.size(), folds, &rng)) {
-    std::vector<double> x, y;
+    std::vector<units::Cqi> x;
+    std::vector<units::ContinuumPoint> y;
     for (size_t i : split.train) {
       x.push_back(set->cqi[i]);
       y.push_back(set->continuum[i]);
@@ -77,10 +78,10 @@ inline std::optional<double> KFoldQsMre(const Experiment& e,
     auto model = FitQsModel(x, y);
     if (!model.ok()) continue;
     for (size_t i : split.test) {
-      observed.push_back(set->latency[i]);
-      predicted.push_back(model->PredictContinuum(set->cqi[i]) *
-                              (l_max - l_min) +
-                          l_min);
+      observed.push_back(set->latency[i].value());
+      predicted.push_back(
+          model->PredictContinuum(set->cqi[i]).value() * (l_max - l_min) +
+          l_min);
     }
   }
   if (observed.empty()) return std::nullopt;
@@ -158,10 +159,10 @@ std::optional<double> HeldOutMre(const Experiment& e, const HeldOutView& view,
       conc.push_back(mapped);
     }
     if (!usable) continue;
-    StatusOr<double> pred = predict(conc);
+    StatusOr<units::Seconds> pred = predict(conc);
     if (!pred.ok()) continue;
-    observed.push_back(o.latency);
-    predicted.push_back(*pred);
+    observed.push_back(o.latency.value());
+    predicted.push_back(pred->value());
   }
   if (observed.empty()) return std::nullopt;
   return MeanRelativeError(observed, predicted);

@@ -20,14 +20,14 @@ int main(int argc, char** argv) {
   bench::Experiment e = bench::CollectExperiment(flags);
 
   auto models = FitReferenceModels(e.data.profiles, e.data.scan_times,
-                                   e.data.observations, mpl);
+                                   e.data.observations, units::Mpl(mpl));
   CONTENDER_CHECK(models.ok()) << models.status();
 
   std::cout << "=== Table 3: template features vs QS coefficients "
                "(signed R^2, MPL " << mpl << ") ===\n\n";
   TablePrinter table({"Query Template Feature", "Y-Intercept b", "Slope u"});
   for (const FeatureCorrelation& fc :
-       CorrelateFeaturesWithQs(e.data.profiles, *models, mpl)) {
+       CorrelateFeaturesWithQs(e.data.profiles, *models, units::Mpl(mpl))) {
     table.AddRow({fc.feature, FormatDouble(fc.r2_intercept, 2),
                   FormatDouble(fc.r2_slope, 2)});
   }

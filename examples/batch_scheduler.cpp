@@ -41,7 +41,7 @@ double ExecuteBatch(const Workload& workload, const sim::SimConfig& machine,
   });
   launch_pair();
   CONTENDER_CHECK(engine.Run().ok());
-  return engine.now();
+  return engine.now().value();
 }
 
 }  // namespace
@@ -83,7 +83,7 @@ int main(int argc, char** argv) {
         auto a = predictor->PredictKnown(remaining[i], {remaining[j]});
         auto b = predictor->PredictKnown(remaining[j], {remaining[i]});
         if (!a.ok() || !b.ok()) continue;
-        const double cost = *a + *b;
+        const double cost = (*a + *b).value();
         if (cost < best) {
           best = cost;
           bi = i;

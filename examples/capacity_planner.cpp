@@ -57,8 +57,8 @@ int main(int argc, char** argv) {
       auto pred = predictor->PredictKnown(mix[s], partners);
       CONTENDER_CHECK(pred.ok()) << pred.status();
       const double iso =
-          data->profiles[static_cast<size_t>(mix[s])].isolated_latency;
-      worst_predicted = std::max(worst_predicted, *pred / iso);
+          data->profiles[static_cast<size_t>(mix[s])].isolated_latency.value();
+      worst_predicted = std::max(worst_predicted, pred->value() / iso);
     }
     const bool ok = worst_predicted <= slo_factor;
     if (ok && chosen == mpl - 1) chosen = mpl;  // stop at the first miss
@@ -72,7 +72,7 @@ int main(int argc, char** argv) {
     for (const StreamResult& stream : observed->streams) {
       const double iso =
           data->profiles[static_cast<size_t>(stream.template_index)]
-              .isolated_latency;
+              .isolated_latency.value();
       worst_observed = std::max(worst_observed, stream.mean_latency / iso);
     }
     table.AddRow({std::to_string(mpl), FormatDouble(worst_predicted, 2) + "x",

@@ -34,7 +34,7 @@ int main(int argc, char** argv) {
   CONTENDER_CHECK(data.ok()) << data.status();
   std::cout << "  " << data->profiles.size() << " templates profiled, "
             << data->observations.size() << " mix observations, "
-            << FormatDouble(data->sampling_seconds / 3600.0, 1)
+            << FormatDouble(data->sampling_seconds.value() / 3600.0, 1)
             << " simulated hours of sampling\n\n";
 
   // 3. Train the predictor.
@@ -69,9 +69,9 @@ int main(int argc, char** argv) {
     auto observed = RunSteadyState(workload, mix, machine, ss);
     CONTENDER_CHECK(observed.ok()) << observed.status();
     const double actual = observed->streams[0].mean_latency;
-    table.AddRow({label, FormatDouble(*predicted, 0) + " s",
+    table.AddRow({label, FormatDouble(predicted->value(), 0) + " s",
                   FormatDouble(actual, 0) + " s",
-                  FormatPercent(std::abs(actual - *predicted) / actual)});
+                  FormatPercent(std::abs(actual - predicted->value()) / actual)});
   }
   table.Print(std::cout);
 
@@ -87,7 +87,7 @@ int main(int argc, char** argv) {
       adhoc, {workload.IndexOfId(27)}, SpoilerSource::kKnnPredicted);
   CONTENDER_CHECK(adhoc_pred.ok()) << adhoc_pred.status();
   std::cout << "  predicted latency of ad-hoc q46 running with q27: "
-            << FormatDouble(*adhoc_pred, 0) << " s (isolated: "
-            << FormatDouble(adhoc.isolated_latency, 0) << " s)\n";
+            << FormatDouble(adhoc_pred->value(), 0) << " s (isolated: "
+            << FormatDouble(adhoc.isolated_latency.value(), 0) << " s)\n";
   return 0;
 }

@@ -52,9 +52,9 @@ int main(int argc, char** argv) {
       CONTENDER_CHECK(p.ok()) << p.status();
       table.AddRow({"q" + std::to_string(workload.tmpl(i).id),
                     workload.tmpl(i).description,
-                    FormatDouble(p->isolated_latency, 0) + " s",
-                    FormatDouble(p->io_fraction, 2),
-                    FormatDouble(p->working_set_bytes / 1e6, 0) + " MB"});
+                    FormatDouble(p->isolated_latency.value(), 0) + " s",
+                    FormatDouble(p->io_fraction.value(), 2),
+                    FormatDouble(p->working_set_bytes.value() / 1e6, 0) + " MB"});
     }
     table.Print(std::cout);
     return 0;
@@ -93,8 +93,8 @@ int main(int argc, char** argv) {
   }
   std::cout << "}  (MPL " << partners.size() + 1 << ")\n";
   std::cout << "  isolated latency:  "
-            << FormatDouble(profile.isolated_latency, 0) << " s\n";
-  std::cout << "  predicted latency: " << FormatDouble(*predicted, 0)
+            << FormatDouble(profile.isolated_latency.value(), 0) << " s\n";
+  std::cout << "  predicted latency: " << FormatDouble(predicted->value(), 0)
             << " s  (slowdown "
             << FormatDouble(*predicted / profile.isolated_latency, 2)
             << "x)\n";
@@ -109,7 +109,7 @@ int main(int argc, char** argv) {
     const double actual = observed->streams[0].mean_latency;
     std::cout << "  observed latency:  " << FormatDouble(actual, 0)
               << " s  (prediction error "
-              << FormatPercent(std::abs(actual - *predicted) / actual)
+              << FormatPercent(std::abs(actual - predicted->value()) / actual)
               << ")\n";
   }
   return 0;

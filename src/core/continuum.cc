@@ -2,30 +2,20 @@
 
 namespace contender {
 
-namespace {
-Status ValidateRange(double l_min, double l_max) {
-  if (l_min <= 0.0) {
-    return Status::InvalidArgument("continuum: l_min must be positive");
+StatusOr<units::ContinuumPoint> ContinuumPoint(
+    units::Seconds latency, const units::LatencyRange& range) {
+  if (!(latency.value() >= 0.0)) {  // also rejects NaN
+    return Status::InvalidArgument("continuum: latency must be non-negative");
   }
-  if (l_max <= l_min) {
-    return Status::InvalidArgument("continuum: l_max must exceed l_min");
-  }
-  return Status::OK();
-}
-}  // namespace
-
-StatusOr<double> ContinuumPoint(double latency, double l_min, double l_max) {
-  CONTENDER_RETURN_IF_ERROR(ValidateRange(l_min, l_max));
-  return (latency - l_min) / (l_max - l_min);
+  return units::ContinuumPoint((latency - range.min()) / range.width());
 }
 
-StatusOr<double> LatencyFromContinuum(double point, double l_min,
-                                      double l_max) {
-  CONTENDER_RETURN_IF_ERROR(ValidateRange(l_min, l_max));
-  return point * (l_max - l_min) + l_min;
+units::Seconds LatencyFromContinuum(units::ContinuumPoint point,
+                                    const units::LatencyRange& range) {
+  return point.value() * range.width() + range.min();
 }
 
-bool ExceedsContinuum(double latency, double l_max) {
+bool ExceedsContinuum(units::Seconds latency, units::Seconds l_max) {
   return latency > 1.05 * l_max;
 }
 

@@ -1,26 +1,38 @@
 // The performance continuum (paper §5.1, Eq. 6): a template's latency range
 // between its isolated execution (l_min) and its spoiler latency (l_max),
 // and the normalization of observations onto that range.
+//
+// The range preconditions (l_min > 0, l_max > l_min) live in
+// units::LatencyRange::Make, so a degenerate range is rejected once at
+// construction and the mapping functions below cannot be called with a
+// swapped (l_max, l_min) pair — that is now a type error.
 
 #ifndef CONTENDER_CORE_CONTINUUM_H_
 #define CONTENDER_CORE_CONTINUUM_H_
 
 #include "util/statusor.h"
+#include "util/units.h"
 
 namespace contender {
 
-/// c_{t,m} = (l - l_min) / (l_max - l_min). Requires l_max > l_min.
-/// Observations may legitimately fall slightly outside [0, 1] (steady-state
-/// artifacts, §6.1); no clamping is applied here.
-StatusOr<double> ContinuumPoint(double latency, double l_min, double l_max);
+/// c_{t,m} = (l - l_min) / (l_max - l_min). Rejects negative (or NaN)
+/// latencies with InvalidArgument. Observations may legitimately fall
+/// slightly outside [0, 1] (steady-state artifacts, §6.1); no clamping is
+/// applied here.
+StatusOr<units::ContinuumPoint> ContinuumPoint(units::Seconds latency,
+                                               const units::LatencyRange&
+                                                   range);
 
-/// Inverse of Eq. 6: latency = c * (l_max - l_min) + l_min.
-StatusOr<double> LatencyFromContinuum(double point, double l_min,
-                                      double l_max);
+/// Inverse of Eq. 6: latency = c * (l_max - l_min) + l_min. Total: the
+/// range is validated at construction.
+[[nodiscard]] units::Seconds LatencyFromContinuum(
+    units::ContinuumPoint point, const units::LatencyRange& range);
 
-/// The §6.1 outlier rule: observations above 105% of the spoiler latency
-/// measurably exceed the continuum and are excluded from evaluation.
-bool ExceedsContinuum(double latency, double l_max);
+/// The §6.1 outlier rule: observations *strictly above* 105% of the spoiler
+/// latency measurably exceed the continuum and are excluded from
+/// evaluation; an observation exactly at the 105% boundary is kept.
+[[nodiscard]] bool ExceedsContinuum(units::Seconds latency,
+                                    units::Seconds l_max);
 
 }  // namespace contender
 

@@ -24,10 +24,9 @@ Status ValidateIndices(const std::vector<TemplateProfile>& profiles,
   return Status::OK();
 }
 
-double ScanTime(const std::map<sim::TableId, double>& scan_times,
-                sim::TableId f) {
+units::Seconds ScanTime(const ScanTimes& scan_times, sim::TableId f) {
   auto it = scan_times.find(f);
-  return it == scan_times.end() ? 0.0 : it->second;
+  return it == scan_times.end() ? units::Seconds() : it->second;
 }
 
 /// h_f: number of concurrent (non-primary) queries scanning fact table f.
@@ -44,7 +43,7 @@ int CountScanners(const std::vector<const TemplateProfile*>& concurrent,
 StatusOr<CqiTerms> TermsFor(
     const TemplateProfile& primary,
     const std::vector<const TemplateProfile*>& concurrent, size_t position,
-    const std::map<sim::TableId, double>& scan_times, CqiVariant variant) {
+    const ScanTimes& scan_times, CqiVariant variant) {
   const TemplateProfile& c = *concurrent[position];
 
   CqiTerms terms;
@@ -70,13 +69,13 @@ StatusOr<CqiTerms> TermsFor(
     }
   }
 
-  if (c.isolated_latency <= 0.0) {
+  if (c.isolated_latency.value() <= 0.0) {
     return Status::FailedPrecondition("CQI: non-positive isolated latency");
   }
   // Eq. 4, truncated at zero.
   terms.r =
       std::max(0.0, (terms.total_io_seconds - terms.omega - terms.tau) /
-                        c.isolated_latency);
+                        c.isolated_latency);  // Seconds / Seconds -> ratio
   return terms;
 }
 
@@ -84,7 +83,7 @@ StatusOr<CqiTerms> TermsFor(
 
 StatusOr<CqiTerms> ComputeCqiTerms(
     const std::vector<TemplateProfile>& profiles,
-    const std::map<sim::TableId, double>& scan_times, int primary_index,
+    const ScanTimes& scan_times, int primary_index,
     const std::vector<int>& concurrent_indices, size_t concurrent_position,
     CqiVariant variant) {
   CONTENDER_RETURN_IF_ERROR(
@@ -100,10 +99,10 @@ StatusOr<CqiTerms> ComputeCqiTerms(
                   concurrent_position, scan_times, variant);
 }
 
-StatusOr<double> ComputeCqiFor(
+StatusOr<units::Cqi> ComputeCqiFor(
     const TemplateProfile& primary,
     const std::vector<const TemplateProfile*>& concurrent,
-    const std::map<sim::TableId, double>& scan_times, CqiVariant variant) {
+    const ScanTimes& scan_times, CqiVariant variant) {
   if (concurrent.empty()) {
     return Status::InvalidArgument("CQI: empty concurrent set");
   }
@@ -114,14 +113,14 @@ StatusOr<double> ComputeCqiFor(
     sum += terms->r;
   }
   // Eq. 5: average competing fraction across the concurrent queries.
-  return sum / static_cast<double>(concurrent.size());
+  return units::Cqi(sum / static_cast<double>(concurrent.size()));
 }
 
-StatusOr<double> ComputeCqi(const std::vector<TemplateProfile>& profiles,
-                            const std::map<sim::TableId, double>& scan_times,
-                            int primary_index,
-                            const std::vector<int>& concurrent_indices,
-                            CqiVariant variant) {
+StatusOr<units::Cqi> ComputeCqi(const std::vector<TemplateProfile>& profiles,
+                                const ScanTimes& scan_times,
+                                int primary_index,
+                                const std::vector<int>& concurrent_indices,
+                                CqiVariant variant) {
   CONTENDER_RETURN_IF_ERROR(
       ValidateIndices(profiles, primary_index, concurrent_indices));
   std::vector<const TemplateProfile*> concurrent;

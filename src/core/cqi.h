@@ -7,11 +7,11 @@
 #ifndef CONTENDER_CORE_CQI_H_
 #define CONTENDER_CORE_CQI_H_
 
-#include <map>
 #include <vector>
 
 #include "core/template_profile.h"
 #include "util/statusor.h"
+#include "util/units.h"
 
 namespace contender {
 
@@ -29,31 +29,31 @@ enum class CqiVariant {
 /// indices into `profiles`; repeats allowed). `scan_times` maps fact-table
 /// id to its isolated scan time s_f. Negative per-query I/O estimates are
 /// truncated to zero (paper §4.1).
-StatusOr<double> ComputeCqi(const std::vector<TemplateProfile>& profiles,
-                            const std::map<sim::TableId, double>& scan_times,
-                            int primary_index,
-                            const std::vector<int>& concurrent_indices,
-                            CqiVariant variant);
+StatusOr<units::Cqi> ComputeCqi(const std::vector<TemplateProfile>& profiles,
+                                const ScanTimes& scan_times,
+                                int primary_index,
+                                const std::vector<int>& concurrent_indices,
+                                CqiVariant variant);
 
 /// Profile-based overload: the primary need not belong to `profiles`
 /// (used when predicting for a new, unseen template).
-StatusOr<double> ComputeCqiFor(
+StatusOr<units::Cqi> ComputeCqiFor(
     const TemplateProfile& primary,
     const std::vector<const TemplateProfile*>& concurrent,
-    const std::map<sim::TableId, double>& scan_times, CqiVariant variant);
+    const ScanTimes& scan_times, CqiVariant variant);
 
 /// Per-concurrent-query breakdown (exposed for tests and diagnostics).
 struct CqiTerms {
-  double total_io_seconds = 0.0;  ///< l_min(c) * p_c
-  double omega = 0.0;             ///< shared-with-primary scan seconds (Eq. 2)
-  double tau = 0.0;               ///< shared-among-concurrent credit (Eq. 3)
-  double r = 0.0;                 ///< Eq. 4, truncated at zero
+  units::Seconds total_io_seconds;  ///< l_min(c) * p_c
+  units::Seconds omega;  ///< shared-with-primary scan seconds (Eq. 2)
+  units::Seconds tau;    ///< shared-among-concurrent credit (Eq. 3)
+  double r = 0.0;        ///< Eq. 4, truncated at zero (a ratio)
 };
 
 /// Terms for one concurrent query c in the mix (same arguments as above).
 StatusOr<CqiTerms> ComputeCqiTerms(
     const std::vector<TemplateProfile>& profiles,
-    const std::map<sim::TableId, double>& scan_times, int primary_index,
+    const ScanTimes& scan_times, int primary_index,
     const std::vector<int>& concurrent_indices, size_t concurrent_position,
     CqiVariant variant);
 

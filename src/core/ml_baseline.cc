@@ -25,7 +25,7 @@ MlDataset BuildMlDataset(const Workload& workload,
     }
     data.features.push_back(extractor.ExtractMixFeatures(
         plans[static_cast<size_t>(obs.primary_index)], concurrent));
-    data.latencies.push_back(obs.latency);
+    data.latencies.push_back(obs.latency.value());
     data.primary_index.push_back(obs.primary_index);
   }
   return data;

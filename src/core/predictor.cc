@@ -9,8 +9,7 @@
 namespace contender {
 
 StatusOr<ContenderPredictor> ContenderPredictor::Train(
-    std::vector<TemplateProfile> profiles,
-    std::map<sim::TableId, double> scan_times,
+    std::vector<TemplateProfile> profiles, ScanTimes scan_times,
     const std::vector<MixObservation>& observations, const Options& options) {
   if (profiles.size() < 4) {
     return Status::InvalidArgument(
@@ -32,7 +31,7 @@ StatusOr<ContenderPredictor> ContenderPredictor::Train(
   std::vector<StatusOr<MplFit>> fits = runner.Map(
       options.mpls.size(), [&p, &observations, &options](size_t k)
           -> StatusOr<MplFit> {
-        const int mpl = options.mpls[k];
+        const units::Mpl mpl(options.mpls[k]);
         auto models = FitReferenceModels(p.profiles_, p.scan_times_,
                                          observations, mpl, options.variant);
         if (!models.ok()) return models.status();
@@ -47,7 +46,8 @@ StatusOr<ContenderPredictor> ContenderPredictor::Train(
                 : QsTransferModel::FitOnFeature(
                       p.profiles_, *models, [mpl](const TemplateProfile& t) {
                         const double slowdown =
-                            t.spoiler_latency.at(mpl) / t.isolated_latency;
+                            t.spoiler_latency.at(mpl.value()) /
+                            t.isolated_latency;
                         return 1.0 / std::max(slowdown - 1.0, 0.05);
                       });
         if (!transfer.ok()) return transfer.status();
@@ -70,31 +70,33 @@ StatusOr<ContenderPredictor> ContenderPredictor::Train(
 }
 
 StatusOr<std::map<int, QsModel>> ContenderPredictor::ReferenceModels(
-    int mpl) const {
-  auto it = reference_models_.find(mpl);
+    units::Mpl mpl) const {
+  auto it = reference_models_.find(mpl.value());
   if (it == reference_models_.end()) {
     return Status::NotFound("no reference models at this MPL");
   }
   return it->second;
 }
 
-StatusOr<QsTransferModel> ContenderPredictor::TransferModel(int mpl) const {
-  auto it = transfer_models_.find(mpl);
+StatusOr<QsTransferModel> ContenderPredictor::TransferModel(
+    units::Mpl mpl) const {
+  auto it = transfer_models_.find(mpl.value());
   if (it == transfer_models_.end()) {
     return Status::NotFound("no transfer model at this MPL");
   }
   return it->second;
 }
 
-StatusOr<double> ContenderPredictor::PredictSpoilerLatency(
-    const TemplateProfile& profile, int mpl) const {
+StatusOr<units::Seconds> ContenderPredictor::PredictSpoilerLatency(
+    const TemplateProfile& profile, units::Mpl mpl) const {
   return knn_spoiler_->Predict(profile, mpl);
 }
 
-StatusOr<double> ContenderPredictor::ResolveSpoiler(
-    const TemplateProfile& profile, int mpl, SpoilerSource source) const {
+StatusOr<units::Seconds> ContenderPredictor::ResolveSpoiler(
+    const TemplateProfile& profile, units::Mpl mpl,
+    SpoilerSource source) const {
   if (source == SpoilerSource::kMeasured) {
-    auto it = profile.spoiler_latency.find(mpl);
+    auto it = profile.spoiler_latency.find(mpl.value());
     if (it == profile.spoiler_latency.end()) {
       return Status::FailedPrecondition(
           "profile has no measured spoiler latency at this MPL");
@@ -104,9 +106,9 @@ StatusOr<double> ContenderPredictor::ResolveSpoiler(
   return PredictSpoilerLatency(profile, mpl);
 }
 
-StatusOr<double> ContenderPredictor::PredictWithModel(
+StatusOr<units::Seconds> ContenderPredictor::PredictWithModel(
     const TemplateProfile& primary, const QsModel& qs,
-    const std::vector<int>& concurrent, double l_max) const {
+    const std::vector<int>& concurrent, units::Seconds l_max) const {
   std::vector<const TemplateProfile*> conc;
   for (int c : concurrent) {
     if (c < 0 || static_cast<size_t>(c) >= profiles_.size()) {
@@ -120,24 +122,25 @@ StatusOr<double> ContenderPredictor::PredictWithModel(
   // interactions can push latency slightly below l_min and steady-state
   // artifacts slightly above l_max (paper Section 6.1), but a transferred
   // model must not extrapolate beyond the meaningful range.
-  const double point =
-      std::clamp(qs.PredictContinuum(*cqi), -0.25, 1.25);
-  auto latency =
-      LatencyFromContinuum(point, primary.isolated_latency, l_max);
-  if (!latency.ok()) return latency.status();
+  CONTENDER_ASSIGN_OR_RETURN(
+      const units::LatencyRange range,
+      units::LatencyRange::Make(primary.isolated_latency, l_max));
+  const units::ContinuumPoint point(
+      std::clamp(qs.PredictContinuum(*cqi).value(), -0.25, 1.25));
+  const units::Seconds latency = LatencyFromContinuum(point, range);
   // A concurrent execution can beat isolation through shared work, but
   // never by more than a modest margin.
-  return std::max(*latency, 0.5 * primary.isolated_latency);
+  return std::max(latency, 0.5 * primary.isolated_latency);
 }
 
-StatusOr<double> ContenderPredictor::PredictKnown(
+StatusOr<units::Seconds> ContenderPredictor::PredictKnown(
     int template_index, const std::vector<int>& concurrent_indices) const {
   if (template_index < 0 ||
       static_cast<size_t>(template_index) >= profiles_.size()) {
     return Status::InvalidArgument("unknown template index");
   }
-  const int mpl = static_cast<int>(concurrent_indices.size()) + 1;
-  auto models_it = reference_models_.find(mpl);
+  const units::Mpl mpl(static_cast<int>(concurrent_indices.size()) + 1);
+  auto models_it = reference_models_.find(mpl.value());
   if (models_it == reference_models_.end()) {
     return Status::NotFound("no reference models at this MPL");
   }
@@ -153,12 +156,12 @@ StatusOr<double> ContenderPredictor::PredictKnown(
                           *l_max);
 }
 
-StatusOr<double> ContenderPredictor::PredictNew(
+StatusOr<units::Seconds> ContenderPredictor::PredictNew(
     const TemplateProfile& new_profile,
     const std::vector<int>& concurrent_indices,
     SpoilerSource spoiler_source) const {
-  const int mpl = static_cast<int>(concurrent_indices.size()) + 1;
-  auto transfer_it = transfer_models_.find(mpl);
+  const units::Mpl mpl(static_cast<int>(concurrent_indices.size()) + 1);
+  auto transfer_it = transfer_models_.find(mpl.value());
   if (transfer_it == transfer_models_.end()) {
     return Status::NotFound("no transfer model at this MPL");
   }
@@ -176,12 +179,12 @@ StatusOr<double> ContenderPredictor::PredictNew(
   return PredictWithModel(new_profile, qs, concurrent_indices, *l_max);
 }
 
-StatusOr<double> ContenderPredictor::PredictNewWithKnownSlope(
+StatusOr<units::Seconds> ContenderPredictor::PredictNewWithKnownSlope(
     const TemplateProfile& new_profile,
     const std::vector<int>& concurrent_indices, double known_slope,
     SpoilerSource spoiler_source) const {
-  const int mpl = static_cast<int>(concurrent_indices.size()) + 1;
-  auto transfer_it = transfer_models_.find(mpl);
+  const units::Mpl mpl(static_cast<int>(concurrent_indices.size()) + 1);
+  auto transfer_it = transfer_models_.find(mpl.value());
   if (transfer_it == transfer_models_.end()) {
     return Status::NotFound("no transfer model at this MPL");
   }

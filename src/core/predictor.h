@@ -16,6 +16,7 @@
 #include "core/spoiler_model.h"
 #include "core/template_profile.h"
 #include "util/statusor.h"
+#include "util/units.h"
 
 namespace contender {
 
@@ -60,58 +61,55 @@ class ContenderPredictor {
   /// Trains on the known workload: isolated profiles (with spoiler
   /// latencies), fact-table scan times, and steady-state mix observations.
   static StatusOr<ContenderPredictor> Train(
-      std::vector<TemplateProfile> profiles,
-      std::map<sim::TableId, double> scan_times,
+      std::vector<TemplateProfile> profiles, ScanTimes scan_times,
       const std::vector<MixObservation>& observations,
       const Options& options);
 
   /// Predicts the latency of a *known* template (index into the training
   /// profiles) executing with the given concurrent templates.
-  StatusOr<double> PredictKnown(int template_index,
-                                const std::vector<int>& concurrent_indices)
-      const;
+  StatusOr<units::Seconds> PredictKnown(
+      int template_index, const std::vector<int>& concurrent_indices) const;
 
   /// Predicts the latency of a *new* template described only by
   /// `new_profile` (isolated stats + plan semantics; spoiler latencies
   /// required only for SpoilerSource::kMeasured). Concurrent queries are
   /// known-workload indices.
-  StatusOr<double> PredictNew(const TemplateProfile& new_profile,
-                              const std::vector<int>& concurrent_indices,
-                              SpoilerSource spoiler_source) const;
+  StatusOr<units::Seconds> PredictNew(
+      const TemplateProfile& new_profile,
+      const std::vector<int>& concurrent_indices,
+      SpoilerSource spoiler_source) const;
 
   /// Unknown-Y variant (§6.3): the new template's own QS slope is supplied;
   /// only the intercept is transferred.
-  StatusOr<double> PredictNewWithKnownSlope(
+  StatusOr<units::Seconds> PredictNewWithKnownSlope(
       const TemplateProfile& new_profile,
       const std::vector<int>& concurrent_indices, double known_slope,
       SpoilerSource spoiler_source) const;
 
   // Accessors for experiment harnesses.
   const std::vector<TemplateProfile>& profiles() const { return profiles_; }
-  const std::map<sim::TableId, double>& scan_times() const {
-    return scan_times_;
-  }
+  const ScanTimes& scan_times() const { return scan_times_; }
   /// Reference QS models at `mpl` (template index -> model).
-  StatusOr<std::map<int, QsModel>> ReferenceModels(int mpl) const;
-  StatusOr<QsTransferModel> TransferModel(int mpl) const;
+  StatusOr<std::map<int, QsModel>> ReferenceModels(units::Mpl mpl) const;
+  StatusOr<QsTransferModel> TransferModel(units::Mpl mpl) const;
   const KnnSpoilerPredictor& knn_spoiler() const { return *knn_spoiler_; }
   /// Predicted spoiler latency for an arbitrary profile.
-  StatusOr<double> PredictSpoilerLatency(const TemplateProfile& profile,
-                                         int mpl) const;
+  StatusOr<units::Seconds> PredictSpoilerLatency(
+      const TemplateProfile& profile, units::Mpl mpl) const;
 
  private:
   ContenderPredictor() = default;
 
-  StatusOr<double> PredictWithModel(const TemplateProfile& primary,
-                                    const QsModel& qs,
-                                    const std::vector<int>& concurrent,
-                                    double l_max) const;
-  StatusOr<double> ResolveSpoiler(const TemplateProfile& profile, int mpl,
-                                  SpoilerSource source) const;
+  StatusOr<units::Seconds> PredictWithModel(
+      const TemplateProfile& primary, const QsModel& qs,
+      const std::vector<int>& concurrent, units::Seconds l_max) const;
+  StatusOr<units::Seconds> ResolveSpoiler(const TemplateProfile& profile,
+                                          units::Mpl mpl,
+                                          SpoilerSource source) const;
 
   Options options_;
   std::vector<TemplateProfile> profiles_;
-  std::map<sim::TableId, double> scan_times_;
+  ScanTimes scan_times_;
   std::map<int, std::map<int, QsModel>> reference_models_;  // mpl -> models
   std::map<int, QsTransferModel> transfer_models_;          // mpl -> transfer
   std::optional<KnnSpoilerPredictor> knn_spoiler_;

@@ -5,9 +5,15 @@
 
 namespace contender {
 
-StatusOr<QsModel> FitQsModel(const std::vector<double>& cqi_values,
-                             const std::vector<double>& continuum_points) {
-  auto fit = FitSimpleLinear(cqi_values, continuum_points);
+StatusOr<QsModel> FitQsModel(
+    const std::vector<units::Cqi>& cqi_values,
+    const std::vector<units::ContinuumPoint>& continuum_points) {
+  std::vector<double> x, y;
+  x.reserve(cqi_values.size());
+  y.reserve(continuum_points.size());
+  for (units::Cqi c : cqi_values) x.push_back(c.value());
+  for (units::ContinuumPoint p : continuum_points) y.push_back(p.value());
+  auto fit = FitSimpleLinear(x, y);
   if (!fit.ok()) return fit.status();
   QsModel model;
   model.slope = fit->slope;
@@ -18,34 +24,35 @@ StatusOr<QsModel> FitQsModel(const std::vector<double>& cqi_values,
 
 StatusOr<QsTrainingSet> BuildQsTrainingSet(
     const std::vector<TemplateProfile>& profiles,
-    const std::map<sim::TableId, double>& scan_times,
+    const ScanTimes& scan_times,
     const std::vector<MixObservation>& observations, int primary_index,
-    int mpl, CqiVariant variant) {
+    units::Mpl mpl, CqiVariant variant) {
   if (primary_index < 0 ||
       static_cast<size_t>(primary_index) >= profiles.size()) {
     return Status::InvalidArgument("BuildQsTrainingSet: bad primary index");
   }
   const TemplateProfile& primary =
       profiles[static_cast<size_t>(primary_index)];
-  auto lmax_it = primary.spoiler_latency.find(mpl);
+  auto lmax_it = primary.spoiler_latency.find(mpl.value());
   if (lmax_it == primary.spoiler_latency.end()) {
     return Status::FailedPrecondition(
         "BuildQsTrainingSet: no spoiler latency at requested MPL");
   }
-  const double l_min = primary.isolated_latency;
-  const double l_max = lmax_it->second;
+  CONTENDER_ASSIGN_OR_RETURN(
+      const units::LatencyRange range,
+      units::LatencyRange::Make(primary.isolated_latency, lmax_it->second));
 
   QsTrainingSet set;
   for (const MixObservation& obs : observations) {
-    if (obs.primary_index != primary_index || obs.mpl != mpl) continue;
-    if (ExceedsContinuum(obs.latency, l_max)) {
+    if (obs.primary_index != primary_index || obs.mpl != mpl.value()) continue;
+    if (ExceedsContinuum(obs.latency, range.max())) {
       ++set.dropped_outliers;
       continue;
     }
     auto cqi = ComputeCqi(profiles, scan_times, primary_index,
                           obs.concurrent_indices, variant);
     if (!cqi.ok()) return cqi.status();
-    auto point = ContinuumPoint(obs.latency, l_min, l_max);
+    auto point = ContinuumPoint(obs.latency, range);
     if (!point.ok()) return point.status();
     set.cqi.push_back(*cqi);
     set.continuum.push_back(*point);
@@ -56,8 +63,8 @@ StatusOr<QsTrainingSet> BuildQsTrainingSet(
 
 StatusOr<std::map<int, QsModel>> FitReferenceModels(
     const std::vector<TemplateProfile>& profiles,
-    const std::map<sim::TableId, double>& scan_times,
-    const std::vector<MixObservation>& observations, int mpl,
+    const ScanTimes& scan_times,
+    const std::vector<MixObservation>& observations, units::Mpl mpl,
     CqiVariant variant) {
   std::map<int, QsModel> models;
   for (size_t t = 0; t < profiles.size(); ++t) {

@@ -11,6 +11,7 @@
 #include "core/cqi.h"
 #include "core/template_profile.h"
 #include "util/statusor.h"
+#include "util/units.h"
 
 namespace contender {
 
@@ -20,40 +21,41 @@ struct QsModel {
   double intercept = 0.0;  ///< b_t: fixed cost of concurrency
   double r_squared = 0.0;  ///< fit quality on the training pairs
 
-  double PredictContinuum(double cqi) const {
-    return slope * cqi + intercept;
+  [[nodiscard]] units::ContinuumPoint PredictContinuum(units::Cqi cqi) const {
+    return units::ContinuumPoint(slope * cqi.value() + intercept);
   }
 };
 
 /// Fits a QS model from (CQI, continuum point) training pairs.
 /// Requires >= 2 pairs with non-constant CQI.
-StatusOr<QsModel> FitQsModel(const std::vector<double>& cqi_values,
-                             const std::vector<double>& continuum_points);
+StatusOr<QsModel> FitQsModel(
+    const std::vector<units::Cqi>& cqi_values,
+    const std::vector<units::ContinuumPoint>& continuum_points);
 
 /// Builds the (CQI, continuum) training pairs for one primary template from
 /// steady-state observations at one MPL, using measured l_min / l_max from
 /// the profiles. Observations beyond 105% of l_max are dropped (§6.1).
 struct QsTrainingSet {
-  std::vector<double> cqi;
-  std::vector<double> continuum;
+  std::vector<units::Cqi> cqi;
+  std::vector<units::ContinuumPoint> continuum;
   /// Observed latencies aligned with the pairs (for error evaluation).
-  std::vector<double> latency;
+  std::vector<units::Seconds> latency;
   int dropped_outliers = 0;
 };
 
 StatusOr<QsTrainingSet> BuildQsTrainingSet(
     const std::vector<TemplateProfile>& profiles,
-    const std::map<sim::TableId, double>& scan_times,
+    const ScanTimes& scan_times,
     const std::vector<MixObservation>& observations, int primary_index,
-    int mpl, CqiVariant variant = CqiVariant::kFull);
+    units::Mpl mpl, CqiVariant variant = CqiVariant::kFull);
 
 /// Fits one QS reference model per template at the given MPL. Templates
 /// with too few observations are skipped. The result maps template index to
 /// its model.
 StatusOr<std::map<int, QsModel>> FitReferenceModels(
     const std::vector<TemplateProfile>& profiles,
-    const std::map<sim::TableId, double>& scan_times,
-    const std::vector<MixObservation>& observations, int mpl,
+    const ScanTimes& scan_times,
+    const std::vector<MixObservation>& observations, units::Mpl mpl,
     CqiVariant variant = CqiVariant::kFull);
 
 }  // namespace contender

@@ -12,7 +12,7 @@ StatusOr<QsTransferModel> QsTransferModel::Fit(
     const std::map<int, QsModel>& reference_models) {
   return FitOnFeature(profiles, reference_models,
                       [](const TemplateProfile& p) {
-                        return p.isolated_latency;
+                        return p.isolated_latency.value();
                       });
 }
 
@@ -44,9 +44,13 @@ StatusOr<QsTransferModel> QsTransferModel::FitOnFeature(
 }
 
 QsModel QsTransferModel::PredictFromIsolatedLatency(
-    double isolated_latency) const {
+    units::Seconds isolated_latency) const {
+  return PredictFromFeatureValue(isolated_latency.value());
+}
+
+QsModel QsTransferModel::PredictFromFeatureValue(double feature_value) const {
   QsModel model;
-  model.slope = slope_fit_.Predict(isolated_latency);
+  model.slope = slope_fit_.Predict(feature_value);
   model.intercept = intercept_fit_.Predict(model.slope);
   return model;
 }
@@ -60,7 +64,7 @@ QsModel QsTransferModel::PredictInterceptFromSlope(double known_slope) const {
 
 std::vector<FeatureCorrelation> CorrelateFeaturesWithQs(
     const std::vector<TemplateProfile>& profiles,
-    const std::map<int, QsModel>& reference_models, int spoiler_mpl) {
+    const std::map<int, QsModel>& reference_models, units::Mpl spoiler_mpl) {
   std::vector<double> slopes, intercepts;
   std::vector<const TemplateProfile*> rows;
   for (const auto& [index, model] : reference_models) {
@@ -71,8 +75,8 @@ std::vector<FeatureCorrelation> CorrelateFeaturesWithQs(
   }
 
   auto spoiler = [&](const TemplateProfile& p) {
-    auto it = p.spoiler_latency.find(spoiler_mpl);
-    return it == p.spoiler_latency.end() ? 0.0 : it->second;
+    auto it = p.spoiler_latency.find(spoiler_mpl.value());
+    return it == p.spoiler_latency.end() ? 0.0 : it->second.value();
   };
 
   struct FeatureDef {
@@ -81,9 +85,9 @@ std::vector<FeatureCorrelation> CorrelateFeaturesWithQs(
   };
   const std::vector<FeatureDef> features = {
       {"% execution time spent on I/O",
-       [](const TemplateProfile& p) { return p.io_fraction; }},
+       [](const TemplateProfile& p) { return p.io_fraction.value(); }},
       {"Max working set",
-       [](const TemplateProfile& p) { return p.working_set_bytes; }},
+       [](const TemplateProfile& p) { return p.working_set_bytes.value(); }},
       {"Query plan steps",
        [](const TemplateProfile& p) {
          return static_cast<double>(p.plan_steps);
@@ -91,12 +95,13 @@ std::vector<FeatureCorrelation> CorrelateFeaturesWithQs(
       {"Records accessed",
        [](const TemplateProfile& p) { return p.records_accessed; }},
       {"Isolated latency",
-       [](const TemplateProfile& p) { return p.isolated_latency; }},
+       [](const TemplateProfile& p) { return p.isolated_latency.value(); }},
       {"Spoiler latency", spoiler},
       {"Spoiler slowdown",
        [&](const TemplateProfile& p) {
-         return p.isolated_latency > 0.0 ? spoiler(p) / p.isolated_latency
-                                         : 0.0;
+         return p.isolated_latency.value() > 0.0
+                    ? spoiler(p) / p.isolated_latency.value()
+                    : 0.0;
        }},
   };
 

@@ -14,6 +14,7 @@
 #include "core/template_profile.h"
 #include "math/regression.h"
 #include "util/statusor.h"
+#include "util/units.h"
 
 namespace contender {
 
@@ -36,17 +37,16 @@ class QsTransferModel {
       const std::function<double(const TemplateProfile&)>& feature);
 
   /// Unknown-QS (full Contender): both coefficients from isolated latency.
-  QsModel PredictFromIsolatedLatency(double isolated_latency) const;
+  [[nodiscard]] QsModel PredictFromIsolatedLatency(
+      units::Seconds isolated_latency) const;
 
   /// Feature-variant prediction: same two-step pipeline, with the slope
   /// regressed from the fitted feature (valid for FitOnFeature models).
-  QsModel PredictFromFeatureValue(double feature_value) const {
-    return PredictFromIsolatedLatency(feature_value);
-  }
+  [[nodiscard]] QsModel PredictFromFeatureValue(double feature_value) const;
 
   /// Unknown-Y: the slope is already known (measured); only the intercept
   /// is predicted from it.
-  QsModel PredictInterceptFromSlope(double known_slope) const;
+  [[nodiscard]] QsModel PredictInterceptFromSlope(double known_slope) const;
 
   const LinearFit& slope_fit() const { return slope_fit_; }
   const LinearFit& intercept_fit() const { return intercept_fit_; }
@@ -70,7 +70,7 @@ struct FeatureCorrelation {
 
 std::vector<FeatureCorrelation> CorrelateFeaturesWithQs(
     const std::vector<TemplateProfile>& profiles,
-    const std::map<int, QsModel>& reference_models, int spoiler_mpl);
+    const std::map<int, QsModel>& reference_models, units::Mpl spoiler_mpl);
 
 }  // namespace contender
 

@@ -34,13 +34,13 @@ std::vector<StatusOr<SpoilerGrowthModel>> FitAllGrowthModels(
 
 StatusOr<SpoilerGrowthModel> FitSpoilerGrowth(
     const TemplateProfile& profile, const std::vector<int>& train_mpls) {
-  if (profile.isolated_latency <= 0.0) {
+  if (profile.isolated_latency.value() <= 0.0) {
     return Status::InvalidArgument(
         "FitSpoilerGrowth: non-positive isolated latency");
   }
   std::vector<double> x, y;
   for (int mpl : train_mpls) {
-    double latency;
+    units::Seconds latency;
     if (mpl <= 1) {
       latency = profile.isolated_latency;
     } else {
@@ -49,7 +49,7 @@ StatusOr<SpoilerGrowthModel> FitSpoilerGrowth(
       latency = it->second;
     }
     x.push_back(static_cast<double>(mpl));
-    y.push_back(latency / profile.isolated_latency);
+    y.push_back(latency / profile.isolated_latency);  // slowdown ratio
   }
   if (x.size() < 2) {
     return Status::FailedPrecondition(
@@ -75,7 +75,7 @@ StatusOr<KnnSpoilerPredictor> KnnSpoilerPredictor::Fit(
     const StatusOr<SpoilerGrowthModel>& growth = growths[i];
     if (!growth.ok()) continue;
     const TemplateProfile& p = reference_profiles[i];
-    features.push_back({p.working_set_bytes, p.io_fraction});
+    features.push_back({p.working_set_bytes.value(), p.io_fraction.value()});
     targets.push_back({growth->slope, growth->intercept});
   }
   if (features.size() < static_cast<size_t>(options.k)) {
@@ -99,16 +99,16 @@ StatusOr<SpoilerGrowthModel> KnnSpoilerPredictor::PredictGrowthModel(
   if (!knn_.has_value()) {
     return Status::FailedPrecondition("KnnSpoilerPredictor: not fitted");
   }
-  const Vector coeffs =
-      knn_->Predict({target.working_set_bytes, target.io_fraction});
+  const Vector coeffs = knn_->Predict(
+      {target.working_set_bytes.value(), target.io_fraction.value()});
   SpoilerGrowthModel model;
   model.slope = coeffs[0];
   model.intercept = coeffs[1];
   return model;
 }
 
-StatusOr<double> KnnSpoilerPredictor::Predict(const TemplateProfile& target,
-                                              int mpl) const {
+StatusOr<units::Seconds> KnnSpoilerPredictor::Predict(
+    const TemplateProfile& target, units::Mpl mpl) const {
   auto model = PredictGrowthModel(target);
   if (!model.ok()) return model.status();
   return model->PredictLatency(mpl, target.isolated_latency);
@@ -124,7 +124,7 @@ StatusOr<IoTimeSpoilerPredictor> IoTimeSpoilerPredictor::Fit(
     const StatusOr<SpoilerGrowthModel>& growth = growths[i];
     if (!growth.ok()) continue;
     const TemplateProfile& p = reference_profiles[i];
-    pt.push_back(p.io_fraction);
+    pt.push_back(p.io_fraction.value());
     slopes.push_back(growth->slope);
     intercepts.push_back(growth->intercept);
   }
@@ -142,11 +142,11 @@ StatusOr<IoTimeSpoilerPredictor> IoTimeSpoilerPredictor::Fit(
   return out;
 }
 
-StatusOr<double> IoTimeSpoilerPredictor::Predict(
-    const TemplateProfile& target, int mpl) const {
+StatusOr<units::Seconds> IoTimeSpoilerPredictor::Predict(
+    const TemplateProfile& target, units::Mpl mpl) const {
   SpoilerGrowthModel model;
-  model.slope = slope_fit_.Predict(target.io_fraction);
-  model.intercept = intercept_fit_.Predict(target.io_fraction);
+  model.slope = slope_fit_.Predict(target.io_fraction.value());
+  model.intercept = intercept_fit_.Predict(target.io_fraction.value());
   return model.PredictLatency(mpl, target.isolated_latency);
 }
 

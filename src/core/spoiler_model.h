@@ -15,6 +15,7 @@
 #include "ml/knn.h"
 #include "util/statusor.h"
 #include "util/thread_pool.h"
+#include "util/units.h"
 
 namespace contender {
 
@@ -28,8 +29,10 @@ struct SpoilerGrowthModel {
 
   /// Predicted spoiler latency at `mpl` for a template with the given
   /// isolated latency.
-  double PredictLatency(int mpl, double isolated_latency) const {
-    return (slope * static_cast<double>(mpl) + intercept) * isolated_latency;
+  [[nodiscard]] units::Seconds PredictLatency(
+      units::Mpl mpl, units::Seconds isolated_latency) const {
+    return (slope * static_cast<double>(mpl.value()) + intercept) *
+           isolated_latency;
   }
 };
 
@@ -56,7 +59,8 @@ class KnnSpoilerPredictor {
       const Options& options, ThreadPool* pool = nullptr);
 
   /// Predicted l_max of `target` at `mpl` using only its isolated stats.
-  StatusOr<double> Predict(const TemplateProfile& target, int mpl) const;
+  StatusOr<units::Seconds> Predict(const TemplateProfile& target,
+                                   units::Mpl mpl) const;
 
   /// The averaged growth coefficients for a target (for diagnostics).
   StatusOr<SpoilerGrowthModel> PredictGrowthModel(
@@ -76,7 +80,8 @@ class IoTimeSpoilerPredictor {
       const std::vector<TemplateProfile>& reference_profiles,
       const std::vector<int>& train_mpls, ThreadPool* pool = nullptr);
 
-  StatusOr<double> Predict(const TemplateProfile& target, int mpl) const;
+  StatusOr<units::Seconds> Predict(const TemplateProfile& target,
+                                   units::Mpl mpl) const;
 
  private:
   IoTimeSpoilerPredictor() = default;

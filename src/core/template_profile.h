@@ -1,6 +1,9 @@
 // Data types exchanged between the workload sampler and the Contender
 // models: per-template isolated statistics and steady-state mix
 // observations. Header-only so lower layers can produce them.
+//
+// All time, volume and ratio quantities are carried as util/units.h strong
+// types; feeding a latency where a fraction belongs no longer compiles.
 
 #ifndef CONTENDER_CORE_TEMPLATE_PROFILE_H_
 #define CONTENDER_CORE_TEMPLATE_PROFILE_H_
@@ -9,8 +12,13 @@
 #include <vector>
 
 #include "sim/query_spec.h"
+#include "util/units.h"
 
 namespace contender {
+
+/// Isolated full-scan time per fact table (the paper's s_f), keyed by
+/// table id.
+using ScanTimes = std::map<sim::TableId, units::Seconds>;
 
 /// Isolated (cold-cache) execution statistics of one template, plus its
 /// measured spoiler latencies. Everything Contender knows about a template
@@ -22,11 +30,11 @@ struct TemplateProfile {
   int template_id = 0;
 
   /// l_min: latency in isolation with a cold cache (continuum lower bound).
-  double isolated_latency = 0.0;
+  units::Seconds isolated_latency;
   /// p_t: fraction of isolated execution time spent on I/O.
-  double io_fraction = 0.0;
-  /// Largest intermediate-result memory demand (bytes).
-  double working_set_bytes = 0.0;
+  units::Fraction io_fraction;
+  /// Largest intermediate-result memory demand.
+  units::Bytes working_set_bytes;
   /// Sum of optimizer cardinalities over the plan ("records accessed").
   double records_accessed = 0.0;
   /// Operator count of the plan.
@@ -35,12 +43,14 @@ struct TemplateProfile {
   std::vector<sim::TableId> fact_tables;
 
   /// l_max per MPL: measured latency against the spoiler.
-  std::map<int, double> spoiler_latency;
+  std::map<int, units::Seconds> spoiler_latency;
 
   /// I/O seconds in isolation (l_min * p_t).
-  double io_seconds() const { return isolated_latency * io_fraction; }
+  [[nodiscard]] units::Seconds io_seconds() const {
+    return isolated_latency * io_fraction;
+  }
 
-  bool ScansFactTable(sim::TableId t) const {
+  [[nodiscard]] bool ScansFactTable(sim::TableId t) const {
     for (sim::TableId f : fact_tables) {
       if (f == t) return true;
     }
@@ -59,7 +69,7 @@ struct MixObservation {
   /// Multiprogramming level of the mix (concurrent_indices.size() + 1).
   int mpl = 0;
   /// Observed steady-state mean latency of the primary.
-  double latency = 0.0;
+  units::Seconds latency;
 };
 
 }  // namespace contender

@@ -1,6 +1,7 @@
 #include "math/regression.h"
 
 #include <cmath>
+#include <cstddef>
 
 namespace contender {
 
@@ -93,7 +94,8 @@ StatusOr<MultipleLinearRegression> MultipleLinearRegression::Fit(
 
   MultipleLinearRegression model;
   model.has_intercept_ = add_intercept;
-  model.beta_.assign(beta->begin(), beta->begin() + static_cast<long>(d));
+  model.beta_.assign(beta->begin(),
+                     beta->begin() + static_cast<std::ptrdiff_t>(d));
   model.intercept_ = add_intercept ? (*beta)[d] : 0.0;
 
   std::vector<double> pred(rows.size());

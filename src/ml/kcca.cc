@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstddef>
 #include <numeric>
 
 #include "math/eigen.h"
@@ -22,24 +23,28 @@ StatusOr<KccaModel> KccaModel::Fit(const std::vector<Vector>& features,
     return Status::InvalidArgument("KccaModel: num_projections must be > 0");
   }
 
-  // Deterministic stride subsample when the training set exceeds the cap.
+  // Deterministic stride subsample when the training set exceeds the cap;
+  // otherwise alias the caller's storage instead of copying it.
   std::vector<Vector> kept_features;
   std::vector<Vector> kept_performance;
+  const std::vector<Vector>* selected_features = &features;
+  const std::vector<Vector>* selected_performance = &performance;
   if (options.max_training_examples > 0 &&
       features.size() >
           static_cast<size_t>(options.max_training_examples)) {
     const size_t cap = static_cast<size_t>(options.max_training_examples);
+    kept_features.reserve(cap);
+    kept_performance.reserve(cap);
     for (size_t k = 0; k < cap; ++k) {
       const size_t idx = k * features.size() / cap;
       kept_features.push_back(features[idx]);
       kept_performance.push_back(performance[idx]);
     }
-  } else {
-    kept_features = features;
-    kept_performance = performance;
+    selected_features = &kept_features;
+    selected_performance = &kept_performance;
   }
-  const std::vector<Vector>& train_features = kept_features;
-  const std::vector<Vector>& train_performance = kept_performance;
+  const std::vector<Vector>& train_features = *selected_features;
+  const std::vector<Vector>& train_performance = *selected_performance;
   const size_t n = train_features.size();
 
   KccaModel model;
@@ -201,7 +206,8 @@ double KccaModel::PredictLatency(const Vector& query) const {
   std::iota(idx.begin(), idx.end(), 0);
   const size_t k = std::min<size_t>(
       static_cast<size_t>(std::max(options_.num_neighbors, 1)), idx.size());
-  std::partial_sort(idx.begin(), idx.begin() + static_cast<long>(k), idx.end(),
+  std::partial_sort(idx.begin(), idx.begin() + static_cast<std::ptrdiff_t>(k),
+                    idx.end(),
                     [&](size_t a, size_t b) {
                       return SquaredDistance(train_projections_[a], proj) <
                              SquaredDistance(train_projections_[b], proj);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstddef>
 #include <numeric>
 #include <utility>
 
@@ -59,9 +60,14 @@ StatusOr<KnnRegressor> KnnRegressor::Fit(std::vector<Vector> features,
     }
   }
 
-  model.features_.reserve(features.size());
-  for (auto& f : features) {
-    model.features_.push_back(model.Normalize(f));
+  if (options.normalize) {
+    model.features_.reserve(features.size());
+    for (const auto& f : features) {
+      model.features_.push_back(model.Normalize(f));
+    }
+  } else {
+    // Normalize() is the identity here; adopt the caller's storage.
+    model.features_ = std::move(features);
   }
   return model;
 }
@@ -81,7 +87,8 @@ std::vector<size_t> KnnRegressor::Neighbors(const Vector& query) const {
   std::iota(idx.begin(), idx.end(), 0);
   const size_t k = std::min<size_t>(static_cast<size_t>(options_.k),
                                     features_.size());
-  std::partial_sort(idx.begin(), idx.begin() + static_cast<long>(k), idx.end(),
+  std::partial_sort(idx.begin(), idx.begin() + static_cast<std::ptrdiff_t>(k),
+                    idx.end(),
                     [&](size_t a, size_t b) {
                       return SquaredDistance(features_[a], q) <
                              SquaredDistance(features_[b], q);

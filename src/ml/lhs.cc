@@ -51,6 +51,9 @@ std::vector<MixSelection> AllPairs(int num_templates) {
 
 uint64_t DistinctMixCount(int num_templates, int mpl) {
   // C(n + k - 1, k) computed multiplicatively with overflow saturation.
+  // Guard non-positive inputs: num_templates == 0 would otherwise make
+  // numer == 0 on the first iteration and divide by zero below.
+  if (num_templates <= 0 || mpl <= 0) return 0;
   const uint64_t kMax = std::numeric_limits<uint64_t>::max();
   uint64_t result = 1;
   for (int i = 1; i <= mpl; ++i) {

@@ -89,6 +89,10 @@ StatusOr<SvrModel> SvrModel::Fit(const std::vector<Vector>& features,
   std::vector<double> f(n, 0.0);
 
   Rng rng(options.seed);
+  // Hoisted out of the pair loop: at most 4 breakpoints + 4 per-sign
+  // optima, so one allocation serves the whole fit.
+  std::vector<double> candidates;
+  candidates.reserve(8);
   for (int epoch = 0; epoch < options.max_epochs; ++epoch) {
     double epoch_best = 0.0;
     std::vector<int> order = rng.Permutation(static_cast<int>(n));
@@ -118,7 +122,7 @@ StatusOr<SvrModel> SvrModel::Fit(const std::vector<Vector>& features,
       if (lo >= hi) continue;
 
       // Candidate deltas: per-sign-region optima plus the breakpoints.
-      std::vector<double> candidates = {-beta[i], beta[j], lo, hi};
+      candidates.assign({-beta[i], beta[j], lo, hi});
       if (eta > 1e-12) {
         for (double si : {-1.0, 1.0}) {
           for (double sj : {-1.0, 1.0}) {

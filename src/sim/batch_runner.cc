@@ -22,7 +22,7 @@ StatusOr<EngineRunResult> BatchRunner::Execute(const EngineRun& run) {
   std::vector<int> pids;
   pids.reserve(run.specs.size());
   for (const QuerySpec& spec : run.specs) {
-    pids.push_back(engine.AddProcess(spec, 0.0));
+    pids.push_back(engine.AddProcess(spec, units::Seconds(0.0)));
   }
   Status status =
       run.run_until >= 0
@@ -33,7 +33,7 @@ StatusOr<EngineRunResult> BatchRunner::Execute(const EngineRun& run) {
   EngineRunResult out;
   out.results.reserve(pids.size());
   for (int pid : pids) out.results.push_back(engine.result(pid));
-  out.duration = engine.now();
+  out.duration = engine.now().value();
   return out;
 }
 

@@ -23,7 +23,8 @@ Engine::Engine(const SimConfig& config, uint64_t seed)
           std::max(0.0, config.ram_bytes - config.os_reserved_bytes) *
           config.buffer_pool_fraction) {}
 
-int Engine::AddProcess(const QuerySpec& spec, double start_time) {
+int Engine::AddProcess(const QuerySpec& spec, units::Seconds start) {
+  const double start_time = start.value();
   CONTENDER_CHECK(start_time >= now_ - kEps)
       << "process scheduled in the past";
   Process p;
@@ -49,8 +50,8 @@ int Engine::AddProcess(const QuerySpec& spec, double start_time) {
   return id;
 }
 
-double Engine::memory_in_use() const {
-  return pinned_memory_ + granted_working_memory_;
+units::Bytes Engine::memory_in_use() const {
+  return units::Bytes(pinned_memory_ + granted_working_memory_);
 }
 
 const ProcessResult& Engine::result(int process_id) const {

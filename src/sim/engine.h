@@ -26,6 +26,7 @@
 #include "sim/query_spec.h"
 #include "util/random.h"
 #include "util/status.h"
+#include "util/units.h"
 
 namespace contender::sim {
 
@@ -43,7 +44,7 @@ class Engine {
   /// Schedules a query to start at `start_time` (>= now). Returns the
   /// process id. The engine prepends the per-query startup CPU cost for
   /// mortal processes.
-  int AddProcess(const QuerySpec& spec, double start_time);
+  int AddProcess(const QuerySpec& spec, units::Seconds start_time);
 
   void SetCompletionCallback(CompletionCallback cb) {
     completion_callback_ = std::move(cb);
@@ -61,11 +62,11 @@ class Engine {
   /// Stops the run loop after the current event (valid inside callbacks).
   void RequestStop() { stop_requested_ = true; }
 
-  double now() const { return now_; }
+  units::Seconds now() const { return units::Seconds(now_); }
   const SimConfig& config() const { return config_; }
   const BufferPool& buffer_pool() const { return buffer_pool_; }
-  /// Currently granted working memory plus pinned memory, in bytes.
-  double memory_in_use() const;
+  /// Currently granted working memory plus pinned memory.
+  units::Bytes memory_in_use() const;
 
   /// Accounting for any process ever added.
   const ProcessResult& result(int process_id) const;

@@ -5,8 +5,12 @@
 #ifndef CONTENDER_SIM_QUERY_SPEC_H_
 #define CONTENDER_SIM_QUERY_SPEC_H_
 
+#include <algorithm>
 #include <string>
 #include <vector>
+
+#include "util/logging.h"
+#include "util/units.h"
 
 namespace contender::sim {
 
@@ -83,11 +87,22 @@ struct ProcessResult {
   /// Total spill traffic induced by memory shortfalls.
   double spill_bytes = 0.0;
 
-  double latency() const { return end_time - start_time; }
+  /// Wall-clock (virtual) latency. A run cancelled before its start keeps
+  /// end_time == 0 while start_time is positive; that underflow is clamped
+  /// to zero here. A *completed* process with end_time < start_time is a
+  /// simulator accounting bug and trips the debug check.
+  [[nodiscard]] units::Seconds latency() const {
+    CONTENDER_DCHECK(!completed || end_time >= start_time)
+        << "completed process " << process_id << " ended (" << end_time
+        << ") before it started (" << start_time << ")";
+    return units::Seconds(std::max(0.0, end_time - start_time));
+  }
   /// Fraction of execution time spent on I/O (the paper's p_t).
-  double io_fraction() const {
-    const double lat = latency();
-    return lat > 0.0 ? io_busy_seconds / lat : 0.0;
+  [[nodiscard]] units::Fraction io_fraction() const {
+    const units::Seconds lat = latency();
+    return lat.value() > 0.0 ? units::Fraction::Clamp(io_busy_seconds /
+                                                      lat.value())
+                             : units::Fraction();
   }
 };
 

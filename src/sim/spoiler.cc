@@ -11,8 +11,10 @@ constexpr TableId kSpoilerTableBase = -1000;
 constexpr double kEndless = 1e30;
 }  // namespace
 
-std::vector<QuerySpec> MakeSpoiler(const SimConfig& config, int mpl) {
+std::vector<QuerySpec> MakeSpoiler(const SimConfig& config,
+                                   units::Mpl level) {
   std::vector<QuerySpec> out;
+  const int mpl = level.value();
   if (mpl < 2) return out;
 
   // Memory pin: (1 - 1/n) of RAM, held for the primary's whole run.

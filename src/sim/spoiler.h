@@ -10,13 +10,15 @@
 
 #include "sim/config.h"
 #include "sim/query_spec.h"
+#include "util/units.h"
 
 namespace contender::sim {
 
 /// Builds the spoiler processes for MPL `mpl` (>= 2): one memory-pinning
 /// process plus mpl - 1 immortal circular-read streams on distinct private
 /// files. Add all of them to an engine before (or at) the primary's start.
-std::vector<QuerySpec> MakeSpoiler(const SimConfig& config, int mpl);
+[[nodiscard]] std::vector<QuerySpec> MakeSpoiler(const SimConfig& config,
+                                                 units::Mpl mpl);
 
 }  // namespace contender::sim
 

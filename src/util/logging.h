@@ -69,4 +69,13 @@ struct Voidify {
     CONTENDER_CHECK(_s.ok()) << _s.ToString();              \
   } while (0)
 
+/// Debug-only invariant check: identical to CONTENDER_CHECK in debug
+/// builds, compiled out (condition unevaluated) under NDEBUG.
+#ifndef NDEBUG
+#define CONTENDER_DCHECK(cond) CONTENDER_CHECK(cond)
+#else
+#define CONTENDER_DCHECK(cond) \
+  while (false) CONTENDER_CHECK(cond)
+#endif
+
 #endif  // CONTENDER_UTIL_LOGGING_H_

@@ -27,8 +27,11 @@ enum class StatusCode {
 /// Returns a human-readable name for a StatusCode ("OK", "InvalidArgument"...).
 const char* StatusCodeToString(StatusCode code);
 
-/// A success-or-error result. Cheap to copy on the OK path.
-class Status {
+/// A success-or-error result. Cheap to copy on the OK path. Marked
+/// [[nodiscard]] so a dropped error status is a compile-time warning
+/// (error under CONTENDER_WERROR); intentionally ignored statuses must be
+/// cast to void.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}

@@ -12,9 +12,10 @@
 namespace contender {
 
 /// A value-or-error result. Construct from a T (implies OK) or from a non-OK
-/// Status. Accessing value() on an error aborts in debug builds.
+/// Status. Accessing value() on an error aborts in debug builds. Marked
+/// [[nodiscard]]: silently dropping a fallible result hides the error path.
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   /// Constructs from an error status. `status` must not be OK.
   StatusOr(Status status) : status_(std::move(status)) {  // NOLINT(runtime/explicit)
@@ -50,13 +51,23 @@ class StatusOr {
   std::optional<T> value_;
 };
 
-/// Assigns the value of a StatusOr expression to `lhs`, or returns its error.
-#define CONTENDER_ASSIGN_OR_RETURN(lhs, expr)       \
-  do {                                              \
-    auto _result = (expr);                          \
-    if (!_result.ok()) return _result.status();     \
-    lhs = std::move(_result).value();               \
-  } while (0)
+/// Assigns the value of a StatusOr expression to `lhs`, or returns its
+/// error. `lhs` may be an existing lvalue or a new declaration
+/// (`CONTENDER_ASSIGN_OR_RETURN(const Foo f, MakeFoo())`), which is the
+/// only way to unwrap types without a default constructor. Expands to
+/// multiple statements: must not be the body of an unbraced `if`/`for`.
+#define CONTENDER_ASSIGN_OR_RETURN(lhs, expr)                              \
+  CONTENDER_INTERNAL_ASSIGN_OR_RETURN_(                                    \
+      CONTENDER_INTERNAL_CONCAT_(_status_or_value, __LINE__), lhs, expr)
+
+#define CONTENDER_INTERNAL_ASSIGN_OR_RETURN_(var, lhs, expr) \
+  auto var = (expr);                                         \
+  if (!var.ok()) return var.status();                        \
+  lhs = std::move(var).value()
+
+#define CONTENDER_INTERNAL_CONCAT_IMPL_(a, b) a##b
+#define CONTENDER_INTERNAL_CONCAT_(a, b) \
+  CONTENDER_INTERNAL_CONCAT_IMPL_(a, b)
 
 }  // namespace contender
 

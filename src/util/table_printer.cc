@@ -48,9 +48,9 @@ std::string FormatDouble(double v, int digits) {
   return buf;
 }
 
-std::string FormatPercent(double fraction, int digits) {
+std::string FormatPercent(double ratio, int digits) {
   char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.*f%%", digits, fraction * 100.0);
+  std::snprintf(buf, sizeof(buf), "%.*f%%", digits, ratio * 100.0);
   return buf;
 }
 

@@ -34,7 +34,7 @@ class TablePrinter {
 std::string FormatDouble(double v, int digits = 2);
 
 /// Formats a fraction (0.254) as a percentage string ("25.4%").
-std::string FormatPercent(double fraction, int digits = 1);
+std::string FormatPercent(double ratio, int digits = 1);
 
 }  // namespace contender
 

@@ -60,14 +60,16 @@ const char* PlanNodeTypeName(PlanNodeType type) {
   return "?";
 }
 
-PlanNode SeqScan(const TableDef& t, double fraction, double rows_out) {
+PlanNode SeqScan(const TableDef& t, units::Fraction fraction,
+                 double rows_out) {
   PlanNode n;
   n.type = PlanNodeType::kSeqScan;
   n.table = t.id;
-  n.scan_fraction = fraction;
+  n.scan_fraction = fraction.value();
   n.rows = rows_out;
   // Scan CPU covers every tuple visited, not only those emitted.
-  n.cpu_seconds = static_cast<double>(t.rows) * fraction * kSeqScanCpuPerRow;
+  n.cpu_seconds =
+      static_cast<double>(t.rows) * fraction.value() * kSeqScanCpuPerRow;
   return n;
 }
 

@@ -11,6 +11,7 @@
 
 #include "catalog/catalog.h"
 #include "sim/query_spec.h"
+#include "util/units.h"
 
 namespace contender {
 
@@ -60,7 +61,8 @@ struct PlanNode {
 // Builder helpers (PostgreSQL-flavoured constructors).
 
 /// Full or partial sequential scan of `t`.
-PlanNode SeqScan(const TableDef& t, double fraction, double rows_out);
+PlanNode SeqScan(const TableDef& t, units::Fraction fraction,
+                 double rows_out);
 
 /// Index scan performing `rnd_bytes` of scattered reads.
 PlanNode IndexScan(const TableDef& t, double rnd_bytes, double rows_out);

@@ -35,7 +35,7 @@ sim::EngineRun WorkloadSampler::IsolatedRun(int index, uint64_t seed) const {
 sim::EngineRun WorkloadSampler::SpoilerRun(int index, int mpl,
                                            uint64_t seed) const {
   sim::EngineRun run;
-  run.specs = sim::MakeSpoiler(config_, mpl);
+  run.specs = sim::MakeSpoiler(config_, units::Mpl(mpl));
   run.specs.push_back(workload_->InstantiateNominal(index));
   run.config = config_;
   run.seed = seed;
@@ -75,7 +75,7 @@ TemplateProfile WorkloadSampler::MakeProfileSkeleton(int index) const {
   for (const sim::Phase& phase : spec.phases) {
     ws = std::max(ws, phase.mem_demand_bytes);
   }
-  profile.working_set_bytes = ws;
+  profile.working_set_bytes = units::Bytes(ws);
   return profile;
 }
 
@@ -94,14 +94,15 @@ StatusOr<TemplateProfile> WorkloadSampler::ProfileTemplate(
   profile.io_fraction = r.io_fraction();
 
   for (int mpl : mpls) {
-    auto lmax = MeasureSpoilerLatency(index, mpl);
+    auto lmax = MeasureSpoilerLatency(index, units::Mpl(mpl));
     if (!lmax.ok()) return lmax.status();
     profile.spoiler_latency[mpl] = *lmax;
   }
   return profile;
 }
 
-StatusOr<double> WorkloadSampler::MeasureScanTime(sim::TableId table) {
+StatusOr<units::Seconds> WorkloadSampler::MeasureScanTime(
+    sim::TableId table) {
   auto run = ScanRun(table, rng_.Next());
   if (!run.ok()) return run.status();
   auto outcome = runner().RunOne(*run);
@@ -109,11 +110,12 @@ StatusOr<double> WorkloadSampler::MeasureScanTime(sim::TableId table) {
   return outcome->results.back().latency();
 }
 
-StatusOr<double> WorkloadSampler::MeasureSpoilerLatency(int index, int mpl) {
-  if (mpl < 2) {
+StatusOr<units::Seconds> WorkloadSampler::MeasureSpoilerLatency(
+    int index, units::Mpl mpl) {
+  if (mpl.value() < 2) {
     return Status::InvalidArgument("spoiler requires MPL >= 2");
   }
-  auto outcome = runner().RunOne(SpoilerRun(index, mpl, rng_.Next()));
+  auto outcome = runner().RunOne(SpoilerRun(index, mpl.value(), rng_.Next()));
   if (!outcome.ok()) return outcome.status();
   return outcome->results.back().latency();
 }
@@ -133,7 +135,7 @@ StatusOr<std::vector<MixObservation>> WorkloadSampler::ObserveMixSeeded(
     for (size_t o = 0; o < mix.size(); ++o) {
       if (o != s) obs.concurrent_indices.push_back(mix[o]);
     }
-    obs.latency = result->streams[s].mean_latency;
+    obs.latency = units::Seconds(result->streams[s].mean_latency);
     out.push_back(std::move(obs));
   }
   return out;
@@ -242,7 +244,7 @@ StatusOr<TrainingData> WorkloadSampler::CollectAll() {
   for (size_t f = 0; f < fact_tables.size(); ++f) {
     const StatusOr<sim::EngineRunResult>& scan = outcomes[cursor++];
     if (!scan.ok()) return scan.status();
-    const double s_f = scan->results.back().latency();
+    const units::Seconds s_f = scan->results.back().latency();
     data.scan_times[fact_tables[f].id] = s_f;
     data.sampling_seconds += s_f;
   }

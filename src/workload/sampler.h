@@ -21,6 +21,7 @@
 #include "sim/batch_runner.h"
 #include "sim/config.h"
 #include "util/statusor.h"
+#include "util/units.h"
 #include "workload/steady_state.h"
 #include "workload/workload.h"
 
@@ -30,11 +31,11 @@ namespace contender {
 struct TrainingData {
   std::vector<TemplateProfile> profiles;
   /// s_f: isolated full-scan time per fact table.
-  std::map<sim::TableId, double> scan_times;
+  ScanTimes scan_times;
   /// Steady-state observations, keyed implicitly by MPL in each entry.
   std::vector<MixObservation> observations;
-  /// Total virtual seconds of sampling (for the §5.4 cost accounting).
-  double sampling_seconds = 0.0;
+  /// Total virtual time spent sampling (for the §5.4 cost accounting).
+  units::Seconds sampling_seconds;
 };
 
 /// Sampling driver bound to one workload and one hardware model.
@@ -64,10 +65,10 @@ class WorkloadSampler {
                                             const std::vector<int>& mpls);
 
   /// s_f for one table (isolated scan-only query).
-  StatusOr<double> MeasureScanTime(sim::TableId table);
+  StatusOr<units::Seconds> MeasureScanTime(sim::TableId table);
 
   /// l_max: latency of one template run against the spoiler at `mpl`.
-  StatusOr<double> MeasureSpoilerLatency(int index, int mpl);
+  StatusOr<units::Seconds> MeasureSpoilerLatency(int index, units::Mpl mpl);
 
   /// Steady-state run of one mix; returns one observation per stream.
   StatusOr<std::vector<MixObservation>> ObserveMix(

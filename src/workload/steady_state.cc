@@ -112,7 +112,7 @@ StatusOr<SteadyStateResult> RunSteadyState(const Workload& workload,
     auto it = stream_of_process.find(r.process_id);
     if (it == stream_of_process.end()) return;
     const size_t stream = it->second;
-    collected[stream].push_back(r.latency());
+    collected[stream].push_back(r.latency().value());
     if (all_collected()) {
       engine.RequestStop();
       return;
@@ -128,10 +128,10 @@ StatusOr<SteadyStateResult> RunSteadyState(const Workload& workload,
   if (cache != nullptr) {
     sim::RunCache::Entry entry;
     entry.series = collected;
-    entry.duration = engine.now();
+    entry.duration = engine.now().value();
     cache->Insert(key, std::move(entry));
   }
-  return AssembleResult(mix, options, collected, engine.now());
+  return AssembleResult(mix, options, collected, engine.now().value());
 }
 
 }  // namespace contender

@@ -12,15 +12,15 @@ using sim::kMB;
 // Shorthand: a dimension hash-joined under a fact probe.
 PlanNode DimJoin(const Catalog& c, PlanNode probe, const std::string& dim,
                  double dim_rows, double rows_out, double build_mem) {
-  PlanNode build = SeqScan(c.Get(dim), 1.0, dim_rows);
+  PlanNode build = SeqScan(c.Get(dim), units::Fraction::Clamp(1.0), dim_rows);
   return HashJoin(std::move(build), std::move(probe), rows_out, build_mem);
 }
 
 // TPC-DS q2: weekly sales rollup across catalog and web channels; unions
 // two fact scans and sorts a very large intermediate (memory-intensive).
 PlanNode BuildQ2(const Catalog& c) {
-  PlanNode cs = SeqScan(c.Get("catalog_sales"), 1.0, 144e6);
-  PlanNode ws = SeqScan(c.Get("web_sales"), 1.0, 72e6);
+  PlanNode cs = SeqScan(c.Get("catalog_sales"), units::Fraction::Clamp(1.0), 144e6);
+  PlanNode ws = SeqScan(c.Get("web_sales"), units::Fraction::Clamp(1.0), 72e6);
   PlanNode uni = Append({std::move(cs), std::move(ws)}, 216e6);
   PlanNode j = DimJoin(c, std::move(uni), "date_dim", 73049, 216e6, 8 * kMB);
   PlanNode sorted = Sort(std::move(j), 4.0 * kGB);
@@ -29,9 +29,9 @@ PlanNode BuildQ2(const Catalog& c) {
 
 // TPC-DS q8: store sales by store for customers in preferred zip codes.
 PlanNode BuildQ8(const Catalog& c) {
-  PlanNode cust = DimJoin(c, SeqScan(c.Get("customer"), 1.0, 2e6),
+  PlanNode cust = DimJoin(c, SeqScan(c.Get("customer"), units::Fraction::Clamp(1.0), 2e6),
                           "customer_address", 1e6, 1.8e6, 120 * kMB);
-  PlanNode ss = SeqScan(c.Get("store_sales"), 1.0, 288e6);
+  PlanNode ss = SeqScan(c.Get("store_sales"), units::Fraction::Clamp(1.0), 288e6);
   PlanNode j1 = HashJoin(std::move(cust), std::move(ss), 50e6, 260 * kMB);
   PlanNode j2 = DimJoin(c, std::move(j1), "store", 402, 50e6, 0.1 * kMB);
   PlanNode j3 = DimJoin(c, std::move(j2), "date_dim", 73049, 12e6, 8 * kMB);
@@ -41,7 +41,7 @@ PlanNode BuildQ8(const Catalog& c) {
 
 // TPC-DS q15: catalog sales by customer zip for a quarter.
 PlanNode BuildQ15(const Catalog& c) {
-  PlanNode cs = SeqScan(c.Get("catalog_sales"), 1.0, 144e6);
+  PlanNode cs = SeqScan(c.Get("catalog_sales"), units::Fraction::Clamp(1.0), 144e6);
   PlanNode j1 = DimJoin(c, std::move(cs), "customer", 2e6, 36e6, 280 * kMB);
   PlanNode j2 =
       DimJoin(c, std::move(j1), "customer_address", 1e6, 36e6, 140 * kMB);
@@ -53,7 +53,7 @@ PlanNode BuildQ15(const Catalog& c) {
 // TPC-DS q17: store/catalog sales with returns — index-driven lookups on
 // the returns and catalog side make this template random-I/O heavy.
 PlanNode BuildQ17(const Catalog& c) {
-  PlanNode ss = SeqScan(c.Get("store_sales"), 0.55, 158e6);
+  PlanNode ss = SeqScan(c.Get("store_sales"), units::Fraction::Clamp(0.55), 158e6);
   PlanNode sr = IndexScan(c.Get("store_returns"), 320 * kMB, 3.2e6);
   PlanNode j1 = HashJoin(std::move(sr), std::move(ss), 6e6, 300 * kMB);
   PlanNode csr = IndexScan(c.Get("catalog_sales"), 260 * kMB, 2.4e6);
@@ -66,7 +66,7 @@ PlanNode BuildQ17(const Catalog& c) {
 
 // TPC-DS q18: catalog sales by customer demographics.
 PlanNode BuildQ18(const Catalog& c) {
-  PlanNode cs = SeqScan(c.Get("catalog_sales"), 1.0, 144e6);
+  PlanNode cs = SeqScan(c.Get("catalog_sales"), units::Fraction::Clamp(1.0), 144e6);
   PlanNode j1 = DimJoin(c, std::move(cs), "customer_demographics", 1.92e6,
                         28e6, 170 * kMB);
   PlanNode j2 = DimJoin(c, std::move(j1), "customer", 2e6, 14e6, 280 * kMB);
@@ -78,7 +78,7 @@ PlanNode BuildQ18(const Catalog& c) {
 
 // TPC-DS q20: catalog sales by item class for a 30-day window.
 PlanNode BuildQ20(const Catalog& c) {
-  PlanNode cs = SeqScan(c.Get("catalog_sales"), 1.0, 144e6);
+  PlanNode cs = SeqScan(c.Get("catalog_sales"), units::Fraction::Clamp(1.0), 144e6);
   PlanNode j1 = DimJoin(c, std::move(cs), "item", 204000, 20e6, 60 * kMB);
   PlanNode j2 = DimJoin(c, std::move(j1), "date_dim", 73049, 5e6, 8 * kMB);
   PlanNode agg = GroupAggregate(Sort(std::move(j2), 140 * kMB), 60000);
@@ -88,7 +88,7 @@ PlanNode BuildQ20(const Catalog& c) {
 // TPC-DS q22: inventory quantity-on-hand rollup; a giant hash aggregate
 // over the full inventory history makes this template memory-bound.
 PlanNode BuildQ22(const Catalog& c) {
-  PlanNode inv = SeqScan(c.Get("inventory"), 1.0, 399e6);
+  PlanNode inv = SeqScan(c.Get("inventory"), units::Fraction::Clamp(1.0), 399e6);
   PlanNode j1 = DimJoin(c, std::move(inv), "item", 204000, 399e6, 60 * kMB);
   PlanNode j2 = DimJoin(c, std::move(j1), "date_dim", 73049, 98e6, 8 * kMB);
   PlanNode j3 = DimJoin(c, std::move(j2), "warehouse", 15, 98e6, 0.1 * kMB);
@@ -100,7 +100,7 @@ PlanNode BuildQ22(const Catalog& c) {
 
 // TPC-DS q25: store/store-returns/catalog-sales chain via index lookups.
 PlanNode BuildQ25(const Catalog& c) {
-  PlanNode ss = SeqScan(c.Get("store_sales"), 0.5, 144e6);
+  PlanNode ss = SeqScan(c.Get("store_sales"), units::Fraction::Clamp(0.5), 144e6);
   PlanNode sr = IndexScan(c.Get("store_returns"), 400 * kMB, 4e6);
   PlanNode j1 = HashJoin(std::move(sr), std::move(ss), 7e6, 360 * kMB);
   PlanNode cs = IndexScan(c.Get("catalog_sales"), 350 * kMB, 3.2e6);
@@ -114,7 +114,7 @@ PlanNode BuildQ25(const Catalog& c) {
 // TPC-DS q26: catalog sales averaged by item for one demographic slice —
 // a single pass over catalog_sales; I/O-bound.
 PlanNode BuildQ26(const Catalog& c) {
-  PlanNode cs = SeqScan(c.Get("catalog_sales"), 1.0, 144e6);
+  PlanNode cs = SeqScan(c.Get("catalog_sales"), units::Fraction::Clamp(1.0), 144e6);
   PlanNode j1 = DimJoin(c, std::move(cs), "customer_demographics", 1.92e6,
                         18e6, 170 * kMB);
   PlanNode j2 = DimJoin(c, std::move(j1), "date_dim", 73049, 4.6e6, 8 * kMB);
@@ -126,7 +126,7 @@ PlanNode BuildQ26(const Catalog& c) {
 
 // TPC-DS q27: store sales by item/state for one demographic slice.
 PlanNode BuildQ27(const Catalog& c) {
-  PlanNode ss = SeqScan(c.Get("store_sales"), 1.0, 288e6);
+  PlanNode ss = SeqScan(c.Get("store_sales"), units::Fraction::Clamp(1.0), 288e6);
   PlanNode j1 = DimJoin(c, std::move(ss), "customer_demographics", 1.92e6,
                         36e6, 170 * kMB);
   PlanNode j2 = DimJoin(c, std::move(j1), "date_dim", 73049, 9e6, 8 * kMB);
@@ -138,7 +138,7 @@ PlanNode BuildQ27(const Catalog& c) {
 
 // TPC-DS q32: catalog sales with a correlated average lookup (random I/O).
 PlanNode BuildQ32(const Catalog& c) {
-  PlanNode cs = SeqScan(c.Get("catalog_sales"), 1.0, 144e6);
+  PlanNode cs = SeqScan(c.Get("catalog_sales"), units::Fraction::Clamp(1.0), 144e6);
   PlanNode sub = IndexScan(c.Get("catalog_sales"), 300 * kMB, 2.8e6);
   PlanNode subagg = HashAggregate(std::move(sub), 17000, 20 * kMB);
   PlanNode j1 = HashJoin(std::move(subagg), std::move(cs), 1.4e6, 20 * kMB);
@@ -150,7 +150,7 @@ PlanNode BuildQ32(const Catalog& c) {
 // TPC-DS q33: manufacturer revenue across all three sales channels.
 PlanNode BuildQ33(const Catalog& c) {
   auto channel = [&](const std::string& fact, double rows) {
-    PlanNode f = SeqScan(c.Get(fact), 1.0, rows);
+    PlanNode f = SeqScan(c.Get(fact), units::Fraction::Clamp(1.0), rows);
     PlanNode j1 = DimJoin(c, std::move(f), "item", 204000, rows / 8,
                           60 * kMB);
     PlanNode j2 = DimJoin(c, std::move(j1), "customer_address", 1e6, rows / 24,
@@ -169,8 +169,8 @@ PlanNode BuildQ33(const Catalog& c) {
 
 // TPC-DS q40: catalog sales vs returns around a date boundary.
 PlanNode BuildQ40(const Catalog& c) {
-  PlanNode cs = SeqScan(c.Get("catalog_sales"), 1.0, 144e6);
-  PlanNode cr = SeqScan(c.Get("catalog_returns"), 1.0, 14.4e6);
+  PlanNode cs = SeqScan(c.Get("catalog_sales"), units::Fraction::Clamp(1.0), 144e6);
+  PlanNode cr = SeqScan(c.Get("catalog_returns"), units::Fraction::Clamp(1.0), 14.4e6);
   PlanNode j1 = HashJoin(std::move(cr), std::move(cs), 14e6, 260 * kMB);
   PlanNode j2 = DimJoin(c, std::move(j1), "warehouse", 15, 14e6, 0.1 * kMB);
   PlanNode j3 = DimJoin(c, std::move(j2), "item", 204000, 3.4e6, 60 * kMB);
@@ -181,7 +181,7 @@ PlanNode BuildQ40(const Catalog& c) {
 
 // TPC-DS q46: store sales to specific households by city, sorted widely.
 PlanNode BuildQ46(const Catalog& c) {
-  PlanNode ss = SeqScan(c.Get("store_sales"), 1.0, 288e6);
+  PlanNode ss = SeqScan(c.Get("store_sales"), units::Fraction::Clamp(1.0), 288e6);
   PlanNode j1 = DimJoin(c, std::move(ss), "household_demographics", 7200,
                         48e6, 1 * kMB);
   PlanNode j2 =
@@ -196,7 +196,7 @@ PlanNode BuildQ46(const Catalog& c) {
 // TPC-DS q56: item revenue across all three channels (ids in a list).
 PlanNode BuildQ56(const Catalog& c) {
   auto channel = [&](const std::string& fact, double rows) {
-    PlanNode f = SeqScan(c.Get(fact), 1.0, rows);
+    PlanNode f = SeqScan(c.Get(fact), units::Fraction::Clamp(1.0), rows);
     PlanNode j1 = DimJoin(c, std::move(f), "item", 204000, rows / 10,
                           60 * kMB);
     PlanNode j2 = DimJoin(c, std::move(j1), "customer_address", 1e6,
@@ -216,7 +216,7 @@ PlanNode BuildQ56(const Catalog& c) {
 // TPC-DS q60: category revenue across all three channels.
 PlanNode BuildQ60(const Catalog& c) {
   auto channel = [&](const std::string& fact, double rows) {
-    PlanNode f = SeqScan(c.Get(fact), 1.0, rows);
+    PlanNode f = SeqScan(c.Get(fact), units::Fraction::Clamp(1.0), rows);
     PlanNode j1 = DimJoin(c, std::move(f), "item", 204000, rows / 9,
                           60 * kMB);
     PlanNode j2 = DimJoin(c, std::move(j1), "customer_address", 1e6,
@@ -237,7 +237,7 @@ PlanNode BuildQ60(const Catalog& c) {
 // twice (two independent subqueries); almost pure sequential I/O.
 PlanNode BuildQ61(const Catalog& c) {
   auto branch = [&](bool promo) {
-    PlanNode ss = SeqScan(c.Get("store_sales"), 1.0, 288e6);
+    PlanNode ss = SeqScan(c.Get("store_sales"), units::Fraction::Clamp(1.0), 288e6);
     PlanNode j1 = DimJoin(c, std::move(ss), "store", 402, 96e6, 0.1 * kMB);
     PlanNode j2 = DimJoin(c, std::move(j1), "date_dim", 73049, 24e6, 8 * kMB);
     PlanNode j3 = DimJoin(c, std::move(j2), "customer", 2e6, 12e6, 1.6 * kGB);
@@ -256,8 +256,8 @@ PlanNode BuildQ61(const Catalog& c) {
 // TPC-DS q62: web sales shipping-delay buckets — one small fact scan plus
 // modest random I/O; partially CPU-bound (one of the lightest templates).
 PlanNode BuildQ62(const Catalog& c) {
-  PlanNode ws = SeqScan(c.Get("web_sales"), 1.0, 72e6);
-  PlanNode wr = SeqScan(c.Get("web_returns"), 1.0, 7.2e6);
+  PlanNode ws = SeqScan(c.Get("web_sales"), units::Fraction::Clamp(1.0), 72e6);
+  PlanNode wr = SeqScan(c.Get("web_returns"), units::Fraction::Clamp(1.0), 7.2e6);
   PlanNode j0 = HashJoin(std::move(wr), std::move(ws), 70e6, 90 * kMB);
   PlanNode probe = IndexScan(c.Get("web_sales"), 75 * kMB, 700000);
   PlanNode j1 = HashJoin(std::move(probe), std::move(j0), 70e6, 30 * kMB);
@@ -272,9 +272,9 @@ PlanNode BuildQ62(const Catalog& c) {
 // TPC-DS q65: lowest-revenue items per store — store_sales aggregated
 // twice with a heavy aggregate; the CPU is the limiting factor.
 PlanNode BuildQ65(const Catalog& c) {
-  PlanNode ss1 = SeqScan(c.Get("store_sales"), 1.0, 288e6);
+  PlanNode ss1 = SeqScan(c.Get("store_sales"), units::Fraction::Clamp(1.0), 288e6);
   PlanNode agg1 = HashAggregate(std::move(ss1), 70e6, 1.4 * kGB);
-  PlanNode ss2 = SeqScan(c.Get("store_sales"), 0.2, 58e6);
+  PlanNode ss2 = SeqScan(c.Get("store_sales"), units::Fraction::Clamp(0.2), 58e6);
   PlanNode agg2 = HashAggregate(std::move(ss2), 14e6, 200 * kMB);
   PlanNode agg2b = GroupAggregate(std::move(agg2), 400);
   PlanNode j1 = HashJoin(std::move(agg2b), std::move(agg1), 9e6, 1 * kMB);
@@ -289,7 +289,7 @@ PlanNode BuildQ65(const Catalog& c) {
 // TPC-DS q66: warehouse shipping volumes across web and catalog channels.
 PlanNode BuildQ66(const Catalog& c) {
   auto channel = [&](const std::string& fact, double rows) {
-    PlanNode f = SeqScan(c.Get(fact), 1.0, rows);
+    PlanNode f = SeqScan(c.Get(fact), units::Fraction::Clamp(1.0), rows);
     PlanNode j1 = DimJoin(c, std::move(f), "warehouse", 15, rows / 3,
                           0.1 * kMB);
     PlanNode j2 = DimJoin(c, std::move(j1), "time_dim", 86400, rows / 6,
@@ -308,7 +308,7 @@ PlanNode BuildQ66(const Catalog& c) {
 
 // TPC-DS q70: store revenue ranked within state (rollup + window sort).
 PlanNode BuildQ70(const Catalog& c) {
-  PlanNode ss = SeqScan(c.Get("store_sales"), 1.0, 288e6);
+  PlanNode ss = SeqScan(c.Get("store_sales"), units::Fraction::Clamp(1.0), 288e6);
   PlanNode j1 = DimJoin(c, std::move(ss), "date_dim", 73049, 72e6, 8 * kMB);
   PlanNode j2 = DimJoin(c, std::move(j1), "store", 402, 72e6, 0.1 * kMB);
   PlanNode agg = HashAggregate(std::move(j2), 30e6, 850 * kMB);
@@ -320,7 +320,7 @@ PlanNode BuildQ70(const Catalog& c) {
 // intermediates and negligible CPU — the archetypal I/O-bound template.
 PlanNode BuildQ71(const Catalog& c) {
   auto channel = [&](const std::string& fact, double rows) {
-    PlanNode f = SeqScan(c.Get(fact), 1.0, rows);
+    PlanNode f = SeqScan(c.Get(fact), units::Fraction::Clamp(1.0), rows);
     return DimJoin(c, std::move(f), "date_dim", 73049, rows / 30, 8 * kMB);
   };
   PlanNode uni = Append({channel("store_sales", 288e6),
@@ -335,7 +335,7 @@ PlanNode BuildQ71(const Catalog& c) {
 
 // TPC-DS q79: customers with large in-store purchases on high-vehicle days.
 PlanNode BuildQ79(const Catalog& c) {
-  PlanNode ss = SeqScan(c.Get("store_sales"), 1.0, 288e6);
+  PlanNode ss = SeqScan(c.Get("store_sales"), units::Fraction::Clamp(1.0), 288e6);
   PlanNode j1 = DimJoin(c, std::move(ss), "household_demographics", 7200,
                         58e6, 1 * kMB);
   PlanNode j2 = DimJoin(c, std::move(j1), "date_dim", 73049, 14e6, 8 * kMB);
@@ -348,10 +348,10 @@ PlanNode BuildQ79(const Catalog& c) {
 // TPC-DS q82: items in stock within a price band that sold in stores —
 // scans inventory (shared with q22) plus store_sales.
 PlanNode BuildQ82(const Catalog& c) {
-  PlanNode inv = SeqScan(c.Get("inventory"), 1.0, 399e6);
+  PlanNode inv = SeqScan(c.Get("inventory"), units::Fraction::Clamp(1.0), 399e6);
   PlanNode j1 = DimJoin(c, std::move(inv), "item", 204000, 40e6, 60 * kMB);
   PlanNode j2 = DimJoin(c, std::move(j1), "date_dim", 73049, 10e6, 8 * kMB);
-  PlanNode ss = SeqScan(c.Get("store_sales"), 1.0, 288e6);
+  PlanNode ss = SeqScan(c.Get("store_sales"), units::Fraction::Clamp(1.0), 288e6);
   PlanNode j3 = HashJoin(std::move(j2), std::move(ss), 8e6, 180 * kMB);
   PlanNode probe = IndexScan(c.Get("store_sales"), 100 * kMB, 900000);
   PlanNode j4 = HashJoin(std::move(probe), std::move(j3), 4e6, 40 * kMB);
@@ -362,7 +362,7 @@ PlanNode BuildQ82(const Catalog& c) {
 // TPC-DS q90: morning-to-evening web order ratio — web_sales scanned twice.
 PlanNode BuildQ90(const Catalog& c) {
   auto branch = [&]() {
-    PlanNode ws = SeqScan(c.Get("web_sales"), 1.0, 72e6);
+    PlanNode ws = SeqScan(c.Get("web_sales"), units::Fraction::Clamp(1.0), 72e6);
     PlanNode j1 = DimJoin(c, std::move(ws), "household_demographics", 7200,
                           12e6, 1 * kMB);
     PlanNode j2 = DimJoin(c, std::move(j1), "time_dim", 86400, 1.5e6,

@@ -1,41 +1,98 @@
 #include "core/continuum.h"
 
+#include <limits>
+
 #include <gtest/gtest.h>
+
+#include "util/logging.h"
+#include "util/units.h"
 
 namespace contender {
 namespace {
 
+using units::LatencyRange;
+using units::Seconds;
+
+LatencyRange Range(double l_min, double l_max) {
+  auto range = LatencyRange::Make(Seconds(l_min), Seconds(l_max));
+  CONTENDER_CHECK_OK(range.status());
+  return *range;
+}
+
 TEST(ContinuumTest, EndpointsMapToZeroAndOne) {
-  EXPECT_DOUBLE_EQ(*ContinuumPoint(100.0, 100.0, 300.0), 0.0);
-  EXPECT_DOUBLE_EQ(*ContinuumPoint(300.0, 100.0, 300.0), 1.0);
-  EXPECT_DOUBLE_EQ(*ContinuumPoint(200.0, 100.0, 300.0), 0.5);
+  const LatencyRange range = Range(100.0, 300.0);
+  EXPECT_DOUBLE_EQ(ContinuumPoint(Seconds(100.0), range)->value(), 0.0);
+  EXPECT_DOUBLE_EQ(ContinuumPoint(Seconds(300.0), range)->value(), 1.0);
+  EXPECT_DOUBLE_EQ(ContinuumPoint(Seconds(200.0), range)->value(), 0.5);
 }
 
 TEST(ContinuumTest, ValuesOutsideRangeAreNotClamped) {
   // Positive interactions can push observations below l_min (§5.3).
-  EXPECT_LT(*ContinuumPoint(90.0, 100.0, 300.0), 0.0);
-  EXPECT_GT(*ContinuumPoint(310.0, 100.0, 300.0), 1.0);
+  const LatencyRange range = Range(100.0, 300.0);
+  EXPECT_LT(ContinuumPoint(Seconds(90.0), range)->value(), 0.0);
+  EXPECT_GT(ContinuumPoint(Seconds(310.0), range)->value(), 1.0);
 }
 
 TEST(ContinuumTest, RoundTrip) {
+  const LatencyRange range = Range(100.0, 300.0);
   for (double latency : {120.0, 180.0, 299.0}) {
-    const double point = *ContinuumPoint(latency, 100.0, 300.0);
-    EXPECT_NEAR(*LatencyFromContinuum(point, 100.0, 300.0), latency, 1e-12);
+    auto point = ContinuumPoint(Seconds(latency), range);
+    ASSERT_TRUE(point.ok());
+    EXPECT_NEAR(LatencyFromContinuum(*point, range).value(), latency, 1e-12);
   }
 }
 
-TEST(ContinuumTest, RejectsDegenerateRange) {
-  EXPECT_FALSE(ContinuumPoint(1.0, 0.0, 10.0).ok());
-  EXPECT_FALSE(ContinuumPoint(1.0, 10.0, 10.0).ok());
-  EXPECT_FALSE(ContinuumPoint(1.0, 10.0, 5.0).ok());
-  EXPECT_FALSE(LatencyFromContinuum(0.5, 10.0, 5.0).ok());
+TEST(ContinuumTest, RangeRejectsNonPositiveLmin) {
+  auto range = LatencyRange::Make(Seconds(0.0), Seconds(10.0));
+  EXPECT_FALSE(range.ok());
+  EXPECT_EQ(range.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ContinuumTest, RangeRejectsDegenerateAndSwappedBounds) {
+  // l_max == l_min: the continuum collapses to a point; Eq. 6 divides by
+  // the width, so construction must fail rather than yield inf/NaN.
+  auto degenerate = LatencyRange::Make(Seconds(10.0), Seconds(10.0));
+  EXPECT_FALSE(degenerate.ok());
+  EXPECT_EQ(degenerate.status().code(), StatusCode::kInvalidArgument);
+  // Swapped bounds (spoiler faster than isolated) are equally invalid.
+  auto swapped = LatencyRange::Make(Seconds(10.0), Seconds(5.0));
+  EXPECT_FALSE(swapped.ok());
+  EXPECT_EQ(swapped.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ContinuumTest, RangeRejectsNaNBounds) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(LatencyRange::Make(Seconds(nan), Seconds(10.0)).ok());
+  EXPECT_FALSE(LatencyRange::Make(Seconds(1.0), Seconds(nan)).ok());
+}
+
+TEST(ContinuumTest, NegativeLatencyRejected) {
+  const LatencyRange range = Range(100.0, 300.0);
+  auto point = ContinuumPoint(Seconds(-1.0), range);
+  EXPECT_FALSE(point.ok());
+  EXPECT_EQ(point.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ContinuumTest, NaNLatencyRejected) {
+  const LatencyRange range = Range(100.0, 300.0);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(ContinuumPoint(Seconds(nan), range).ok());
 }
 
 TEST(ContinuumTest, OutlierRuleAt105Percent) {
-  // §6.1: latency beyond 105% of the spoiler exceeds the continuum.
-  EXPECT_FALSE(ExceedsContinuum(104.0, 100.0));
-  EXPECT_FALSE(ExceedsContinuum(105.0, 100.0));
-  EXPECT_TRUE(ExceedsContinuum(105.1, 100.0));
+  // §6.1: latency strictly beyond 105% of the spoiler exceeds the
+  // continuum. The boundary itself (exactly 1.05 * l_max) is kept.
+  EXPECT_FALSE(ExceedsContinuum(Seconds(104.0), Seconds(100.0)));
+  EXPECT_FALSE(ExceedsContinuum(Seconds(105.0), Seconds(100.0)));
+  EXPECT_FALSE(ExceedsContinuum(1.05 * Seconds(100.0), Seconds(100.0)));
+  EXPECT_TRUE(ExceedsContinuum(Seconds(105.1), Seconds(100.0)));
+}
+
+TEST(ContinuumTest, RangeAccessorsExposeWidth) {
+  const LatencyRange range = Range(100.0, 300.0);
+  EXPECT_DOUBLE_EQ(range.min().value(), 100.0);
+  EXPECT_DOUBLE_EQ(range.max().value(), 300.0);
+  EXPECT_DOUBLE_EQ(range.width().value(), 200.0);
 }
 
 }  // namespace

@@ -15,31 +15,31 @@ namespace {
 std::vector<TemplateProfile> TestProfiles() {
   TemplateProfile t0;
   t0.template_index = 0;
-  t0.isolated_latency = 100.0;
-  t0.io_fraction = 0.9;
+  t0.isolated_latency = units::Seconds(100.0);
+  t0.io_fraction = units::Fraction::Clamp(0.9);
   t0.fact_tables = {0};
   TemplateProfile t1;
   t1.template_index = 1;
-  t1.isolated_latency = 200.0;
-  t1.io_fraction = 0.8;
+  t1.isolated_latency = units::Seconds(200.0);
+  t1.io_fraction = units::Fraction::Clamp(0.8);
   t1.fact_tables = {0, 1};
   TemplateProfile t2;
   t2.template_index = 2;
-  t2.isolated_latency = 50.0;
-  t2.io_fraction = 1.0;
+  t2.isolated_latency = units::Seconds(50.0);
+  t2.io_fraction = units::Fraction::Clamp(1.0);
   t2.fact_tables = {1};
   return {t0, t1, t2};
 }
 
-std::map<sim::TableId, double> TestScanTimes() {
-  return {{0, 30.0}, {1, 20.0}};
+ScanTimes TestScanTimes() {
+  return {{0, units::Seconds(30.0)}, {1, units::Seconds(20.0)}};
 }
 
 TEST(CqiTest, BaselineIoIsAverageIoFraction) {
   auto cqi = ComputeCqi(TestProfiles(), TestScanTimes(), 0, {1, 2},
                         CqiVariant::kBaselineIo);
   ASSERT_TRUE(cqi.ok());
-  EXPECT_NEAR(*cqi, (0.8 + 1.0) / 2.0, 1e-12);
+  EXPECT_NEAR(cqi->value(), (0.8 + 1.0) / 2.0, 1e-12);
 }
 
 TEST(CqiTest, PositiveIoSubtractsSharedScansWithPrimary) {
@@ -49,7 +49,7 @@ TEST(CqiTest, PositiveIoSubtractsSharedScansWithPrimary) {
   auto cqi = ComputeCqi(TestProfiles(), TestScanTimes(), 0, {1, 2},
                         CqiVariant::kPositiveIo);
   ASSERT_TRUE(cqi.ok());
-  EXPECT_NEAR(*cqi, (0.65 + 1.0) / 2.0, 1e-12);
+  EXPECT_NEAR(cqi->value(), (0.65 + 1.0) / 2.0, 1e-12);
 }
 
 TEST(CqiTest, FullCqiCreditsSharingAmongConcurrents) {
@@ -60,16 +60,16 @@ TEST(CqiTest, FullCqiCreditsSharingAmongConcurrents) {
   auto cqi = ComputeCqi(TestProfiles(), TestScanTimes(), 0, {1, 2},
                         CqiVariant::kFull);
   ASSERT_TRUE(cqi.ok());
-  EXPECT_NEAR(*cqi, (0.6 + 0.8) / 2.0, 1e-12);
+  EXPECT_NEAR(cqi->value(), (0.6 + 0.8) / 2.0, 1e-12);
 }
 
 TEST(CqiTest, TermsExposeOmegaAndTau) {
   auto terms = ComputeCqiTerms(TestProfiles(), TestScanTimes(), 0, {1, 2}, 0,
                                CqiVariant::kFull);
   ASSERT_TRUE(terms.ok());
-  EXPECT_NEAR(terms->total_io_seconds, 160.0, 1e-12);
-  EXPECT_NEAR(terms->omega, 30.0, 1e-12);
-  EXPECT_NEAR(terms->tau, 10.0, 1e-12);
+  EXPECT_NEAR(terms->total_io_seconds.value(), 160.0, 1e-12);
+  EXPECT_NEAR(terms->omega.value(), 30.0, 1e-12);
+  EXPECT_NEAR(terms->tau.value(), 10.0, 1e-12);
   EXPECT_NEAR(terms->r, 0.6, 1e-12);
 }
 
@@ -80,14 +80,14 @@ TEST(CqiTest, NoDoubleCountingWhenPrimarySharesTheTable) {
   auto t0 = ComputeCqiTerms(TestProfiles(), TestScanTimes(), 1, {0, 2}, 0,
                             CqiVariant::kFull);
   ASSERT_TRUE(t0.ok());
-  EXPECT_NEAR(t0->omega, 30.0, 1e-12);
-  EXPECT_DOUBLE_EQ(t0->tau, 0.0);
+  EXPECT_NEAR(t0->omega.value(), 30.0, 1e-12);
+  EXPECT_DOUBLE_EQ(t0->tau.value(), 0.0);
 }
 
 TEST(CqiTest, NegativeEstimatesTruncateToZero) {
   // A concurrent query whose shared scans exceed its I/O time: r = 0.
   auto profiles = TestProfiles();
-  profiles[1].io_fraction = 0.1;  // total I/O = 20 < omega 30
+  profiles[1].io_fraction = units::Fraction::Clamp(0.1);  // total I/O = 20 < omega 30
   auto terms = ComputeCqiTerms(profiles, TestScanTimes(), 0, {1}, 0,
                                CqiVariant::kFull);
   ASSERT_TRUE(terms.ok());
@@ -100,7 +100,7 @@ TEST(CqiTest, SelfMixSharingSameTemplate) {
   auto cqi = ComputeCqi(TestProfiles(), TestScanTimes(), 0, {0, 0},
                         CqiVariant::kFull);
   ASSERT_TRUE(cqi.ok());
-  EXPECT_NEAR(*cqi, (100.0 * 0.9 - 30.0) / 100.0, 1e-12);
+  EXPECT_NEAR(cqi->value(), (100.0 * 0.9 - 30.0) / 100.0, 1e-12);
 }
 
 TEST(CqiTest, VariantOrderingIsMonotone) {
@@ -112,14 +112,14 @@ TEST(CqiTest, VariantOrderingIsMonotone) {
                         CqiVariant::kPositiveIo);
   auto full = ComputeCqi(TestProfiles(), TestScanTimes(), 0, {1, 2},
                          CqiVariant::kFull);
-  EXPECT_LE(*full, *pos);
-  EXPECT_LE(*pos, *base);
+  EXPECT_LE(full->value(), pos->value());
+  EXPECT_LE(pos->value(), base->value());
 }
 
 TEST(CqiTest, MissingScanTimeCountsAsZeroSharing) {
   auto cqi = ComputeCqi(TestProfiles(), {}, 0, {1}, CqiVariant::kFull);
   ASSERT_TRUE(cqi.ok());
-  EXPECT_NEAR(*cqi, 0.8, 1e-12);  // no credit without s_f
+  EXPECT_NEAR(cqi->value(), 0.8, 1e-12);  // no credit without s_f
 }
 
 TEST(CqiTest, InvalidArguments) {
@@ -139,7 +139,7 @@ TEST(CqiTest, ProfileOverloadMatchesIndexVersion) {
   auto b = ComputeCqi(profiles, scans, 0, {1, 2}, CqiVariant::kFull);
   ASSERT_TRUE(a.ok());
   ASSERT_TRUE(b.ok());
-  EXPECT_DOUBLE_EQ(*a, *b);
+  EXPECT_DOUBLE_EQ(a->value(), b->value());
 }
 
 }  // namespace

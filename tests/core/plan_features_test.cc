@@ -19,8 +19,8 @@ TEST(PlanFeaturesTest, DimensionsMatchSchema) {
 TEST(PlanFeaturesTest, CountsAndCardinalities) {
   Catalog c = Catalog::TpcDs100();
   PlanFeatureExtractor extractor(&c);
-  PlanNode plan = HashJoin(SeqScan(c.Get("item"), 1.0, 100.0),
-                           SeqScan(c.Get("store_sales"), 1.0, 200.0), 150.0,
+  PlanNode plan = HashJoin(SeqScan(c.Get("item"), units::Fraction::Clamp(1.0), 100.0),
+                           SeqScan(c.Get("store_sales"), units::Fraction::Clamp(1.0), 200.0), 150.0,
                            1e6);
   Vector f = extractor.ExtractQueryFeatures(plan);
   const size_t seq = 2 * static_cast<size_t>(PlanNodeType::kSeqScan);
@@ -45,9 +45,9 @@ TEST(PlanFeaturesTest, CountsAndCardinalities) {
 TEST(PlanFeaturesTest, MixFeaturesConcatenatePrimaryAndSummedConcurrent) {
   Catalog c = Catalog::TpcDs100();
   PlanFeatureExtractor extractor(&c);
-  PlanNode primary = SeqScan(c.Get("store_sales"), 1.0, 10.0);
-  PlanNode conc1 = SeqScan(c.Get("catalog_sales"), 1.0, 20.0);
-  PlanNode conc2 = SeqScan(c.Get("catalog_sales"), 1.0, 30.0);
+  PlanNode primary = SeqScan(c.Get("store_sales"), units::Fraction::Clamp(1.0), 10.0);
+  PlanNode conc1 = SeqScan(c.Get("catalog_sales"), units::Fraction::Clamp(1.0), 20.0);
+  PlanNode conc2 = SeqScan(c.Get("catalog_sales"), units::Fraction::Clamp(1.0), 30.0);
   Vector mix = extractor.ExtractMixFeatures(primary, {&conc1, &conc2});
   ASSERT_EQ(mix.size(), extractor.mix_feature_dim());
   const size_t d = extractor.query_feature_dim();

@@ -14,13 +14,13 @@ using testing::SharedTrainingData;
 TEST(PredictorTest, TrainBuildsModelsAtEveryMpl) {
   const ContenderPredictor& p = SharedPredictor();
   for (int mpl : {2, 3, 4, 5}) {
-    auto models = p.ReferenceModels(mpl);
+    auto models = p.ReferenceModels(units::Mpl(mpl));
     ASSERT_TRUE(models.ok());
     EXPECT_EQ(models->size(), 25u);
-    EXPECT_TRUE(p.TransferModel(mpl).ok());
+    EXPECT_TRUE(p.TransferModel(units::Mpl(mpl)).ok());
   }
-  EXPECT_FALSE(p.ReferenceModels(7).ok());
-  EXPECT_FALSE(p.TransferModel(7).ok());
+  EXPECT_FALSE(p.ReferenceModels(units::Mpl(7)).ok());
+  EXPECT_FALSE(p.TransferModel(units::Mpl(7)).ok());
 }
 
 TEST(PredictorTest, TrainRejectsTinyWorkload) {
@@ -41,8 +41,8 @@ TEST(PredictorTest, KnownPredictionsAreReasonable) {
     if (obs.mpl != 2) continue;
     auto pred = p.PredictKnown(obs.primary_index, obs.concurrent_indices);
     if (!pred.ok()) continue;
-    observed.push_back(obs.latency);
-    predicted.push_back(*pred);
+    observed.push_back(obs.latency.value());
+    predicted.push_back(pred->value());
   }
   ASSERT_GT(observed.size(), 500u);
   // In-sample MRE must be solidly below the paper's 19% known-template
@@ -64,10 +64,11 @@ TEST(PredictorTest, PredictionsRespondToContention) {
   auto heavy = p.PredictKnown(q71, {q17});
   ASSERT_TRUE(light.ok());
   ASSERT_TRUE(heavy.ok());
-  EXPECT_LT(*light, *heavy);
+  EXPECT_LT(light->value(), heavy->value());
   // Both exceed isolation.
-  EXPECT_GT(*light,
-            data.profiles[static_cast<size_t>(q71)].isolated_latency * 0.9);
+  EXPECT_GT(light->value(),
+            data.profiles[static_cast<size_t>(q71)].isolated_latency.value() *
+                0.9);
 }
 
 TEST(PredictorTest, SharedScanPartnerPredictedFasterThanDisjoint) {
@@ -80,7 +81,7 @@ TEST(PredictorTest, SharedScanPartnerPredictedFasterThanDisjoint) {
   auto disjoint = p.PredictKnown(q26, {q27});
   ASSERT_TRUE(shared.ok());
   ASSERT_TRUE(disjoint.ok());
-  EXPECT_LT(*shared, *disjoint);
+  EXPECT_LT(shared->value(), disjoint->value());
 }
 
 TEST(PredictorTest, PredictKnownValidatesArguments) {
@@ -99,8 +100,8 @@ TEST(PredictorTest, PredictNewWithMeasuredSpoiler) {
   const TemplateProfile& profile = testing::ProfileById(data, 26);
   auto pred = p.PredictNew(profile, {0, 1, 2}, SpoilerSource::kMeasured);
   ASSERT_TRUE(pred.ok());
-  EXPECT_GT(*pred, 0.5 * profile.isolated_latency);
-  EXPECT_LT(*pred, 1.2 * profile.spoiler_latency.at(4));
+  EXPECT_GT(pred->value(), 0.5 * profile.isolated_latency.value());
+  EXPECT_LT(pred->value(), 1.2 * profile.spoiler_latency.at(4).value());
 }
 
 TEST(PredictorTest, PredictNewWithKnnSpoiler) {
@@ -110,7 +111,7 @@ TEST(PredictorTest, PredictNewWithKnnSpoiler) {
   profile.spoiler_latency.clear();  // constant-time path needs none
   auto pred = p.PredictNew(profile, {0, 1}, SpoilerSource::kKnnPredicted);
   ASSERT_TRUE(pred.ok());
-  EXPECT_GT(*pred, 0.0);
+  EXPECT_GT(pred->value(), 0.0);
   // Measured path fails without spoiler latencies.
   EXPECT_FALSE(p.PredictNew(profile, {0, 1}, SpoilerSource::kMeasured).ok());
 }
@@ -121,10 +122,10 @@ TEST(PredictorTest, KnnSpoilerPredictionTracksMeasured) {
   std::vector<double> observed, predicted;
   for (const TemplateProfile& profile : data.profiles) {
     for (int mpl : {2, 3, 4, 5}) {
-      auto pred = p.PredictSpoilerLatency(profile, mpl);
+      auto pred = p.PredictSpoilerLatency(profile, units::Mpl(mpl));
       ASSERT_TRUE(pred.ok());
-      observed.push_back(profile.spoiler_latency.at(mpl));
-      predicted.push_back(*pred);
+      observed.push_back(profile.spoiler_latency.at(mpl).value());
+      predicted.push_back(pred->value());
     }
   }
   // In-sample: the template itself is among the KNN references, so error
@@ -137,14 +138,14 @@ TEST(PredictorTest, UnknownYVariantUsesOwnSlope) {
   const TrainingData& data = SharedTrainingData();
   const Workload& w = testing::PaperWorkload();
   const int q26 = w.IndexOfId(26);
-  auto models = p.ReferenceModels(2);
+  auto models = p.ReferenceModels(units::Mpl(2));
   ASSERT_TRUE(models.ok());
   const double own_slope = models->at(q26).slope;
   const TemplateProfile& profile = testing::ProfileById(data, 26);
   auto pred = p.PredictNewWithKnownSlope(profile, {0}, own_slope,
                                          SpoilerSource::kMeasured);
   ASSERT_TRUE(pred.ok());
-  EXPECT_GT(*pred, 0.0);
+  EXPECT_GT(pred->value(), 0.0);
 }
 
 }  // namespace

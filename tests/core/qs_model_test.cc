@@ -7,31 +7,45 @@
 namespace contender {
 namespace {
 
+std::vector<units::Cqi> Cqis(const std::vector<double>& raw) {
+  std::vector<units::Cqi> out;
+  out.reserve(raw.size());
+  for (double v : raw) out.emplace_back(v);
+  return out;
+}
+
+std::vector<units::ContinuumPoint> Points(const std::vector<double>& raw) {
+  std::vector<units::ContinuumPoint> out;
+  out.reserve(raw.size());
+  for (double v : raw) out.emplace_back(v);
+  return out;
+}
+
 TEST(QsModelTest, FitsExactLinearRelationship) {
-  auto model = FitQsModel({0.0, 0.5, 1.0}, {0.1, 0.5, 0.9});
+  auto model = FitQsModel(Cqis({0.0, 0.5, 1.0}), Points({0.1, 0.5, 0.9}));
   ASSERT_TRUE(model.ok());
   EXPECT_NEAR(model->slope, 0.8, 1e-12);
   EXPECT_NEAR(model->intercept, 0.1, 1e-12);
   EXPECT_NEAR(model->r_squared, 1.0, 1e-12);
-  EXPECT_NEAR(model->PredictContinuum(0.25), 0.3, 1e-12);
+  EXPECT_NEAR(model->PredictContinuum(units::Cqi(0.25)).value(), 0.3, 1e-12);
 }
 
 TEST(QsModelTest, RejectsDegenerateInput) {
-  EXPECT_FALSE(FitQsModel({0.5}, {0.5}).ok());
-  EXPECT_FALSE(FitQsModel({0.5, 0.5, 0.5}, {0.1, 0.2, 0.3}).ok());
+  EXPECT_FALSE(FitQsModel(Cqis({0.5}), Points({0.5})).ok());
+  EXPECT_FALSE(FitQsModel(Cqis({0.5, 0.5, 0.5}), Points({0.1, 0.2, 0.3})).ok());
 }
 
 // Synthetic observations for one primary: continuum = 0.9*cqi + 0.05.
 TEST(QsModelTest, TrainingSetBuildAndFit) {
   std::vector<TemplateProfile> profiles(2);
   profiles[0].template_index = 0;
-  profiles[0].isolated_latency = 100.0;
-  profiles[0].io_fraction = 1.0;
-  profiles[0].spoiler_latency[2] = 300.0;
+  profiles[0].isolated_latency = units::Seconds(100.0);
+  profiles[0].io_fraction = units::Fraction::Clamp(1.0);
+  profiles[0].spoiler_latency[2] = units::Seconds(300.0);
   profiles[1].template_index = 1;
-  profiles[1].isolated_latency = 200.0;
-  profiles[1].io_fraction = 0.7;
-  std::map<sim::TableId, double> scans;
+  profiles[1].isolated_latency = units::Seconds(200.0);
+  profiles[1].io_fraction = units::Fraction::Clamp(0.7);
+  ScanTimes scans;
 
   // Build observations whose latency follows the planted relation given
   // profile[1] as the only partner (cqi = 0.7 every time). To vary CQI,
@@ -42,18 +56,18 @@ TEST(QsModelTest, TrainingSetBuildAndFit) {
   for (double p : {0.2, 0.4, 0.6, 0.8, 1.0}) {
     variants.push_back(TemplateProfile{});
     variants.back().template_index = static_cast<int>(variants.size()) - 1;
-    variants.back().isolated_latency = 150.0;
-    variants.back().io_fraction = p;
+    variants.back().isolated_latency = units::Seconds(150.0);
+    variants.back().io_fraction = units::Fraction::Clamp(p);
     MixObservation obs;
     obs.primary_index = 0;
     obs.mpl = 2;
     obs.concurrent_indices = {variants.back().template_index};
     const double continuum = 0.9 * p + 0.05;
-    obs.latency = 100.0 + continuum * 200.0;
+    obs.latency = units::Seconds(100.0 + continuum * 200.0);
     observations.push_back(obs);
   }
 
-  auto set = BuildQsTrainingSet(variants, scans, observations, 0, 2);
+  auto set = BuildQsTrainingSet(variants, scans, observations, 0, units::Mpl(2));
   ASSERT_TRUE(set.ok());
   ASSERT_EQ(set->cqi.size(), 5u);
   auto model = FitQsModel(set->cqi, set->continuum);
@@ -65,11 +79,11 @@ TEST(QsModelTest, TrainingSetBuildAndFit) {
 TEST(QsModelTest, TrainingSetDropsContinuumOutliers) {
   std::vector<TemplateProfile> profiles(2);
   profiles[0].template_index = 0;
-  profiles[0].isolated_latency = 100.0;
-  profiles[0].spoiler_latency[2] = 200.0;
+  profiles[0].isolated_latency = units::Seconds(100.0);
+  profiles[0].spoiler_latency[2] = units::Seconds(200.0);
   profiles[1].template_index = 1;
-  profiles[1].isolated_latency = 100.0;
-  profiles[1].io_fraction = 0.5;
+  profiles[1].isolated_latency = units::Seconds(100.0);
+  profiles[1].io_fraction = units::Fraction::Clamp(0.5);
 
   std::vector<MixObservation> observations;
   for (double latency : {150.0, 180.0, 250.0 /* > 1.05 * 200 */}) {
@@ -77,10 +91,10 @@ TEST(QsModelTest, TrainingSetDropsContinuumOutliers) {
     obs.primary_index = 0;
     obs.mpl = 2;
     obs.concurrent_indices = {1};
-    obs.latency = latency;
+    obs.latency = units::Seconds(latency);
     observations.push_back(obs);
   }
-  auto set = BuildQsTrainingSet(profiles, {}, observations, 0, 2);
+  auto set = BuildQsTrainingSet(profiles, {}, observations, 0, units::Mpl(2));
   ASSERT_TRUE(set.ok());
   EXPECT_EQ(set->cqi.size(), 2u);
   EXPECT_EQ(set->dropped_outliers, 1);
@@ -89,24 +103,25 @@ TEST(QsModelTest, TrainingSetDropsContinuumOutliers) {
 TEST(QsModelTest, TrainingSetFiltersByPrimaryAndMpl) {
   std::vector<TemplateProfile> profiles(2);
   profiles[0].template_index = 0;
-  profiles[0].isolated_latency = 100.0;
-  profiles[0].spoiler_latency[2] = 200.0;
+  profiles[0].isolated_latency = units::Seconds(100.0);
+  profiles[0].spoiler_latency[2] = units::Seconds(200.0);
   profiles[1].template_index = 1;
-  profiles[1].isolated_latency = 100.0;
+  profiles[1].isolated_latency = units::Seconds(100.0);
 
   MixObservation wrong_primary;
   wrong_primary.primary_index = 1;
   wrong_primary.mpl = 2;
   wrong_primary.concurrent_indices = {0};
-  wrong_primary.latency = 150.0;
+  wrong_primary.latency = units::Seconds(150.0);
   MixObservation wrong_mpl;
   wrong_mpl.primary_index = 0;
   wrong_mpl.mpl = 3;
   wrong_mpl.concurrent_indices = {1, 1};
-  wrong_mpl.latency = 150.0;
+  wrong_mpl.latency = units::Seconds(150.0);
 
   auto set =
-      BuildQsTrainingSet(profiles, {}, {wrong_primary, wrong_mpl}, 0, 2);
+      BuildQsTrainingSet(profiles, {}, {wrong_primary, wrong_mpl}, 0,
+                         units::Mpl(2));
   ASSERT_TRUE(set.ok());
   EXPECT_TRUE(set->cqi.empty());
 }
@@ -114,8 +129,8 @@ TEST(QsModelTest, TrainingSetFiltersByPrimaryAndMpl) {
 TEST(QsModelTest, MissingSpoilerLatencyFails) {
   std::vector<TemplateProfile> profiles(1);
   profiles[0].template_index = 0;
-  profiles[0].isolated_latency = 100.0;
-  EXPECT_FALSE(BuildQsTrainingSet(profiles, {}, {}, 0, 2).ok());
+  profiles[0].isolated_latency = units::Seconds(100.0);
+  EXPECT_FALSE(BuildQsTrainingSet(profiles, {}, {}, 0, units::Mpl(2)).ok());
 }
 
 }  // namespace

@@ -17,10 +17,11 @@ PlantedReferences(int n, double noise, uint64_t seed) {
   for (int i = 0; i < n; ++i) {
     TemplateProfile p;
     p.template_index = i;
-    p.isolated_latency = rng.Uniform(100.0, 900.0);
+    p.isolated_latency = units::Seconds(rng.Uniform(100.0, 900.0));
     profiles.push_back(p);
     QsModel m;
-    m.slope = -0.001 * p.isolated_latency + 1.0 + rng.Normal(0.0, noise);
+    m.slope =
+        -0.001 * p.isolated_latency.value() + 1.0 + rng.Normal(0.0, noise);
     m.intercept = -0.5 * m.slope + 0.3 + rng.Normal(0.0, noise);
     models[i] = m;
   }
@@ -37,7 +38,7 @@ TEST(QsTransferTest, RecoversPlantedRelationsExactly) {
   EXPECT_NEAR(transfer->intercept_fit().intercept, 0.3, 1e-9);
 
   // Unknown-QS prediction for a new template at lmin = 500.
-  QsModel qs = transfer->PredictFromIsolatedLatency(500.0);
+  QsModel qs = transfer->PredictFromIsolatedLatency(units::Seconds(500.0));
   EXPECT_NEAR(qs.slope, 0.5, 1e-9);
   EXPECT_NEAR(qs.intercept, 0.05, 1e-9);
 }
@@ -74,13 +75,13 @@ TEST(QsTransferTest, FeatureCorrelationSignsAndRange) {
   // Fill other features with noise so they correlate weakly.
   Rng rng(9);
   for (TemplateProfile& p : profiles) {
-    p.io_fraction = rng.Uniform(0.3, 1.0);
-    p.working_set_bytes = rng.Uniform(1e7, 4e9);
+    p.io_fraction = units::Fraction::Clamp(rng.Uniform(0.3, 1.0));
+    p.working_set_bytes = units::Bytes(rng.Uniform(1e7, 4e9));
     p.plan_steps = static_cast<int>(rng.UniformInt(int64_t{5}, int64_t{40}));
     p.records_accessed = rng.Uniform(1e6, 1e9);
     p.spoiler_latency[2] = p.isolated_latency * rng.Uniform(1.5, 2.5);
   }
-  auto correlations = CorrelateFeaturesWithQs(profiles, models, 2);
+  auto correlations = CorrelateFeaturesWithQs(profiles, models, units::Mpl(2));
   ASSERT_EQ(correlations.size(), 7u);
   for (const FeatureCorrelation& fc : correlations) {
     EXPECT_GE(fc.r2_intercept, -1.0);

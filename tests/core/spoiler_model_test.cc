@@ -10,11 +10,12 @@ namespace {
 TemplateProfile MakeProfile(double lmin, double growth_slope,
                             double growth_intercept, double ws, double pt) {
   TemplateProfile p;
-  p.isolated_latency = lmin;
-  p.working_set_bytes = ws;
-  p.io_fraction = pt;
+  p.isolated_latency = units::Seconds(lmin);
+  p.working_set_bytes = units::Bytes(ws);
+  p.io_fraction = units::Fraction::Clamp(pt);
   for (int mpl = 2; mpl <= 5; ++mpl) {
-    p.spoiler_latency[mpl] = (growth_slope * mpl + growth_intercept) * lmin;
+    p.spoiler_latency[mpl] =
+        units::Seconds((growth_slope * mpl + growth_intercept) * lmin);
   }
   return p;
 }
@@ -27,7 +28,8 @@ TEST(SpoilerGrowthTest, FitsPlantedLinearGrowth) {
   EXPECT_NEAR(model->slope, 1.2, 1e-9);
   EXPECT_NEAR(model->intercept, -0.2, 1e-9);
   EXPECT_NEAR(model->r_squared, 1.0, 1e-9);
-  EXPECT_NEAR(model->PredictLatency(4, 200.0), (1.2 * 4 - 0.2) * 200.0,
+  EXPECT_NEAR(model->PredictLatency(units::Mpl(4), units::Seconds(200.0)).value(),
+              (1.2 * 4 - 0.2) * 200.0,
               1e-6);
 }
 
@@ -37,18 +39,19 @@ TEST(SpoilerGrowthTest, ExtrapolatesFromLowMpls) {
   auto model = FitSpoilerGrowth(p, {1, 2, 3});
   ASSERT_TRUE(model.ok());
   for (int mpl : {4, 5}) {
-    const double predicted = model->PredictLatency(mpl, 150.0);
-    const double actual = p.spoiler_latency.at(mpl);
+    const double predicted =
+        model->PredictLatency(units::Mpl(mpl), units::Seconds(150.0)).value();
+    const double actual = p.spoiler_latency.at(mpl).value();
     EXPECT_NEAR(predicted, actual, 0.08 * actual);
   }
 }
 
 TEST(SpoilerGrowthTest, RejectsInsufficientData) {
   TemplateProfile p;
-  p.isolated_latency = 100.0;
+  p.isolated_latency = units::Seconds(100.0);
   EXPECT_FALSE(FitSpoilerGrowth(p, {2, 3}).ok());  // no spoiler latencies
   EXPECT_FALSE(FitSpoilerGrowth(p, {1}).ok());     // single point
-  p.isolated_latency = 0.0;
+  p.isolated_latency = units::Seconds(0.0);
   EXPECT_FALSE(FitSpoilerGrowth(p, {1, 2}).ok());
 }
 
@@ -81,9 +84,9 @@ TEST(KnnSpoilerTest, PredictsFromNearestCluster) {
   ASSERT_TRUE(growth.ok());
   EXPECT_NEAR(growth->slope, 3.0, 1e-9);
 
-  auto lmax = predictor->Predict(heavy, 5);
+  auto lmax = predictor->Predict(heavy, units::Mpl(5));
   ASSERT_TRUE(lmax.ok());
-  EXPECT_NEAR(*lmax, (3.0 * 5 - 2.0) * 300.0, 1e-6);
+  EXPECT_NEAR(lmax->value(), (3.0 * 5 - 2.0) * 300.0, 1e-6);
 }
 
 TEST(KnnSpoilerTest, RequiresEnoughReferences) {
@@ -106,11 +109,11 @@ TEST(IoTimeSpoilerTest, RegressesGrowthOnIoFraction) {
   auto predictor = IoTimeSpoilerPredictor::Fit(refs, {1, 2, 3, 4, 5});
   ASSERT_TRUE(predictor.ok());
   TemplateProfile target = MakeProfile(500.0, 0.0, 0.0, 1e8, 0.8);
-  auto lmax = predictor->Predict(target, 4);
+  auto lmax = predictor->Predict(target, units::Mpl(4));
   ASSERT_TRUE(lmax.ok());
   // Planted: slowdown(4) = 2*0.8*4 = 6.4. The fit also sees the (1, 1)
   // isolated anchor point, so allow slack.
-  EXPECT_NEAR(*lmax / 500.0, 6.4, 1.2);
+  EXPECT_NEAR(lmax->value() / 500.0, 6.4, 1.2);
 }
 
 }  // namespace

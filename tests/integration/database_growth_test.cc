@@ -76,8 +76,8 @@ TEST(DatabaseGrowthTest, RetrainedProfilesKeepPredictionsAccurate) {
     auto pred = predictor->PredictKnown(o.primary_index,
                                         o.concurrent_indices);
     if (!pred.ok()) continue;
-    observed.push_back(o.latency);
-    predicted.push_back(*pred);
+    observed.push_back(o.latency.value());
+    predicted.push_back(pred->value());
   }
   ASSERT_GT(observed.size(), 300u);
   // Accuracy on the grown database matches the SF=100 results.

@@ -22,19 +22,21 @@ double VariantMre(CqiVariant variant) {
   std::vector<double> observed, predicted;
   for (int mpl : {2, 3, 4, 5}) {
     auto models = FitReferenceModels(data.profiles, data.scan_times,
-                                     data.observations, mpl, variant);
+                                     data.observations, units::Mpl(mpl),
+                                     variant);
     CONTENDER_CHECK(models.ok());
     for (const auto& [t, model] : *models) {
       auto set = BuildQsTrainingSet(data.profiles, data.scan_times,
-                                    data.observations, t, mpl, variant);
+                                    data.observations, t, units::Mpl(mpl),
+                                    variant);
       CONTENDER_CHECK(set.ok());
       const TemplateProfile& p = data.profiles[static_cast<size_t>(t)];
       for (size_t i = 0; i < set->cqi.size(); ++i) {
-        const double point = model.PredictContinuum(set->cqi[i]);
-        observed.push_back(set->latency[i]);
-        predicted.push_back(point * (p.spoiler_latency.at(mpl) -
-                                     p.isolated_latency) +
-                            p.isolated_latency);
+        const double point = model.PredictContinuum(set->cqi[i]).value();
+        observed.push_back(set->latency[i].value());
+        predicted.push_back(
+            point * (p.spoiler_latency.at(mpl) - p.isolated_latency).value() +
+            p.isolated_latency.value());
       }
     }
   }
@@ -55,7 +57,7 @@ TEST(ReproductionTest, Table2VariantOrdering) {
 TEST(ReproductionTest, CqiCorrelatesWithLatency) {
   const TrainingData& data = SharedTrainingData();
   auto models = FitReferenceModels(data.profiles, data.scan_times,
-                                   data.observations, 2);
+                                   data.observations, units::Mpl(2));
   ASSERT_TRUE(models.ok());
   double mean_r2 = 0.0;
   for (const auto& [t, model] : *models) mean_r2 += model.r_squared;
@@ -89,8 +91,9 @@ TEST(ReproductionTest, SpoilerLinearityAcrossWorkload) {
     auto model = FitSpoilerGrowth(p, {1, 2, 3});
     ASSERT_TRUE(model.ok());
     for (int mpl : {4, 5}) {
-      observed.push_back(p.spoiler_latency.at(mpl));
-      predicted.push_back(model->PredictLatency(mpl, p.isolated_latency));
+      observed.push_back(p.spoiler_latency.at(mpl).value());
+      predicted.push_back(
+          model->PredictLatency(units::Mpl(mpl), p.isolated_latency).value());
     }
   }
   // Paper: ~8% extrapolation error. Memory-bound templates are the rough
@@ -115,9 +118,9 @@ TEST(ReproductionTest, Fig9KnnBeatsIoTime) {
     ASSERT_TRUE(io.ok());
     for (int mpl : {2, 3, 4, 5}) {
       const TemplateProfile& target = data.profiles[held];
-      obs.push_back(target.spoiler_latency.at(mpl));
-      knn_pred.push_back(*knn->Predict(target, mpl));
-      io_pred.push_back(*io->Predict(target, mpl));
+      obs.push_back(target.spoiler_latency.at(mpl).value());
+      knn_pred.push_back(knn->Predict(target, units::Mpl(mpl))->value());
+      io_pred.push_back(io->Predict(target, units::Mpl(mpl))->value());
     }
   }
   const double knn_mre = MeanRelativeError(obs, knn_pred);
@@ -136,8 +139,8 @@ TEST(ReproductionTest, Fig8KnownBeatsUnknown) {
     auto pred = predictor.PredictKnown(o.primary_index,
                                        o.concurrent_indices);
     if (!pred.ok()) continue;
-    known_obs.push_back(o.latency);
-    known_pred.push_back(*pred);
+    known_obs.push_back(o.latency.value());
+    known_pred.push_back(pred->value());
   }
   const double known_mre = MeanRelativeError(known_obs, known_pred);
 
@@ -158,8 +161,8 @@ TEST(ReproductionTest, Fig8KnownBeatsUnknown) {
       auto pred = held_out_predictor->PredictNew(target, conc,
                                                  SpoilerSource::kMeasured);
       if (!pred.ok()) continue;
-      unk_obs.push_back(o.latency);
-      unk_pred.push_back(*pred);
+      unk_obs.push_back(o.latency.value());
+      unk_pred.push_back(pred->value());
     }
   }
   ASSERT_GT(unk_obs.size(), 50u);
@@ -176,20 +179,22 @@ TEST(ReproductionTest, Fig8KnownBeatsUnknown) {
 TEST(ReproductionTest, Fig7IoBoundBeatsMemoryBound) {
   const TrainingData& data = SharedTrainingData();
   auto models = FitReferenceModels(data.profiles, data.scan_times,
-                                   data.observations, 4);
+                                   data.observations, units::Mpl(4));
   ASSERT_TRUE(models.ok());
   auto template_mre = [&](int id) {
     const int idx = testing::PaperWorkload().IndexOfId(id);
     auto set = BuildQsTrainingSet(data.profiles, data.scan_times,
-                                  data.observations, idx, 4);
+                                  data.observations, idx, units::Mpl(4));
     CONTENDER_CHECK(set.ok());
     const TemplateProfile& p = data.profiles[static_cast<size_t>(idx)];
     std::vector<double> obs, pred;
     for (size_t i = 0; i < set->cqi.size(); ++i) {
-      const double point = models->at(idx).PredictContinuum(set->cqi[i]);
-      obs.push_back(set->latency[i]);
-      pred.push_back(point * (p.spoiler_latency.at(4) - p.isolated_latency) +
-                     p.isolated_latency);
+      const double point =
+          models->at(idx).PredictContinuum(set->cqi[i]).value();
+      obs.push_back(set->latency[i].value());
+      pred.push_back(
+          point * (p.spoiler_latency.at(4) - p.isolated_latency).value() +
+          p.isolated_latency.value());
     }
     return MeanRelativeError(obs, pred);
   };

@@ -92,5 +92,14 @@ TEST(DistinctMixCountTest, SaturatesInsteadOfOverflowing) {
             std::numeric_limits<uint64_t>::max());
 }
 
+TEST(DistinctMixCountTest, NonPositiveInputsYieldZero) {
+  // Regression: num_templates == 0 used to divide by zero in the
+  // multiplicative binomial loop.
+  EXPECT_EQ(DistinctMixCount(0, 5), 0u);
+  EXPECT_EQ(DistinctMixCount(-3, 2), 0u);
+  EXPECT_EQ(DistinctMixCount(25, 0), 0u);
+  EXPECT_EQ(DistinctMixCount(25, -1), 0u);
+}
+
 }  // namespace
 }  // namespace contender

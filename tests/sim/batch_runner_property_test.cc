@@ -90,7 +90,7 @@ std::vector<EngineRun> RandomBatch(uint64_t seed) {
   const Workload workload = Workload::Paper();
   for (int mpl : {2, 3}) {
     EngineRun run;
-    run.specs = MakeSpoiler(run.config, mpl);
+    run.specs = MakeSpoiler(run.config, units::Mpl(mpl));
     run.specs.push_back(
         workload.InstantiateNominal(static_cast<int>(rng.UniformInt(
             static_cast<uint64_t>(workload.size())))));

@@ -69,7 +69,8 @@ TEST_P(EngineSweep, CompletionAndConservation) {
     for (const Phase& p : q.phases) {
       total_demand += p.seq_io_bytes + p.rnd_io_bytes;
     }
-    pids.push_back(engine.AddProcess(q, rng.Uniform(0.0, 20.0)));
+    pids.push_back(
+        engine.AddProcess(q, units::Seconds(rng.Uniform(0.0, 20.0))));
   }
   ASSERT_TRUE(engine.Run().ok());
 
@@ -79,10 +80,10 @@ TEST_P(EngineSweep, CompletionAndConservation) {
   for (int pid : pids) {
     const ProcessResult& r = engine.result(pid);
     EXPECT_TRUE(r.completed);
-    EXPECT_GT(r.latency(), 0.0);
-    EXPECT_LE(r.io_busy_seconds, r.latency() + 1e-6);
-    EXPECT_GE(r.io_fraction(), 0.0);
-    EXPECT_LE(r.io_fraction(), 1.0 + 1e-9);
+    EXPECT_GT(r.latency().value(), 0.0);
+    EXPECT_LE(r.io_busy_seconds, r.latency().value() + 1e-6);
+    EXPECT_GE(r.io_fraction().value(), 0.0);
+    EXPECT_LE(r.io_fraction().value(), 1.0 + 1e-9);
     total_read += r.disk_bytes_read;
     total_saved += r.bytes_saved_by_shared_scan + r.bytes_saved_by_cache;
     total_spilled += r.spill_bytes;
@@ -93,9 +94,9 @@ TEST_P(EngineSweep, CompletionAndConservation) {
               1e-3 * (total_demand + total_spilled) + 16.0);
   // Physical throughput bound.
   EXPECT_LE(total_read,
-            engine.config().seq_bandwidth * engine.now() * 1.001 + 1.0);
+            engine.config().seq_bandwidth * engine.now().value() * 1.001 + 1.0);
   // All memory released at the end.
-  EXPECT_NEAR(engine.memory_in_use(), 0.0, 1.0);
+  EXPECT_NEAR(engine.memory_in_use().value(), 0.0, 1.0);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, EngineSweep, ::testing::Range(0, 12));
@@ -113,7 +114,7 @@ TEST_P(ContentionMonotonicity, MoreContentionNeverFaster) {
     p.seq_io_bytes = 600.0 * kMB;
     p.table = 100;  // disjoint from every contender
     primary.phases.push_back(p);
-    const int pid = engine.AddProcess(primary, 0.0);
+    const int pid = engine.AddProcess(primary, units::Seconds(0.0));
     for (int i = 0; i < contenders; ++i) {
       QuerySpec c;
       c.name = "bg";
@@ -121,10 +122,10 @@ TEST_P(ContentionMonotonicity, MoreContentionNeverFaster) {
       cp.seq_io_bytes = 5000.0 * kMB;
       cp.table = static_cast<TableId>(i);
       c.phases.push_back(cp);
-      engine.AddProcess(c, 0.0);
+      engine.AddProcess(c, units::Seconds(0.0));
     }
     CONTENDER_CHECK(engine.RunUntilProcessCompletes(pid).ok());
-    return engine.result(pid).latency();
+    return engine.result(pid).latency().value();
   };
   const int k = GetParam();
   EXPECT_LT(run(k), run(k + 1));
@@ -145,8 +146,8 @@ TEST(EngineProperty, SpoilerIsWorstCaseForIoBoundQuery) {
   primary.phases.push_back(p);
 
   Engine spoiled(cfg, 1);
-  for (const QuerySpec& s : MakeSpoiler(cfg, 3)) spoiled.AddProcess(s, 0.0);
-  const int spid = spoiled.AddProcess(primary, 0.0);
+  for (const QuerySpec& s : MakeSpoiler(cfg, units::Mpl(3))) spoiled.AddProcess(s, units::Seconds(0.0));
+  const int spid = spoiled.AddProcess(primary, units::Seconds(0.0));
   ASSERT_TRUE(spoiled.RunUntilProcessCompletes(spid).ok());
 
   Engine mixed(cfg, 1);
@@ -159,13 +160,13 @@ TEST(EngineProperty, SpoilerIsWorstCaseForIoBoundQuery) {
     Phase think;
     think.cpu_seconds = 5.0;  // real queries have CPU pauses
     c.phases = {cp, think};
-    mixed.AddProcess(c, 0.0);
+    mixed.AddProcess(c, units::Seconds(0.0));
   }
-  const int mpid = mixed.AddProcess(primary, 0.0);
+  const int mpid = mixed.AddProcess(primary, units::Seconds(0.0));
   ASSERT_TRUE(mixed.RunUntilProcessCompletes(mpid).ok());
 
-  EXPECT_GE(spoiled.result(spid).latency(),
-            mixed.result(mpid).latency() - 1e-6);
+  EXPECT_GE(spoiled.result(spid).latency().value(),
+            mixed.result(mpid).latency().value() - 1e-6);
 }
 
 // Revocation: a large working set gets swapped when a comparable demand
@@ -182,7 +183,7 @@ TEST(EngineProperty, MemoryReclaimVictimizesLargestHolder) {
   bp.mem_demand_bytes = 5.0 * kGB;
   bp.spillable = true;
   big.phases.push_back(bp);
-  const int big_pid = engine.AddProcess(big, 0.0);
+  const int big_pid = engine.AddProcess(big, units::Seconds(0.0));
 
   QuerySpec newcomer;
   newcomer.name = "newcomer";
@@ -191,7 +192,7 @@ TEST(EngineProperty, MemoryReclaimVictimizesLargestHolder) {
   np.mem_demand_bytes = 4.0 * kGB;  // grantable is 6.6 GB -> pressure
   np.spillable = true;
   newcomer.phases.push_back(np);
-  const int new_pid = engine.AddProcess(newcomer, 10.0);
+  const int new_pid = engine.AddProcess(newcomer, units::Seconds(10.0));
 
   ASSERT_TRUE(engine.RunUntilProcessCompletes(new_pid).ok());
   // The newcomer got (most of) its demand by revoking from `big`.

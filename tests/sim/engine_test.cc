@@ -42,27 +42,27 @@ QuerySpec ScanQuery(const std::string& name, TableId table, double bytes,
 
 TEST(EngineTest, SingleScanLatencyIsBytesOverBandwidth) {
   Engine engine(QuietConfig(), 1);
-  const int pid = engine.AddProcess(ScanQuery("s", 0, 1000.0 * kMB), 0.0);
+  const int pid = engine.AddProcess(ScanQuery("s", 0, 1000.0 * kMB), units::Seconds(0.0));
   ASSERT_TRUE(engine.Run().ok());
   const ProcessResult& r = engine.result(pid);
   EXPECT_TRUE(r.completed);
-  EXPECT_NEAR(r.latency(), 10.0, 1e-6);
+  EXPECT_NEAR(r.latency().value(), 10.0, 1e-6);
   EXPECT_NEAR(r.io_busy_seconds, 10.0, 1e-6);
   EXPECT_NEAR(r.disk_bytes_read, 1000.0 * kMB, 1.0);
-  EXPECT_DOUBLE_EQ(r.io_fraction(), 1.0);
+  EXPECT_DOUBLE_EQ(r.io_fraction().value(), 1.0);
 }
 
 TEST(EngineTest, CpuAndIoOverlapWithinPhase) {
   Engine engine(QuietConfig(), 1);
   QuerySpec q = ScanQuery("s", 0, 500.0 * kMB);  // 5 s of I/O
   q.phases[0].cpu_seconds = 8.0;                 // longer CPU leg
-  const int pid = engine.AddProcess(q, 0.0);
+  const int pid = engine.AddProcess(q, units::Seconds(0.0));
   ASSERT_TRUE(engine.Run().ok());
   const ProcessResult& r = engine.result(pid);
-  EXPECT_NEAR(r.latency(), 8.0, 1e-6);          // max(io, cpu)
+  EXPECT_NEAR(r.latency().value(), 8.0, 1e-6);          // max(io, cpu)
   EXPECT_NEAR(r.io_busy_seconds, 5.0, 1e-6);    // I/O leg finished first
   EXPECT_NEAR(r.cpu_busy_seconds, 8.0, 1e-6);
-  EXPECT_NEAR(r.io_fraction(), 5.0 / 8.0, 1e-6);
+  EXPECT_NEAR(r.io_fraction().value(), 5.0 / 8.0, 1e-6);
 }
 
 TEST(EngineTest, PhasesRunSequentially) {
@@ -75,29 +75,29 @@ TEST(EngineTest, PhasesRunSequentially) {
   Phase b;
   b.cpu_seconds = 3.0;
   q.phases = {a, b};
-  const int pid = engine.AddProcess(q, 0.0);
+  const int pid = engine.AddProcess(q, units::Seconds(0.0));
   ASSERT_TRUE(engine.Run().ok());
-  EXPECT_NEAR(engine.result(pid).latency(), 1.0 + 3.0, 1e-6);
+  EXPECT_NEAR(engine.result(pid).latency().value(), 1.0 + 3.0, 1e-6);
 }
 
 TEST(EngineTest, DisjointScansSlowEachOtherDown) {
   Engine engine(QuietConfig(), 1);
-  const int a = engine.AddProcess(ScanQuery("a", 0, 500.0 * kMB), 0.0);
-  const int b = engine.AddProcess(ScanQuery("b", 1, 500.0 * kMB), 0.0);
+  const int a = engine.AddProcess(ScanQuery("a", 0, 500.0 * kMB), units::Seconds(0.0));
+  const int b = engine.AddProcess(ScanQuery("b", 1, 500.0 * kMB), units::Seconds(0.0));
   ASSERT_TRUE(engine.Run().ok());
   // Two streams split the disk: both finish at 10 s instead of 5 s.
-  EXPECT_NEAR(engine.result(a).latency(), 10.0, 1e-6);
-  EXPECT_NEAR(engine.result(b).latency(), 10.0, 1e-6);
+  EXPECT_NEAR(engine.result(a).latency().value(), 10.0, 1e-6);
+  EXPECT_NEAR(engine.result(b).latency().value(), 10.0, 1e-6);
 }
 
 TEST(EngineTest, SharedScansProceedAtGroupRate) {
   Engine engine(QuietConfig(), 1);
-  const int a = engine.AddProcess(ScanQuery("a", 7, 500.0 * kMB), 0.0);
-  const int b = engine.AddProcess(ScanQuery("b", 7, 500.0 * kMB), 0.0);
+  const int a = engine.AddProcess(ScanQuery("a", 7, 500.0 * kMB), units::Seconds(0.0));
+  const int b = engine.AddProcess(ScanQuery("b", 7, 500.0 * kMB), units::Seconds(0.0));
   ASSERT_TRUE(engine.Run().ok());
   // Synchronized scan: one stream serves both; each finishes in 5 s.
-  EXPECT_NEAR(engine.result(a).latency(), 5.0, 1e-6);
-  EXPECT_NEAR(engine.result(b).latency(), 5.0, 1e-6);
+  EXPECT_NEAR(engine.result(a).latency().value(), 5.0, 1e-6);
+  EXPECT_NEAR(engine.result(b).latency().value(), 5.0, 1e-6);
   // Each member is accounted half the physical reads, half shared savings.
   EXPECT_NEAR(engine.result(a).disk_bytes_read, 250.0 * kMB, 1.0);
   EXPECT_NEAR(engine.result(a).bytes_saved_by_shared_scan, 250.0 * kMB, 1.0);
@@ -105,26 +105,26 @@ TEST(EngineTest, SharedScansProceedAtGroupRate) {
 
 TEST(EngineTest, NegativeTableIdsNeverShare) {
   Engine engine(QuietConfig(), 1);
-  const int a = engine.AddProcess(ScanQuery("a", -5, 500.0 * kMB), 0.0);
-  const int b = engine.AddProcess(ScanQuery("b", -5, 500.0 * kMB), 0.0);
+  const int a = engine.AddProcess(ScanQuery("a", -5, 500.0 * kMB), units::Seconds(0.0));
+  const int b = engine.AddProcess(ScanQuery("b", -5, 500.0 * kMB), units::Seconds(0.0));
   ASSERT_TRUE(engine.Run().ok());
-  EXPECT_NEAR(engine.result(a).latency(), 10.0, 1e-6);
-  EXPECT_NEAR(engine.result(b).latency(), 10.0, 1e-6);
+  EXPECT_NEAR(engine.result(a).latency().value(), 10.0, 1e-6);
+  EXPECT_NEAR(engine.result(b).latency().value(), 10.0, 1e-6);
 }
 
 TEST(EngineTest, DimensionTableCachedAfterFirstRead) {
   Engine engine(QuietConfig(), 1);
   const int a =
       engine.AddProcess(ScanQuery("a", 3, 200.0 * kMB, /*cacheable=*/true),
-                        0.0);
+                        units::Seconds(0.0));
   ASSERT_TRUE(engine.Run().ok());
-  EXPECT_NEAR(engine.result(a).latency(), 2.0, 1e-6);
+  EXPECT_NEAR(engine.result(a).latency().value(), 2.0, 1e-6);
   // Second read is served from the buffer pool.
   const int b =
       engine.AddProcess(ScanQuery("b", 3, 200.0 * kMB, /*cacheable=*/true),
                         engine.now());
   ASSERT_TRUE(engine.Run().ok());
-  EXPECT_NEAR(engine.result(b).latency(), 0.0, 1e-6);
+  EXPECT_NEAR(engine.result(b).latency().value(), 0.0, 1e-6);
   EXPECT_NEAR(engine.result(b).bytes_saved_by_cache, 200.0 * kMB, 1.0);
   EXPECT_DOUBLE_EQ(engine.result(b).disk_bytes_read, 0.0);
 }
@@ -136,9 +136,9 @@ TEST(EngineTest, RandomIoRunsAtIntrinsicRate) {
   Phase p;
   p.rnd_io_bytes = 20.0 * kMB;  // at 2 MB/s -> 10 s
   q.phases.push_back(p);
-  const int pid = engine.AddProcess(q, 0.0);
+  const int pid = engine.AddProcess(q, units::Seconds(0.0));
   ASSERT_TRUE(engine.Run().ok());
-  EXPECT_NEAR(engine.result(pid).latency(), 10.0, 1e-6);
+  EXPECT_NEAR(engine.result(pid).latency().value(), 10.0, 1e-6);
 }
 
 TEST(EngineTest, MemoryGrantedWhenAvailable) {
@@ -150,14 +150,14 @@ TEST(EngineTest, MemoryGrantedWhenAvailable) {
   p.mem_demand_bytes = 2.0 * kGB;
   p.spillable = true;
   q.phases.push_back(p);
-  const int pid = engine.AddProcess(q, 0.0);
+  const int pid = engine.AddProcess(q, units::Seconds(0.0));
   ASSERT_TRUE(engine.Run().ok());
   const ProcessResult& r = engine.result(pid);
   EXPECT_NEAR(r.max_memory_granted, 2.0 * kGB, 1.0);
   EXPECT_DOUBLE_EQ(r.spill_bytes, 0.0);
-  EXPECT_NEAR(r.latency(), 1.0, 1e-6);
+  EXPECT_NEAR(r.latency().value(), 1.0, 1e-6);
   // Grant released at completion.
-  EXPECT_DOUBLE_EQ(engine.memory_in_use(), 0.0);
+  EXPECT_DOUBLE_EQ(engine.memory_in_use().value(), 0.0);
 }
 
 TEST(EngineTest, MemoryShortfallSpills) {
@@ -172,7 +172,7 @@ TEST(EngineTest, MemoryShortfallSpills) {
   Phase idle;
   idle.cpu_seconds = 1e30;
   pin.phases.push_back(idle);
-  engine.AddProcess(pin, 0.0);
+  engine.AddProcess(pin, units::Seconds(0.0));
 
   QuerySpec q;
   q.name = "spiller";
@@ -181,26 +181,26 @@ TEST(EngineTest, MemoryShortfallSpills) {
   p.mem_demand_bytes = 2.0 * kGB;  // only 1 GB available -> 1 GB shortfall
   p.spillable = true;
   q.phases.push_back(p);
-  const int pid = engine.AddProcess(q, 0.0);
+  const int pid = engine.AddProcess(q, units::Seconds(0.0));
   ASSERT_TRUE(engine.RunUntilProcessCompletes(pid).ok());
   const ProcessResult& r = engine.result(pid);
   EXPECT_NEAR(r.spill_bytes, 2.0 * kGB, 1.0);  // 1 GB * amplification 2
   EXPECT_NEAR(r.max_memory_granted, 1.0 * kGB, 1.0);
   // Spill runs at spill_bandwidth (4 MB/s), sole I/O stream: 2 GB -> 500 s.
-  EXPECT_NEAR(r.latency(), 500.0, 1.0);
+  EXPECT_NEAR(r.latency().value(), 500.0, 1.0);
 }
 
 TEST(EngineTest, ArrivalsActivateAtStartTime) {
   Engine engine(QuietConfig(), 1);
-  const int a = engine.AddProcess(ScanQuery("a", 0, 400.0 * kMB), 0.0);
-  const int b = engine.AddProcess(ScanQuery("b", 1, 100.0 * kMB), 2.0);
+  const int a = engine.AddProcess(ScanQuery("a", 0, 400.0 * kMB), units::Seconds(0.0));
+  const int b = engine.AddProcess(ScanQuery("b", 1, 100.0 * kMB), units::Seconds(2.0));
   ASSERT_TRUE(engine.Run().ok());
   // a runs alone for 2 s (200 MB), shares with b for 2 s (+100 MB), then
   // finishes its last 100 MB alone: done at t = 5 s.
-  EXPECT_NEAR(engine.result(a).latency(), 5.0, 1e-6);
+  EXPECT_NEAR(engine.result(a).latency().value(), 5.0, 1e-6);
   EXPECT_NEAR(engine.result(b).start_time, 2.0, 1e-9);
   // b: 100 MB at 50 MB/s while sharing -> ends at 4 s (latency 2 s).
-  EXPECT_NEAR(engine.result(b).latency(), 2.0, 1e-6);
+  EXPECT_NEAR(engine.result(b).latency().value(), 2.0, 1e-6);
 }
 
 TEST(EngineTest, CompletionCallbackCanChainProcesses) {
@@ -213,20 +213,20 @@ TEST(EngineTest, CompletionCallbackCanChainProcesses) {
     }
     (void)r;
   });
-  engine.AddProcess(ScanQuery("first", 0, 100.0 * kMB), 0.0);
+  engine.AddProcess(ScanQuery("first", 0, 100.0 * kMB), units::Seconds(0.0));
   ASSERT_TRUE(engine.Run().ok());
   EXPECT_EQ(completions, 3);
-  EXPECT_NEAR(engine.now(), 3.0, 1e-6);
+  EXPECT_NEAR(engine.now().value(), 3.0, 1e-6);
 }
 
 TEST(EngineTest, RequestStopAbandonsRun) {
   Engine engine(QuietConfig(), 1);
   engine.SetCompletionCallback(
       [&](const ProcessResult&) { engine.RequestStop(); });
-  engine.AddProcess(ScanQuery("a", 0, 100.0 * kMB), 0.0);
-  engine.AddProcess(ScanQuery("b", 1, 10000.0 * kMB), 0.0);
+  engine.AddProcess(ScanQuery("a", 0, 100.0 * kMB), units::Seconds(0.0));
+  engine.AddProcess(ScanQuery("b", 1, 10000.0 * kMB), units::Seconds(0.0));
   ASSERT_TRUE(engine.Run().ok());
-  EXPECT_LT(engine.now(), 10.0);
+  EXPECT_LT(engine.now().value(), 10.0);
 }
 
 TEST(EngineTest, DeterministicAcrossRunsWithSameSeed) {
@@ -241,9 +241,9 @@ TEST(EngineTest, DeterministicAcrossRunsWithSameSeed) {
     p.rnd_io_bytes = 10.0 * kMB;
     p.cpu_seconds = 2.0;
     q.phases.push_back(p);
-    const int pid = engine.AddProcess(q, 0.0);
+    const int pid = engine.AddProcess(q, units::Seconds(0.0));
     CONTENDER_CHECK(engine.Run().ok());
-    return engine.result(pid).latency();
+    return engine.result(pid).latency().value();
   };
   EXPECT_DOUBLE_EQ(run_once(), run_once());
 }
@@ -252,9 +252,9 @@ TEST(EngineTest, StartupCostPrependedForMortalProcesses) {
   SimConfig cfg = QuietConfig();
   cfg.startup_cpu_seconds = 0.5;
   Engine engine(cfg, 1);
-  const int pid = engine.AddProcess(ScanQuery("s", 0, 100.0 * kMB), 0.0);
+  const int pid = engine.AddProcess(ScanQuery("s", 0, 100.0 * kMB), units::Seconds(0.0));
   ASSERT_TRUE(engine.Run().ok());
-  EXPECT_NEAR(engine.result(pid).latency(), 1.5, 1e-6);
+  EXPECT_NEAR(engine.result(pid).latency().value(), 1.5, 1e-6);
 }
 
 TEST(EngineTest, CpuOversubscriptionSharesCores) {
@@ -268,12 +268,12 @@ TEST(EngineTest, CpuOversubscriptionSharesCores) {
     Phase p;
     p.cpu_seconds = 2.0;
     q.phases.push_back(p);
-    pids.push_back(engine.AddProcess(q, 0.0));
+    pids.push_back(engine.AddProcess(q, units::Seconds(0.0)));
   }
   ASSERT_TRUE(engine.Run().ok());
   // 4 processes on 2 cores: each runs at rate 0.5 -> 4 s.
   for (int pid : pids) {
-    EXPECT_NEAR(engine.result(pid).latency(), 4.0, 1e-6);
+    EXPECT_NEAR(engine.result(pid).latency().value(), 4.0, 1e-6);
   }
 }
 
@@ -285,26 +285,26 @@ TEST(EngineTest, ConservationOfDiskBytes) {
   for (int i = 0; i < 3; ++i) {
     pids.push_back(engine.AddProcess(
         ScanQuery("q" + std::to_string(i), i, (200.0 + 100.0 * i) * kMB),
-        static_cast<double>(i)));
+        units::Seconds(static_cast<double>(i))));
   }
   ASSERT_TRUE(engine.Run().ok());
   double total_read = 0.0;
   for (int pid : pids) total_read += engine.result(pid).disk_bytes_read;
   EXPECT_NEAR(total_read, (200.0 + 300.0 + 400.0) * kMB, 10.0);
   // Bytes served can never exceed bandwidth * elapsed time.
-  EXPECT_LE(total_read, cfg.seq_bandwidth * engine.now() + 1.0);
+  EXPECT_LE(total_read, cfg.seq_bandwidth * engine.now().value() + 1.0);
 }
 
 TEST(EngineTest, SpoilerSlowsPrimaryProportionally) {
   SimConfig cfg = QuietConfig();
   Engine engine(cfg, 1);
-  for (const QuerySpec& s : MakeSpoiler(cfg, 3)) {
-    engine.AddProcess(s, 0.0);
+  for (const QuerySpec& s : MakeSpoiler(cfg, units::Mpl(3))) {
+    engine.AddProcess(s, units::Seconds(0.0));
   }
-  const int pid = engine.AddProcess(ScanQuery("p", 0, 500.0 * kMB), 0.0);
+  const int pid = engine.AddProcess(ScanQuery("p", 0, 500.0 * kMB), units::Seconds(0.0));
   ASSERT_TRUE(engine.RunUntilProcessCompletes(pid).ok());
   // 3 streams (2 spoiler readers + primary): 5 s * 3 = 15 s.
-  EXPECT_NEAR(engine.result(pid).latency(), 15.0, 1e-6);
+  EXPECT_NEAR(engine.result(pid).latency().value(), 15.0, 1e-6);
 }
 
 TEST(EngineTest, RunUntilProcessCompletesIgnoresImmortals) {
@@ -317,8 +317,8 @@ TEST(EngineTest, RunUntilProcessCompletesIgnoresImmortals) {
   p.seq_io_bytes = 1e30;
   p.table = -1;
   immortal.phases.push_back(p);
-  engine.AddProcess(immortal, 0.0);
-  const int pid = engine.AddProcess(ScanQuery("p", 0, 100.0 * kMB), 0.0);
+  engine.AddProcess(immortal, units::Seconds(0.0));
+  const int pid = engine.AddProcess(ScanQuery("p", 0, 100.0 * kMB), units::Seconds(0.0));
   ASSERT_TRUE(engine.RunUntilProcessCompletes(pid).ok());
   EXPECT_TRUE(engine.result(pid).completed);
   // Run() also terminates: no mortal work remains.

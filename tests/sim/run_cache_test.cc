@@ -44,7 +44,7 @@ TEST(RunCacheTest, MissThenHit) {
   ASSERT_TRUE(entry.has_value());
   EXPECT_EQ(entry->duration, 12.5);
   ASSERT_EQ(entry->results.size(), 1u);
-  EXPECT_EQ(entry->results[0].latency(), 12.5);
+  EXPECT_EQ(entry->results[0].latency().value(), 12.5);
   EXPECT_EQ(cache.hits(), 1u);
   EXPECT_EQ(cache.size(), 1u);
 }

@@ -10,7 +10,7 @@ namespace {
 
 TEST(SpoilerTest, Composition) {
   SimConfig cfg;
-  auto specs = MakeSpoiler(cfg, 4);
+  auto specs = MakeSpoiler(cfg, units::Mpl(4));
   // One memory pin plus MPL-1 reader streams.
   ASSERT_EQ(specs.size(), 4u);
   EXPECT_GT(specs[0].pinned_memory_bytes, 0.0);
@@ -28,16 +28,16 @@ TEST(SpoilerTest, Composition) {
 
 TEST(SpoilerTest, PinFractionFollowsMpl) {
   SimConfig cfg;
-  EXPECT_NEAR(MakeSpoiler(cfg, 2)[0].pinned_memory_bytes,
+  EXPECT_NEAR(MakeSpoiler(cfg, units::Mpl(2))[0].pinned_memory_bytes,
               0.5 * cfg.ram_bytes, 1.0);
-  EXPECT_NEAR(MakeSpoiler(cfg, 5)[0].pinned_memory_bytes,
+  EXPECT_NEAR(MakeSpoiler(cfg, units::Mpl(5))[0].pinned_memory_bytes,
               0.8 * cfg.ram_bytes, 1.0);
 }
 
 TEST(SpoilerTest, MplBelowTwoYieldsNothing) {
   SimConfig cfg;
-  EXPECT_TRUE(MakeSpoiler(cfg, 1).empty());
-  EXPECT_TRUE(MakeSpoiler(cfg, 0).empty());
+  EXPECT_TRUE(MakeSpoiler(cfg, units::Mpl(1)).empty());
+  EXPECT_TRUE(MakeSpoiler(cfg, units::Mpl(0)).empty());
 }
 
 TEST(SpoilerTest, LatencyGrowsMonotonicallyWithMpl) {
@@ -47,8 +47,8 @@ TEST(SpoilerTest, LatencyGrowsMonotonicallyWithMpl) {
   double prev = 0.0;
   for (int mpl = 2; mpl <= 5; ++mpl) {
     Engine engine(cfg, 1);
-    for (const QuerySpec& s : MakeSpoiler(cfg, mpl)) {
-      engine.AddProcess(s, 0.0);
+    for (const QuerySpec& s : MakeSpoiler(cfg, units::Mpl(mpl))) {
+      engine.AddProcess(s, units::Seconds(0.0));
     }
     QuerySpec primary;
     primary.name = "p";
@@ -56,9 +56,9 @@ TEST(SpoilerTest, LatencyGrowsMonotonicallyWithMpl) {
     p.seq_io_bytes = 2000.0 * kMB;
     p.table = 0;
     primary.phases.push_back(p);
-    const int pid = engine.AddProcess(primary, 0.0);
+    const int pid = engine.AddProcess(primary, units::Seconds(0.0));
     ASSERT_TRUE(engine.RunUntilProcessCompletes(pid).ok());
-    const double latency = engine.result(pid).latency();
+    const double latency = engine.result(pid).latency().value();
     EXPECT_GT(latency, prev);
     prev = latency;
   }

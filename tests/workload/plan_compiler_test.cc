@@ -8,7 +8,7 @@ namespace {
 TEST(PlanCompilerTest, SingleScanBecomesOnePhase) {
   Catalog c = Catalog::TpcDs100();
   const TableDef& ss = c.Get("store_sales");
-  PlanNode plan = SeqScan(ss, 1.0, 288e6);
+  PlanNode plan = SeqScan(ss, units::Fraction::Clamp(1.0), 288e6);
   sim::QuerySpec spec = CompilePlan(plan, c, InstanceParams{}, "q", 1);
   ASSERT_EQ(spec.phases.size(), 1u);
   EXPECT_DOUBLE_EQ(spec.phases[0].seq_io_bytes, ss.bytes);
@@ -19,7 +19,7 @@ TEST(PlanCompilerTest, SingleScanBecomesOnePhase) {
 
 TEST(PlanCompilerTest, DimensionScanIsCacheable) {
   Catalog c = Catalog::TpcDs100();
-  PlanNode plan = SeqScan(c.Get("item"), 1.0, 204000);
+  PlanNode plan = SeqScan(c.Get("item"), units::Fraction::Clamp(1.0), 204000);
   sim::QuerySpec spec = CompilePlan(plan, c, InstanceParams{}, "q", 1);
   ASSERT_EQ(spec.phases.size(), 1u);
   EXPECT_TRUE(spec.phases[0].cacheable);
@@ -28,8 +28,8 @@ TEST(PlanCompilerTest, DimensionScanIsCacheable) {
 
 TEST(PlanCompilerTest, HashJoinProducesBuildThenProbePhases) {
   Catalog c = Catalog::TpcDs100();
-  PlanNode plan = HashJoin(SeqScan(c.Get("item"), 1.0, 204000),
-                           SeqScan(c.Get("store_sales"), 1.0, 288e6), 36e6,
+  PlanNode plan = HashJoin(SeqScan(c.Get("item"), units::Fraction::Clamp(1.0), 204000),
+                           SeqScan(c.Get("store_sales"), units::Fraction::Clamp(1.0), 288e6), 36e6,
                            60e6);
   sim::QuerySpec spec = CompilePlan(plan, c, InstanceParams{}, "q", 1);
   // dim scan phase (hash table resident while input feeds it), hash-build
@@ -56,7 +56,7 @@ TEST(PlanCompilerTest, IndexScanBecomesRandomIoPhase) {
 
 TEST(PlanCompilerTest, BlockingOperatorGetsOwnPhase) {
   Catalog c = Catalog::TpcDs100();
-  PlanNode plan = Sort(SeqScan(c.Get("web_sales"), 1.0, 72e6), 500e6);
+  PlanNode plan = Sort(SeqScan(c.Get("web_sales"), units::Fraction::Clamp(1.0), 72e6), 500e6);
   sim::QuerySpec spec = CompilePlan(plan, c, InstanceParams{}, "q", 1);
   ASSERT_EQ(spec.phases.size(), 2u);
   EXPECT_GT(spec.phases[0].seq_io_bytes, 0.0);
@@ -67,7 +67,7 @@ TEST(PlanCompilerTest, BlockingOperatorGetsOwnPhase) {
 
 TEST(PlanCompilerTest, SelectivityScalesPartialScansAndCpu) {
   Catalog c = Catalog::TpcDs100();
-  PlanNode plan = SeqScan(c.Get("store_sales"), 0.5, 144e6);
+  PlanNode plan = SeqScan(c.Get("store_sales"), units::Fraction::Clamp(0.5), 144e6);
   InstanceParams lo{0.9, 1.0};
   InstanceParams hi{1.1, 1.0};
   sim::QuerySpec a = CompilePlan(plan, c, lo, "q", 1);
@@ -78,7 +78,7 @@ TEST(PlanCompilerTest, SelectivityScalesPartialScansAndCpu) {
 
 TEST(PlanCompilerTest, FullScansNotScaledBySelectivity) {
   Catalog c = Catalog::TpcDs100();
-  PlanNode plan = SeqScan(c.Get("store_sales"), 1.0, 288e6);
+  PlanNode plan = SeqScan(c.Get("store_sales"), units::Fraction::Clamp(1.0), 288e6);
   sim::QuerySpec a = CompilePlan(plan, c, InstanceParams{0.9, 1.0}, "q", 1);
   sim::QuerySpec b = CompilePlan(plan, c, InstanceParams{1.1, 1.0}, "q", 1);
   EXPECT_DOUBLE_EQ(a.phases[0].seq_io_bytes, b.phases[0].seq_io_bytes);
@@ -86,7 +86,7 @@ TEST(PlanCompilerTest, FullScansNotScaledBySelectivity) {
 
 TEST(PlanCompilerTest, IoScaleAffectsAllSequentialVolume) {
   Catalog c = Catalog::TpcDs100();
-  PlanNode plan = SeqScan(c.Get("store_sales"), 1.0, 288e6);
+  PlanNode plan = SeqScan(c.Get("store_sales"), units::Fraction::Clamp(1.0), 288e6);
   sim::QuerySpec a = CompilePlan(plan, c, InstanceParams{1.0, 1.05}, "q", 1);
   EXPECT_NEAR(a.phases[0].seq_io_bytes, 1.05 * c.Get("store_sales").bytes,
               1.0);
@@ -94,7 +94,7 @@ TEST(PlanCompilerTest, IoScaleAffectsAllSequentialVolume) {
 
 TEST(PlanCompilerTest, CarriesIdentity) {
   Catalog c = Catalog::TpcDs100();
-  PlanNode plan = SeqScan(c.Get("item"), 1.0, 1.0);
+  PlanNode plan = SeqScan(c.Get("item"), units::Fraction::Clamp(1.0), 1.0);
   sim::QuerySpec spec = CompilePlan(plan, c, InstanceParams{}, "q99", 99);
   EXPECT_EQ(spec.name, "q99");
   EXPECT_EQ(spec.template_id, 99);

@@ -22,9 +22,9 @@ TEST(SamplerTest, ProfileHasAllFields) {
   ASSERT_TRUE(p.ok());
   EXPECT_EQ(p->template_index, 0);
   EXPECT_EQ(p->template_id, PaperWorkload().tmpl(0).id);
-  EXPECT_GT(p->isolated_latency, 0.0);
-  EXPECT_GT(p->io_fraction, 0.0);
-  EXPECT_LE(p->io_fraction, 1.0);
+  EXPECT_GT(p->isolated_latency.value(), 0.0);
+  EXPECT_GT(p->io_fraction.value(), 0.0);
+  EXPECT_LE(p->io_fraction.value(), 1.0);
   EXPECT_GT(p->plan_steps, 0);
   EXPECT_GT(p->records_accessed, 0.0);
   EXPECT_EQ(p->spoiler_latency.size(), 2u);
@@ -44,7 +44,7 @@ TEST(SamplerTest, ScanTimeMatchesBytesOverBandwidth) {
   auto s_f = sampler.MeasureScanTime(ss.id);
   ASSERT_TRUE(s_f.ok());
   const double expected = ss.bytes / DefaultConfig().seq_bandwidth;
-  EXPECT_NEAR(*s_f, expected, 0.05 * expected + 1.0);
+  EXPECT_NEAR(s_f->value(), expected, 0.05 * expected + 1.0);
 }
 
 TEST(SamplerTest, ScanTimeRejectsUnknownTable) {
@@ -54,7 +54,7 @@ TEST(SamplerTest, ScanTimeRejectsUnknownTable) {
 
 TEST(SamplerTest, SpoilerLatencyRequiresMplAtLeastTwo) {
   WorkloadSampler sampler = MakeSampler();
-  EXPECT_FALSE(sampler.MeasureSpoilerLatency(0, 1).ok());
+  EXPECT_FALSE(sampler.MeasureSpoilerLatency(0, units::Mpl(1)).ok());
 }
 
 TEST(SamplerTest, ObserveMixYieldsOneObservationPerStream) {
@@ -66,7 +66,7 @@ TEST(SamplerTest, ObserveMixYieldsOneObservationPerStream) {
   EXPECT_EQ((*obs)[0].mpl, 3);
   EXPECT_EQ((*obs)[0].concurrent_indices, (std::vector<int>{4, 9}));
   EXPECT_EQ((*obs)[1].concurrent_indices, (std::vector<int>{0, 9}));
-  for (const MixObservation& o : *obs) EXPECT_GT(o.latency, 0.0);
+  for (const MixObservation& o : *obs) EXPECT_GT(o.latency.value(), 0.0);
 }
 
 TEST(SamplerTest, MixesForMplTwoIsAllPairs) {
@@ -98,7 +98,7 @@ TEST(SamplerTest, CollectAllCoversEveryTemplateAndMpl) {
   const TrainingData& data = SharedTrainingData();
   EXPECT_EQ(data.profiles.size(), 25u);
   EXPECT_EQ(data.scan_times.size(), 7u);  // all fact tables
-  EXPECT_GT(data.sampling_seconds, 0.0);
+  EXPECT_GT(data.sampling_seconds.value(), 0.0);
   // 325 pair mixes x 2 + 3 MPLs x 100 LHS mixes x MPL observations.
   EXPECT_EQ(data.observations.size(),
             325u * 2u + 100u * 3u + 100u * 4u + 100u * 5u);

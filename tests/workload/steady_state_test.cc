@@ -74,9 +74,9 @@ TEST(SteadyStateTest, ConcurrencySlowsQueriesVsIsolation) {
   opts.samples_per_stream = 3;
 
   sim::Engine solo(DefaultConfig(), 5);
-  const int pid = solo.AddProcess(w.InstantiateNominal(q26), 0.0);
+  const int pid = solo.AddProcess(w.InstantiateNominal(q26), units::Seconds(0.0));
   ASSERT_TRUE(solo.Run().ok());
-  const double isolated = solo.result(pid).latency();
+  const double isolated = solo.result(pid).latency().value();
 
   auto mix = RunSteadyState(w, {q26, q27}, DefaultConfig(), opts);
   ASSERT_TRUE(mix.ok());

@@ -57,8 +57,8 @@ TEST(TemplatesTest, IsolatedLatenciesSpanModerateRange) {
   const TrainingData& data = SharedTrainingData();
   double lo = 1e18, hi = 0.0;
   for (const TemplateProfile& p : data.profiles) {
-    lo = std::min(lo, p.isolated_latency);
-    hi = std::max(hi, p.isolated_latency);
+    lo = std::min(lo, p.isolated_latency.value());
+    hi = std::max(hi, p.isolated_latency.value());
   }
   // Paper §2: roughly 130–1000 s of isolated latency; the simulated
   // workload spans ~2–10 minutes.
@@ -71,27 +71,27 @@ TEST(TemplatesTest, IoBoundTemplatesMatchPaper) {
   // §6.2: templates 26, 33, 61, 71 spend >= 97% of isolated time on I/O.
   const TrainingData& data = SharedTrainingData();
   for (int id : {26, 33, 61, 71}) {
-    EXPECT_GE(ProfileById(data, id).io_fraction, 0.97) << "q" << id;
+    EXPECT_GE(ProfileById(data, id).io_fraction.value(), 0.97) << "q" << id;
   }
 }
 
 TEST(TemplatesTest, CpuLimitedTemplatesMatchPaper) {
   // §6.1: templates 62 and 65 are CPU-limited relative to the workload.
   const TrainingData& data = SharedTrainingData();
-  const double q62 = ProfileById(data, 62).io_fraction;
-  const double q65 = ProfileById(data, 65).io_fraction;
+  const double q62 = ProfileById(data, 62).io_fraction.value();
+  const double q65 = ProfileById(data, 65).io_fraction.value();
   EXPECT_LT(q62, 0.95);
   EXPECT_LT(q65, 0.90);
   // q62 has one fact scan and small intermediates (§5.5, "lightweight").
-  EXPECT_LT(ProfileById(data, 62).working_set_bytes, 200e6);
+  EXPECT_LT(ProfileById(data, 62).working_set_bytes.value(), 200e6);
 }
 
 TEST(TemplatesTest, MemoryBoundTemplatesHaveMultiGbWorkingSets) {
   // §6.1: templates 2 and 22 are memory-intensive with working sets of
   // several GB.
   const TrainingData& data = SharedTrainingData();
-  EXPECT_GT(ProfileById(data, 2).working_set_bytes, 2e9);
-  EXPECT_GT(ProfileById(data, 22).working_set_bytes, 3e9);
+  EXPECT_GT(ProfileById(data, 2).working_set_bytes.value(), 2e9);
+  EXPECT_GT(ProfileById(data, 22).working_set_bytes.value(), 3e9);
   // And they are the two largest in the workload.
   for (const TemplateProfile& p : data.profiles) {
     if (p.template_id != 2 && p.template_id != 22) {
@@ -134,9 +134,9 @@ TEST(TemplatesTest, InstanceJitterProducesModestLatencyVariance) {
   std::vector<double> latencies;
   for (int rep = 0; rep < 12; ++rep) {
     sim::Engine engine(DefaultConfig(), rng.Next());
-    const int pid = engine.AddProcess(w.Instantiate(idx, &rng), 0.0);
+    const int pid = engine.AddProcess(w.Instantiate(idx, &rng), units::Seconds(0.0));
     ASSERT_TRUE(engine.Run().ok());
-    latencies.push_back(engine.result(pid).latency());
+    latencies.push_back(engine.result(pid).latency().value());
   }
   const double cv = StdDev(latencies) / Mean(latencies);
   EXPECT_GT(cv, 0.005);

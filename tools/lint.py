@@ -1,0 +1,241 @@
+#!/usr/bin/env python3
+"""Repo-specific lint rules for Contender.
+
+Rules enforced (each maps to an invariant documented in DESIGN.md):
+
+  R1 naked-random     No rand()/std::random_device outside src/util/random.*.
+                      All stochastic behavior must flow through util/random's
+                      seeded Rng so simulations stay reproducible.
+  R2 cout-in-src      No std::cout/std::cerr in src/ (library code must use
+                      util/logging or take an ostream&). bench/, examples/
+                      and tests/ are CLIs and may print.
+  R3 raw-dimension    No raw `double` parameter whose name contains
+                      `latency` or `fraction` in a public header under src/.
+                      Those quantities have dedicated types in util/units.h.
+  R4 unregistered-test  Every tests/**/*_test.cc must be registered in a
+                      CMakeLists.txt, or it silently never runs.
+
+Usage:
+  tools/lint.py [--root DIR]   lint the repository (non-zero exit on findings)
+  tools/lint.py --self-test    seed violations into a temp tree and verify
+                               every rule fires (non-zero exit on a miss)
+
+Suppression: append `// contender-lint: disable=<rule>` to the offending
+line. Keep suppressions rare and justified.
+"""
+
+import argparse
+import os
+import re
+import sys
+import tempfile
+
+RULES = ("naked-random", "cout-in-src", "raw-dimension", "unregistered-test")
+
+NAKED_RANDOM_RE = re.compile(r"(?<![\w:])(?:std::)?rand\s*\(\s*\)|std::random_device")
+COUT_RE = re.compile(r"std::c(?:out|err)\b")
+# Parameters only: a parameter ends in `,` or `)` (possibly after a
+# default value). Struct fields end in `;` and are exempt — measurement
+# buffers and simulator knobs legitimately hold raw doubles.
+RAW_DIMENSION_RE = re.compile(
+    r"\bdouble\s+\w*(?:latency|fraction)\w*\s*(?:=[^,);]*)?[,)]")
+SUPPRESS_RE = re.compile(r"//\s*contender-lint:\s*disable=([\w,-]+)")
+LINE_COMMENT_RE = re.compile(r"//.*$")
+
+
+class Finding:
+    def __init__(self, rule, path, line, text):
+        self.rule = rule
+        self.path = path
+        self.line = line
+        self.text = text
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.text.strip()}"
+
+
+def iter_source_files(root, subdirs, exts=(".h", ".cc", ".cpp")):
+    for sub in subdirs:
+        base = os.path.join(root, sub)
+        if not os.path.isdir(base):
+            continue
+        for dirpath, _, names in os.walk(base):
+            for name in sorted(names):
+                if name.endswith(exts):
+                    yield os.path.join(dirpath, name)
+
+
+def suppressed(line, rule):
+    m = SUPPRESS_RE.search(line)
+    return m is not None and rule in m.group(1).split(",")
+
+
+def code_of(line):
+    """The line with any trailing // comment stripped (string literals with
+    '//' are rare enough in this codebase not to matter)."""
+    return LINE_COMMENT_RE.sub("", line)
+
+
+def check_naked_random(root):
+    findings = []
+    for path in iter_source_files(root, ("src", "tests", "bench", "examples")):
+        rel = os.path.relpath(path, root)
+        if rel.startswith(os.path.join("src", "util", "random")):
+            continue
+        with open(path, encoding="utf-8", errors="replace") as f:
+            for i, line in enumerate(f, 1):
+                if suppressed(line, "naked-random"):
+                    continue
+                if NAKED_RANDOM_RE.search(code_of(line)):
+                    findings.append(Finding("naked-random", rel, i, line))
+    return findings
+
+
+def check_cout_in_src(root):
+    findings = []
+    for path in iter_source_files(root, ("src",)):
+        rel = os.path.relpath(path, root)
+        # util/logging IS the sanctioned sink; its implementation must
+        # write somewhere real.
+        if rel.startswith(os.path.join("src", "util", "logging")):
+            continue
+        with open(path, encoding="utf-8", errors="replace") as f:
+            for i, line in enumerate(f, 1):
+                if suppressed(line, "cout-in-src"):
+                    continue
+                if COUT_RE.search(code_of(line)):
+                    findings.append(Finding("cout-in-src", rel, i, line))
+    return findings
+
+
+def check_raw_dimension(root):
+    findings = []
+    for path in iter_source_files(root, ("src",), exts=(".h",)):
+        rel = os.path.relpath(path, root)
+        with open(path, encoding="utf-8", errors="replace") as f:
+            for i, line in enumerate(f, 1):
+                if suppressed(line, "raw-dimension"):
+                    continue
+                if RAW_DIMENSION_RE.search(code_of(line)):
+                    findings.append(Finding("raw-dimension", rel, i, line))
+    return findings
+
+
+def check_unregistered_tests(root):
+    findings = []
+    registered = set()
+    for dirpath, _, names in os.walk(os.path.join(root, "tests")):
+        for name in names:
+            if name == "CMakeLists.txt":
+                with open(os.path.join(dirpath, name), encoding="utf-8") as f:
+                    registered.update(re.findall(r"[\w/]+_test\.cc", f.read()))
+    for path in iter_source_files(root, ("tests",), exts=("_test.cc",)):
+        rel = os.path.relpath(path, root)
+        rel_in_tests = os.path.relpath(path, os.path.join(root, "tests"))
+        if rel_in_tests not in registered and os.path.basename(path) not in (
+            os.path.basename(r) for r in registered
+        ):
+            findings.append(
+                Finding("unregistered-test", rel, 1,
+                        "test file not registered in any tests/CMakeLists.txt")
+            )
+    return findings
+
+
+CHECKS = {
+    "naked-random": check_naked_random,
+    "cout-in-src": check_cout_in_src,
+    "raw-dimension": check_raw_dimension,
+    "unregistered-test": check_unregistered_tests,
+}
+
+
+def lint(root):
+    findings = []
+    for check in CHECKS.values():
+        findings.extend(check(root))
+    return findings
+
+
+def self_test():
+    """Seeds one violation per rule into a scratch tree and verifies the
+    linter reports each; also verifies the suppression comment works."""
+    failures = []
+    with tempfile.TemporaryDirectory(prefix="contender-lint-") as root:
+        os.makedirs(os.path.join(root, "src", "core"))
+        os.makedirs(os.path.join(root, "tests", "core"))
+
+        def write(rel, text):
+            path = os.path.join(root, rel)
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            with open(path, "w", encoding="utf-8") as f:
+                f.write(text)
+
+        write("src/core/bad_random.cc",
+              "int Roll() { return rand() % 6; }\n"
+              "std::random_device rd;\n")
+        write("src/core/bad_print.cc",
+              '#include <iostream>\nvoid P() { std::cout << "x"; }\n')
+        write("src/core/bad_units.h",
+              "void Predict(double spoiler_latency, double io_fraction);\n")
+        write("tests/core/orphan_test.cc", "// never registered\n")
+        write("tests/CMakeLists.txt",
+              "contender_test(other_test core/other_test.cc)\n")
+        write("tests/core/other_test.cc", "// registered\n")
+        # Suppressions and comment-only mentions must NOT fire.
+        write("src/core/ok.cc",
+              "// std::cout in a comment is fine\n"
+              "int x = rand();  // contender-lint: disable=naked-random\n")
+
+        found = {f.rule: [] for f in lint(root)}
+        for f in lint(root):
+            found.setdefault(f.rule, []).append(f)
+
+        expect = {
+            "naked-random": "src/core/bad_random.cc",
+            "cout-in-src": "src/core/bad_print.cc",
+            "raw-dimension": "src/core/bad_units.h",
+            "unregistered-test": "tests/core/orphan_test.cc",
+        }
+        for rule, path in expect.items():
+            hits = [f for f in found.get(rule, []) if f.path == path]
+            if not hits:
+                failures.append(f"rule {rule} did not fire on seeded {path}")
+        for f in sum(found.values(), []):
+            if f.path == "src/core/ok.cc":
+                failures.append(f"false positive on suppressed/comment: {f}")
+            if f.path == "tests/core/other_test.cc":
+                failures.append(f"false positive on registered test: {f}")
+
+    if failures:
+        for msg in failures:
+            print(f"lint --self-test FAILED: {msg}", file=sys.stderr)
+        return 1
+    print(f"lint --self-test passed: all {len(RULES)} rules fire and "
+          "suppressions hold")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root",
+                        default=os.path.dirname(os.path.dirname(
+                            os.path.abspath(__file__))))
+    parser.add_argument("--self-test", action="store_true")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+
+    findings = lint(args.root)
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"\nlint: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print("lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
