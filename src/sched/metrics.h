@@ -1,0 +1,48 @@
+// Schedule-quality metrics over one ScheduleResult: makespan, response
+// percentiles, queue waits, SLA violations, and how good the predictions
+// behind each admission decision turned out to be.
+
+#ifndef CONTENDER_SCHED_METRICS_H_
+#define CONTENDER_SCHED_METRICS_H_
+
+#include <cstddef>
+
+#include "sched/simulator.h"
+#include "util/units.h"
+
+namespace contender::sched {
+
+struct ScheduleMetrics {
+  size_t requests = 0;
+  /// Last completion instant.
+  units::Seconds makespan;
+
+  /// admit - arrival.
+  units::Seconds mean_queue_wait;
+  units::Seconds max_queue_wait;
+
+  /// arrival -> completion (what an SLA is written against).
+  units::Seconds mean_response;
+  units::Seconds p50_response;
+  units::Seconds p95_response;
+  units::Seconds p99_response;
+
+  /// Deadline-carrying requests and how many finished late. The miss rate
+  /// is 0 when no request carried a deadline.
+  size_t deadline_requests = 0;
+  size_t deadline_misses = 0;
+  double sla_miss_rate = 0.0;
+
+  /// Mean relative error |predicted - actual| / actual of the in-mix
+  /// prediction recorded at each admission, against the realized execution
+  /// latency.
+  double mean_prediction_error = 0.0;
+};
+
+/// Aggregates a completed run. All outcomes must be completed (the
+/// simulator guarantees this for an OK result).
+ScheduleMetrics ComputeScheduleMetrics(const ScheduleResult& result);
+
+}  // namespace contender::sched
+
+#endif  // CONTENDER_SCHED_METRICS_H_

@@ -1,0 +1,114 @@
+#include "sched/mix_oracle.h"
+
+#include <algorithm>
+
+#include "sim/run_cache.h"
+#include "util/logging.h"
+
+namespace contender::sched {
+
+namespace {
+
+// Content key of one evaluation: primary template plus the canonical
+// (sorted) mix. Sorting makes the key order-insensitive.
+uint64_t EvaluationKey(int template_index, const std::vector<int>& sorted_mix) {
+  sim::RunHasher h;
+  h.Add(template_index);
+  h.Add(static_cast<uint64_t>(sorted_mix.size()));
+  for (int m : sorted_mix) h.Add(m);
+  return h.Digest();
+}
+
+}  // namespace
+
+MixOracle::MixOracle(const ContenderPredictor* predictor)
+    : MixOracle(predictor, Options()) {}
+
+MixOracle::MixOracle(const ContenderPredictor* predictor,
+                     const Options& options)
+    : predictor_(predictor), options_(options) {
+  CONTENDER_CHECK(predictor_ != nullptr);
+}
+
+units::Seconds MixOracle::IsolatedLatency(int template_index) const {
+  const auto& profiles = predictor_->profiles();
+  CONTENDER_CHECK(template_index >= 0 &&
+                  static_cast<size_t>(template_index) < profiles.size())
+      << "MixOracle: unknown template index " << template_index;
+  return profiles[static_cast<size_t>(template_index)].isolated_latency;
+}
+
+units::Seconds MixOracle::PredictInMix(
+    int template_index, const std::vector<int>& concurrent) const {
+  if (concurrent.empty()) return IsolatedLatency(template_index);
+
+  // Evaluate on the canonical (sorted) mix, not the caller's ordering: CQI
+  // sums over the mix in the order given, and floating-point addition is
+  // not associative, so permutations of one multiset differ in the low
+  // bits. Canonicalizing both the key AND the evaluation input makes the
+  // answer a pure function of the multiset — a warm cache entry computed
+  // under one mix ordering is bit-identical to a cold evaluation under
+  // another.
+  std::vector<int> canonical = concurrent;
+  std::sort(canonical.begin(), canonical.end());
+
+  const uint64_t key = EvaluationKey(template_index, canonical);
+  if (options_.enable_cache) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);
+      ++hits_;
+      return it->second->second;
+    }
+    ++misses_;
+  }
+
+  auto predicted = predictor_->PredictKnown(template_index, canonical);
+  units::Seconds value;
+  if (predicted.ok()) {
+    value = *predicted;
+  } else {
+    // No model covers this (template, MPL); degrade to the continuum lower
+    // bound so the policy score stays defined.
+    value = IsolatedLatency(template_index);
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++fallbacks_;
+  }
+
+  if (options_.enable_cache) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = index_.find(key);
+    if (it == index_.end()) {
+      lru_.emplace_front(key, value);
+      index_[key] = lru_.begin();
+      while (lru_.size() > options_.capacity) {
+        index_.erase(lru_.back().first);
+        lru_.pop_back();
+      }
+    }
+  }
+  return value;
+}
+
+uint64_t MixOracle::hits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+uint64_t MixOracle::misses() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return misses_;
+}
+
+uint64_t MixOracle::fallbacks() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return fallbacks_;
+}
+
+size_t MixOracle::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lru_.size();
+}
+
+}  // namespace contender::sched

@@ -1,0 +1,84 @@
+// Caching adapter between the admission policies and ContenderPredictor.
+//
+// A policy evaluates "template t in running mix M" for every queued
+// candidate on every slot-free event, and the same (t, M) pairs recur
+// constantly as the mix churns one slot at a time. The oracle canonicalizes
+// the mix (sorted) and runs BOTH the key derivation and the predictor on
+// the canonical ordering — CQI sums over the mix, so permutations of one
+// multiset differ in the low floating-point bits otherwise. Keys use the
+// same FNV-1a content hashing as sim/run_cache; results live in a bounded
+// LRU so one admission decision costs O(queue) cache probes instead of
+// O(queue) full CQI/QS evaluations. Cached and uncached answers are
+// bit-identical: the canonicalized predictor call is a pure function of
+// the (template, multiset) pair.
+
+#ifndef CONTENDER_SCHED_MIX_ORACLE_H_
+#define CONTENDER_SCHED_MIX_ORACLE_H_
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/predictor.h"
+#include "util/units.h"
+
+namespace contender::sched {
+
+/// Thread-safe memoized view of a trained predictor for policy evaluation.
+/// Thread safety mirrors sim::RunCache: a parallel policy sweep may probe
+/// one oracle from several workers.
+class MixOracle {
+ public:
+  struct Options {
+    /// Bounded LRU capacity (entries).
+    size_t capacity = 4096;
+    /// Disable to force every probe through the predictor (used by the
+    /// cached-vs-uncached equivalence tests).
+    bool enable_cache = true;
+  };
+
+  explicit MixOracle(const ContenderPredictor* predictor);
+  MixOracle(const ContenderPredictor* predictor, const Options& options);
+
+  /// Predicted latency of `template_index` executing inside `concurrent`
+  /// (workload indices of the other running queries, order-irrelevant).
+  /// An empty mix yields the isolated latency. When the predictor has no
+  /// reference/QS model covering the mix's MPL or template, the oracle
+  /// falls back to the isolated latency (counted in fallbacks()) so policy
+  /// scores stay total and deterministic.
+  units::Seconds PredictInMix(int template_index,
+                              const std::vector<int>& concurrent) const;
+
+  /// l_min of a template (profile lookup, never cached — it is one load).
+  units::Seconds IsolatedLatency(int template_index) const;
+
+  int num_templates() const {
+    return static_cast<int>(predictor_->profiles().size());
+  }
+  const ContenderPredictor& predictor() const { return *predictor_; }
+
+  uint64_t hits() const;
+  uint64_t misses() const;
+  uint64_t fallbacks() const;
+  size_t size() const;
+
+ private:
+  using LruList = std::list<std::pair<uint64_t, units::Seconds>>;
+
+  const ContenderPredictor* predictor_;
+  Options options_;
+
+  mutable std::mutex mutex_;
+  mutable LruList lru_;  // front = most recently used
+  mutable std::unordered_map<uint64_t, LruList::iterator> index_;
+  mutable uint64_t hits_ = 0;
+  mutable uint64_t misses_ = 0;
+  mutable uint64_t fallbacks_ = 0;
+};
+
+}  // namespace contender::sched
+
+#endif  // CONTENDER_SCHED_MIX_ORACLE_H_

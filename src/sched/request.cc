@@ -1,0 +1,91 @@
+#include "sched/request.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace contender::sched {
+
+namespace {
+
+// Queue order: arrival time, then request id (insertion order of the
+// generator), so ties are deterministic.
+bool QueueBefore(const Request& a, const Request& b) {
+  if (a.arrival_time != b.arrival_time) {
+    return a.arrival_time < b.arrival_time;
+  }
+  return a.request_id < b.request_id;
+}
+
+}  // namespace
+
+std::vector<Request> GenerateArrivals(
+    const std::vector<units::Seconds>& reference_latencies,
+    const ArrivalOptions& options) {
+  CONTENDER_CHECK(!reference_latencies.empty())
+      << "GenerateArrivals: need at least one template";
+  CONTENDER_CHECK(options.num_requests >= 0);
+  CONTENDER_CHECK(options.mean_interarrival.value() >= 0.0);
+  CONTENDER_CHECK(options.deadline_probability >= 0.0 &&
+                  options.deadline_probability <= 1.0);
+  CONTENDER_CHECK(options.max_slack >= options.min_slack);
+
+  Rng rng(options.seed);
+  std::vector<Request> requests;
+  requests.reserve(static_cast<size_t>(options.num_requests));
+  units::Seconds clock;
+  for (int i = 0; i < options.num_requests; ++i) {
+    Request r;
+    r.request_id = i;
+    r.template_index = static_cast<int>(
+        rng.UniformInt(static_cast<uint64_t>(reference_latencies.size())));
+    // Exponential gap via inverse transform; the first request arrives at
+    // t = 0 so every run starts with work available.
+    if (i > 0 && options.mean_interarrival.value() > 0.0) {
+      const double u = rng.Uniform01();
+      clock += options.mean_interarrival * (-std::log1p(-u));
+    }
+    r.arrival_time = clock;
+    if (options.deadline_probability > 0.0 &&
+        rng.Uniform01() < options.deadline_probability) {
+      const double slack = rng.Uniform(options.min_slack, options.max_slack);
+      r.deadline =
+          r.arrival_time +
+          reference_latencies[static_cast<size_t>(r.template_index)] * slack;
+    }
+    requests.push_back(r);
+  }
+  return requests;
+}
+
+RequestQueue::RequestQueue(std::vector<Request> requests)
+    : requests_(std::move(requests)) {
+  std::stable_sort(requests_.begin(), requests_.end(), QueueBefore);
+}
+
+void RequestQueue::Push(const Request& request) {
+  auto pos = std::upper_bound(requests_.begin(), requests_.end(), request,
+                              QueueBefore);
+  requests_.insert(pos, request);
+}
+
+size_t RequestQueue::ArrivedBy(units::Seconds t) const {
+  size_t n = 0;
+  while (n < requests_.size() && requests_[n].arrival_time <= t) ++n;
+  return n;
+}
+
+units::Seconds RequestQueue::NextArrival() const {
+  CONTENDER_CHECK(!requests_.empty());
+  return requests_.front().arrival_time;
+}
+
+Request RequestQueue::Take(size_t i) {
+  CONTENDER_CHECK(i < requests_.size());
+  Request r = requests_[i];
+  requests_.erase(requests_.begin() + static_cast<std::ptrdiff_t>(i));
+  return r;
+}
+
+}  // namespace contender::sched

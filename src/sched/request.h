@@ -1,0 +1,85 @@
+// Admission-control requests: one queued execution of a workload template,
+// optionally carrying an SLA deadline, plus the waiting queue the policies
+// choose from and a deterministic seeded arrival-stream generator.
+
+#ifndef CONTENDER_SCHED_REQUEST_H_
+#define CONTENDER_SCHED_REQUEST_H_
+
+#include <optional>
+#include <vector>
+
+#include "util/random.h"
+#include "util/units.h"
+
+namespace contender::sched {
+
+/// One query execution awaiting admission.
+struct Request {
+  /// Dense identity in [0, stream size); outcome slots are keyed by it.
+  int request_id = -1;
+  /// Workload template index (position, not paper id).
+  int template_index = -1;
+  /// When the request becomes admissible.
+  units::Seconds arrival_time;
+  /// Absolute SLA deadline for completion; nullopt = best-effort.
+  std::optional<units::Seconds> deadline;
+};
+
+/// Options for GenerateArrivals. All randomness flows from the seed through
+/// one util/random Rng, so the same options always yield the same stream.
+struct ArrivalOptions {
+  int num_requests = 32;
+  /// Mean of the exponential interarrival gap (Poisson arrivals).
+  units::Seconds mean_interarrival{20.0};
+  /// Probability that a request carries an SLA deadline.
+  double deadline_probability = 0.0;
+  /// Deadline = arrival + slack * reference latency of the drawn template,
+  /// with slack uniform in [min_slack, max_slack).
+  double min_slack = 2.0;
+  double max_slack = 6.0;
+  uint64_t seed = 42;
+};
+
+/// Deterministic arrival stream over `reference_latencies.size()` templates:
+/// template drawn uniformly per request, exponential gaps, Bernoulli
+/// deadlines with uniform slack against the template's reference (isolated)
+/// latency. Request ids are assigned in arrival order starting at 0.
+std::vector<Request> GenerateArrivals(
+    const std::vector<units::Seconds>& reference_latencies,
+    const ArrivalOptions& options);
+
+/// The waiting queue: every generated-but-not-yet-admitted request, kept
+/// sorted by (arrival time, request id). Because of the sort order, the
+/// requests admissible at time t are exactly a leading prefix.
+class RequestQueue {
+ public:
+  RequestQueue() = default;
+  /// Takes ownership of `requests` and sorts them into queue order.
+  explicit RequestQueue(std::vector<Request> requests);
+
+  /// Inserts preserving (arrival, id) order.
+  void Push(const Request& request);
+
+  [[nodiscard]] bool empty() const { return requests_.empty(); }
+  [[nodiscard]] size_t size() const { return requests_.size(); }
+  [[nodiscard]] const Request& at(size_t i) const {
+    return requests_[i];
+  }
+
+  /// Number of leading requests with arrival_time <= t (the admissible
+  /// prefix at time t).
+  [[nodiscard]] size_t ArrivedBy(units::Seconds t) const;
+
+  /// Earliest arrival among queued requests; queue must be non-empty.
+  [[nodiscard]] units::Seconds NextArrival() const;
+
+  /// Removes and returns the request at position i.
+  Request Take(size_t i);
+
+ private:
+  std::vector<Request> requests_;
+};
+
+}  // namespace contender::sched
+
+#endif  // CONTENDER_SCHED_REQUEST_H_

@@ -71,4 +71,44 @@ double Percentile(std::vector<double> v, double p) {
 
 double Median(std::vector<double> v) { return Percentile(std::move(v), 50.0); }
 
+namespace {
+
+// Rank lookup over an already-sorted sample.
+double SortedPercentile(const std::vector<double>& sorted, double p) {
+  assert(!sorted.empty());
+  if (sorted.size() == 1) return sorted[0];
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+}  // namespace
+
+std::vector<double> Percentiles(std::vector<double> v,
+                                const std::vector<double>& ps) {
+  assert(!v.empty());
+  std::sort(v.begin(), v.end());
+  std::vector<double> out;
+  out.reserve(ps.size());
+  for (double p : ps) out.push_back(SortedPercentile(v, p));
+  return out;
+}
+
+void SampleStats::Add(double x) {
+  moments_.Add(x);
+  samples_.push_back(x);
+  sorted_ = samples_.size() == 1;
+}
+
+double SampleStats::percentile(double p) const {
+  assert(!samples_.empty());
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  return SortedPercentile(samples_, p);
+}
+
 }  // namespace contender

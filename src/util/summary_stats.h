@@ -46,6 +46,41 @@ double Percentile(std::vector<double> v, double p);
 /// Median; requires non-empty v.
 double Median(std::vector<double> v);
 
+/// Percentiles for several ranks at once, sorting the sample once.
+/// Returns one value per entry of `ps` (each 0..100); requires non-empty v.
+std::vector<double> Percentiles(std::vector<double> v,
+                                const std::vector<double>& ps);
+
+/// Sample accumulator that retains every observation for exact quantiles
+/// (sorted-sample linear interpolation) alongside streaming moments. Used
+/// where the tail matters — per-request latency distributions, SLA
+/// reporting — and the sample count is small enough to keep.
+class SampleStats {
+ public:
+  void Add(double x);
+
+  size_t count() const { return moments_.count(); }
+  bool empty() const { return samples_.empty(); }
+  double mean() const { return moments_.mean(); }
+  double stddev() const { return moments_.stddev(); }
+  double min() const { return moments_.min(); }
+  double max() const { return moments_.max(); }
+  double sum() const { return moments_.sum(); }
+
+  /// Exact p-th percentile (0..100) over the retained samples; requires a
+  /// non-empty accumulator. The sorted order is cached between calls and
+  /// invalidated by Add.
+  double percentile(double p) const;
+  double p50() const { return percentile(50.0); }
+  double p95() const { return percentile(95.0); }
+  double p99() const { return percentile(99.0); }
+
+ private:
+  SummaryStats moments_;
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
 }  // namespace contender
 
 #endif  // CONTENDER_UTIL_SUMMARY_STATS_H_

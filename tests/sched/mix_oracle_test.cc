@@ -1,0 +1,124 @@
+#include "sched/mix_oracle.h"
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "test_support.h"
+
+namespace contender::sched {
+namespace {
+
+using contender::testing::SharedPredictor;
+
+MixOracle::Options Uncached() {
+  MixOracle::Options options;
+  options.enable_cache = false;
+  return options;
+}
+
+TEST(MixOracleTest, EmptyMixIsIsolatedLatency) {
+  MixOracle oracle(&SharedPredictor());
+  for (int t = 0; t < oracle.num_templates(); ++t) {
+    EXPECT_EQ(oracle.PredictInMix(t, {}), oracle.IsolatedLatency(t));
+  }
+}
+
+TEST(MixOracleTest, CachedEqualsUncachedBitExact) {
+  const ContenderPredictor& predictor = SharedPredictor();
+  MixOracle cached(&predictor);
+  MixOracle uncached(&predictor, Uncached());
+  const int n = cached.num_templates();
+  // Every template against several mixes at MPL 2-4, probed twice so the
+  // second cached probe returns the memoized value.
+  for (int t = 0; t < n; ++t) {
+    const std::vector<std::vector<int>> mixes = {
+        {(t + 1) % n},
+        {(t + 1) % n, (t + 5) % n},
+        {(t + 3) % n, (t + 7) % n, (t + 11) % n},
+    };
+    for (const auto& mix : mixes) {
+      const units::Seconds fresh = uncached.PredictInMix(t, mix);
+      EXPECT_EQ(cached.PredictInMix(t, mix), fresh);
+      EXPECT_EQ(cached.PredictInMix(t, mix), fresh);  // warm hit
+    }
+  }
+  EXPECT_EQ(uncached.hits(), 0u);
+  EXPECT_GT(cached.hits(), 0u);
+}
+
+TEST(MixOracleTest, PermutedMixesAreBitIdentical) {
+  const ContenderPredictor& predictor = SharedPredictor();
+  MixOracle cached(&predictor);
+  MixOracle uncached(&predictor, Uncached());
+  const std::vector<int> mix = {4, 1, 9};
+  const std::vector<std::vector<int>> permutations = {
+      {4, 1, 9}, {1, 4, 9}, {9, 4, 1}, {1, 9, 4}};
+  const units::Seconds expected = uncached.PredictInMix(0, mix);
+  for (const auto& perm : permutations) {
+    // The oracle canonicalizes before evaluating, so every ordering of the
+    // multiset answers identically — cached or not.
+    EXPECT_EQ(uncached.PredictInMix(0, perm), expected);
+    EXPECT_EQ(cached.PredictInMix(0, perm), expected);
+  }
+  // All four permutations share one cache entry.
+  EXPECT_EQ(cached.misses(), 1u);
+  EXPECT_EQ(cached.hits(), 3u);
+  EXPECT_EQ(cached.size(), 1u);
+}
+
+TEST(MixOracleTest, UncoveredMplFallsBackToIsolated) {
+  MixOracle oracle(&SharedPredictor());
+  // Reference models cover MPL 2-5; a 5-partner mix is MPL 6.
+  const std::vector<int> mix = {1, 2, 3, 4, 5};
+  EXPECT_EQ(oracle.PredictInMix(0, mix), oracle.IsolatedLatency(0));
+  EXPECT_EQ(oracle.fallbacks(), 1u);
+}
+
+TEST(MixOracleTest, LruEvictsBeyondCapacity) {
+  MixOracle::Options options;
+  options.capacity = 4;
+  MixOracle oracle(&SharedPredictor(), options);
+  for (int t = 0; t < 8; ++t) {
+    oracle.PredictInMix(t, {(t + 1) % oracle.num_templates()});
+  }
+  EXPECT_EQ(oracle.size(), 4u);
+  EXPECT_EQ(oracle.misses(), 8u);
+}
+
+TEST(MixOracleTest, ConcurrentProbesMatchSerialAnswers) {
+  const ContenderPredictor& predictor = SharedPredictor();
+  MixOracle serial(&predictor, Uncached());
+  MixOracle shared(&predictor);
+  const int n = shared.num_templates();
+
+  std::vector<units::Seconds> expected(static_cast<size_t>(n));
+  for (int t = 0; t < n; ++t) {
+    expected[static_cast<size_t>(t)] =
+        serial.PredictInMix(t, {(t + 1) % n, (t + 2) % n});
+  }
+
+  constexpr int kThreads = 8;
+  std::vector<int> mismatches(kThreads, 0);
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int w = 0; w < kThreads; ++w) {
+    workers.emplace_back([&, w] {
+      for (int round = 0; round < 4; ++round) {
+        for (int t = 0; t < n; ++t) {
+          const units::Seconds got =
+              shared.PredictInMix(t, {(t + 1) % n, (t + 2) % n});
+          if (got != expected[static_cast<size_t>(t)]) ++mismatches[w];
+        }
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  for (int w = 0; w < kThreads; ++w) EXPECT_EQ(mismatches[w], 0);
+  EXPECT_EQ(shared.hits() + shared.misses(),
+            static_cast<uint64_t>(kThreads * 4 * n));
+}
+
+}  // namespace
+}  // namespace contender::sched

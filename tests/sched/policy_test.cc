@@ -1,0 +1,140 @@
+#include "sched/policy.h"
+
+#include <gtest/gtest.h>
+
+#include "test_support.h"
+
+namespace contender::sched {
+namespace {
+
+using contender::testing::SharedPredictor;
+
+Request MakeRequest(int id, int template_index, double arrival,
+                    std::optional<double> deadline = std::nullopt) {
+  Request r;
+  r.request_id = id;
+  r.template_index = template_index;
+  r.arrival_time = units::Seconds(arrival);
+  if (deadline.has_value()) r.deadline = units::Seconds(*deadline);
+  return r;
+}
+
+SchedContext MakeContext(MixOracle* oracle,
+                         const std::vector<int>* running, double now) {
+  SchedContext ctx;
+  ctx.now = units::Seconds(now);
+  ctx.running_templates = running;
+  ctx.oracle = oracle;
+  return ctx;
+}
+
+TEST(PolicyTest, FactoryCoversAllKinds) {
+  EXPECT_EQ(AllPolicyKinds().size(), 4u);
+  EXPECT_EQ(PolicyKindName(PolicyKind::kFifo), "fifo");
+  EXPECT_EQ(PolicyKindName(PolicyKind::kShortestIsolatedFirst),
+            "shortest-isolated");
+  EXPECT_EQ(PolicyKindName(PolicyKind::kGreedyContention),
+            "greedy-contention");
+  EXPECT_EQ(PolicyKindName(PolicyKind::kDeadlineAware), "deadline-aware");
+  for (PolicyKind kind : AllPolicyKinds()) {
+    EXPECT_NE(MakePolicy(kind), nullptr);
+  }
+}
+
+TEST(PolicyTest, RejectsIncompleteContextAndEmptyPrefix) {
+  MixOracle oracle(&SharedPredictor());
+  const std::vector<int> running;
+  RequestQueue queue({MakeRequest(0, 0, 50.0)});
+  for (PolicyKind kind : AllPolicyKinds()) {
+    auto policy = MakePolicy(kind);
+    SchedContext no_oracle = MakeContext(nullptr, &running, 100.0);
+    EXPECT_FALSE(policy->Pick(queue, no_oracle).ok());
+    // t=0 precedes the only arrival: the admissible prefix is empty.
+    SchedContext too_early = MakeContext(&oracle, &running, 0.0);
+    EXPECT_FALSE(policy->Pick(queue, too_early).ok());
+  }
+}
+
+TEST(PolicyTest, FifoPicksHeadOfQueue) {
+  MixOracle oracle(&SharedPredictor());
+  const std::vector<int> running = {3};
+  RequestQueue queue({MakeRequest(0, 5, 0.0), MakeRequest(1, 2, 1.0),
+                      MakeRequest(2, 8, 2.0)});
+  auto policy = MakePolicy(PolicyKind::kFifo);
+  auto pick = policy->Pick(queue, MakeContext(&oracle, &running, 10.0));
+  ASSERT_TRUE(pick.ok());
+  EXPECT_EQ(*pick, 0u);
+}
+
+TEST(PolicyTest, TiedScoresBreakToEarliestQueuePosition) {
+  MixOracle oracle(&SharedPredictor());
+  const std::vector<int> running = {3};
+  // Identical template => identical score under every scoring policy; the
+  // earliest queue position must win deterministically.
+  RequestQueue queue({MakeRequest(0, 4, 0.0), MakeRequest(1, 4, 1.0),
+                      MakeRequest(2, 4, 2.0)});
+  for (PolicyKind kind : AllPolicyKinds()) {
+    auto policy = MakePolicy(kind);
+    auto pick = policy->Pick(queue, MakeContext(&oracle, &running, 10.0));
+    ASSERT_TRUE(pick.ok());
+    EXPECT_EQ(*pick, 0u) << PolicyKindName(kind);
+  }
+}
+
+TEST(PolicyTest, ShortestIsolatedPrefersFastestTemplate) {
+  MixOracle oracle(&SharedPredictor());
+  const std::vector<int> running;
+  // Find the workload's fastest and slowest templates by isolated latency.
+  int fastest = 0, slowest = 0;
+  for (int t = 1; t < oracle.num_templates(); ++t) {
+    if (oracle.IsolatedLatency(t) < oracle.IsolatedLatency(fastest)) {
+      fastest = t;
+    }
+    if (oracle.IsolatedLatency(t) > oracle.IsolatedLatency(slowest)) {
+      slowest = t;
+    }
+  }
+  ASSERT_NE(fastest, slowest);
+  RequestQueue queue({MakeRequest(0, slowest, 0.0),
+                      MakeRequest(1, fastest, 1.0)});
+  auto policy = MakePolicy(PolicyKind::kShortestIsolatedFirst);
+  auto pick = policy->Pick(queue, MakeContext(&oracle, &running, 10.0));
+  ASSERT_TRUE(pick.ok());
+  EXPECT_EQ(queue.at(*pick).template_index, fastest);
+}
+
+TEST(PolicyTest, DeadlineAwareDegradesToGreedyWithoutDeadlines) {
+  MixOracle oracle(&SharedPredictor());
+  auto greedy = MakePolicy(PolicyKind::kGreedyContention);
+  auto deadline = MakePolicy(PolicyKind::kDeadlineAware);
+  const int n = oracle.num_templates();
+  for (int shift = 0; shift < n; ++shift) {
+    const std::vector<int> running = {shift, (shift + 4) % n};
+    RequestQueue queue({MakeRequest(0, (shift + 1) % n, 0.0),
+                        MakeRequest(1, (shift + 9) % n, 1.0),
+                        MakeRequest(2, (shift + 17) % n, 2.0)});
+    const SchedContext ctx = MakeContext(&oracle, &running, 10.0);
+    auto g = greedy->Pick(queue, ctx);
+    auto d = deadline->Pick(queue, ctx);
+    ASSERT_TRUE(g.ok());
+    ASSERT_TRUE(d.ok());
+    EXPECT_EQ(*d, *g) << "mix shift " << shift;
+  }
+}
+
+TEST(PolicyTest, DeadlineAwareProtectsTightestSlack) {
+  MixOracle oracle(&SharedPredictor());
+  const std::vector<int> running;
+  // Request 1 has far less slack than request 0; request 2 is best-effort
+  // and must rank last regardless of its score.
+  RequestQueue queue({MakeRequest(0, 2, 0.0, 1e6),
+                      MakeRequest(1, 2, 1.0, 500.0),
+                      MakeRequest(2, 2, 2.0)});
+  auto policy = MakePolicy(PolicyKind::kDeadlineAware);
+  auto pick = policy->Pick(queue, MakeContext(&oracle, &running, 10.0));
+  ASSERT_TRUE(pick.ok());
+  EXPECT_EQ(queue.at(*pick).request_id, 1);
+}
+
+}  // namespace
+}  // namespace contender::sched

@@ -1,0 +1,139 @@
+#include "sched/request.h"
+
+#include <gtest/gtest.h>
+
+namespace contender::sched {
+namespace {
+
+ArrivalOptions SmallStream() {
+  ArrivalOptions options;
+  options.num_requests = 64;
+  options.mean_interarrival = units::Seconds(10.0);
+  options.deadline_probability = 0.5;
+  options.min_slack = 2.0;
+  options.max_slack = 5.0;
+  options.seed = 7;
+  return options;
+}
+
+std::vector<units::Seconds> Reference() {
+  return {units::Seconds(30.0), units::Seconds(60.0), units::Seconds(90.0)};
+}
+
+TEST(GenerateArrivalsTest, DeterministicUnderFixedSeed) {
+  const auto a = GenerateArrivals(Reference(), SmallStream());
+  const auto b = GenerateArrivals(Reference(), SmallStream());
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].request_id, b[i].request_id);
+    EXPECT_EQ(a[i].template_index, b[i].template_index);
+    EXPECT_EQ(a[i].arrival_time, b[i].arrival_time);
+    EXPECT_EQ(a[i].deadline.has_value(), b[i].deadline.has_value());
+    if (a[i].deadline.has_value()) {
+      EXPECT_EQ(*a[i].deadline, *b[i].deadline);
+    }
+  }
+}
+
+TEST(GenerateArrivalsTest, SeedChangesStream) {
+  ArrivalOptions other = SmallStream();
+  other.seed = 8;
+  const auto a = GenerateArrivals(Reference(), SmallStream());
+  const auto b = GenerateArrivals(Reference(), other);
+  bool differs = false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    differs |= a[i].template_index != b[i].template_index ||
+               a[i].arrival_time != b[i].arrival_time;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(GenerateArrivalsTest, StreamShapeInvariants) {
+  const auto reference = Reference();
+  const auto requests = GenerateArrivals(reference, SmallStream());
+  ASSERT_EQ(requests.size(), 64u);
+  EXPECT_EQ(requests.front().arrival_time, units::Seconds(0.0));
+  for (size_t i = 0; i < requests.size(); ++i) {
+    EXPECT_EQ(requests[i].request_id, static_cast<int>(i));
+    EXPECT_GE(requests[i].template_index, 0);
+    EXPECT_LT(requests[i].template_index,
+              static_cast<int>(reference.size()));
+    if (i > 0) {
+      EXPECT_GE(requests[i].arrival_time, requests[i - 1].arrival_time);
+    }
+  }
+}
+
+TEST(GenerateArrivalsTest, DeadlineSlackWithinConfiguredBand) {
+  ArrivalOptions options = SmallStream();
+  options.deadline_probability = 1.0;
+  const auto reference = Reference();
+  const auto requests = GenerateArrivals(reference, options);
+  for (const Request& r : requests) {
+    ASSERT_TRUE(r.deadline.has_value());
+    const double slack =
+        (*r.deadline - r.arrival_time).value() /
+        reference[static_cast<size_t>(r.template_index)].value();
+    EXPECT_GE(slack, options.min_slack);
+    EXPECT_LT(slack, options.max_slack);
+  }
+}
+
+TEST(GenerateArrivalsTest, ZeroProbabilityMeansBestEffortOnly) {
+  ArrivalOptions options = SmallStream();
+  options.deadline_probability = 0.0;
+  for (const Request& r : GenerateArrivals(Reference(), options)) {
+    EXPECT_FALSE(r.deadline.has_value());
+  }
+}
+
+Request MakeRequest(int id, double arrival) {
+  Request r;
+  r.request_id = id;
+  r.template_index = 0;
+  r.arrival_time = units::Seconds(arrival);
+  return r;
+}
+
+TEST(RequestQueueTest, SortsByArrivalThenId) {
+  RequestQueue queue({MakeRequest(2, 5.0), MakeRequest(0, 9.0),
+                      MakeRequest(1, 5.0)});
+  ASSERT_EQ(queue.size(), 3u);
+  EXPECT_EQ(queue.at(0).request_id, 1);  // t=5, lower id first
+  EXPECT_EQ(queue.at(1).request_id, 2);  // t=5
+  EXPECT_EQ(queue.at(2).request_id, 0);  // t=9
+}
+
+TEST(RequestQueueTest, ArrivedByIsTheAdmissiblePrefix) {
+  RequestQueue queue({MakeRequest(0, 0.0), MakeRequest(1, 4.0),
+                      MakeRequest(2, 8.0)});
+  EXPECT_EQ(queue.ArrivedBy(units::Seconds(-1.0)), 0u);
+  EXPECT_EQ(queue.ArrivedBy(units::Seconds(0.0)), 1u);
+  EXPECT_EQ(queue.ArrivedBy(units::Seconds(4.0)), 2u);
+  EXPECT_EQ(queue.ArrivedBy(units::Seconds(100.0)), 3u);
+  EXPECT_EQ(queue.NextArrival(), units::Seconds(0.0));
+}
+
+TEST(RequestQueueTest, TakeRemovesExactlyOnePosition) {
+  RequestQueue queue({MakeRequest(0, 0.0), MakeRequest(1, 4.0),
+                      MakeRequest(2, 8.0)});
+  const Request taken = queue.Take(1);
+  EXPECT_EQ(taken.request_id, 1);
+  ASSERT_EQ(queue.size(), 2u);
+  EXPECT_EQ(queue.at(0).request_id, 0);
+  EXPECT_EQ(queue.at(1).request_id, 2);
+}
+
+TEST(RequestQueueTest, PushKeepsQueueOrder) {
+  RequestQueue queue;
+  queue.Push(MakeRequest(0, 6.0));
+  queue.Push(MakeRequest(1, 2.0));
+  queue.Push(MakeRequest(2, 6.0));
+  ASSERT_EQ(queue.size(), 3u);
+  EXPECT_EQ(queue.at(0).request_id, 1);
+  EXPECT_EQ(queue.at(1).request_id, 0);
+  EXPECT_EQ(queue.at(2).request_id, 2);
+}
+
+}  // namespace
+}  // namespace contender::sched

@@ -82,5 +82,63 @@ TEST(BatchStatsTest, PercentileInterpolates) {
   EXPECT_DOUBLE_EQ(Median({3.0, 1.0, 2.0}), 2.0);
 }
 
+TEST(BatchStatsTest, PercentilesMatchSingleRankCalls) {
+  const std::vector<double> v = {9.0, 1.0, 5.0, 3.0, 7.0};
+  const std::vector<double> ranks = {0.0, 25.0, 50.0, 95.0, 100.0};
+  const std::vector<double> batch = Percentiles(v, ranks);
+  ASSERT_EQ(batch.size(), ranks.size());
+  for (size_t i = 0; i < ranks.size(); ++i) {
+    EXPECT_DOUBLE_EQ(batch[i], Percentile(v, ranks[i]));
+  }
+  EXPECT_TRUE(Percentiles(v, {}).empty());
+}
+
+TEST(SampleStatsTest, MomentsMatchStreamingAccumulator) {
+  Rng rng(11);
+  SampleStats sample;
+  SummaryStats stream;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.Normal(10.0, 4.0);
+    sample.Add(x);
+    stream.Add(x);
+  }
+  EXPECT_EQ(sample.count(), stream.count());
+  EXPECT_DOUBLE_EQ(sample.mean(), stream.mean());
+  EXPECT_DOUBLE_EQ(sample.stddev(), stream.stddev());
+  EXPECT_EQ(sample.min(), stream.min());
+  EXPECT_EQ(sample.max(), stream.max());
+}
+
+TEST(SampleStatsTest, QuantilesAreExactOverRetainedSamples) {
+  SampleStats s;
+  EXPECT_TRUE(s.empty());
+  // 1..100 in shuffled insertion order: p-th percentile interpolates the
+  // sorted sample, so p50 = 50.5 and p99 = 99.01.
+  Rng rng(3);
+  std::vector<double> values;
+  for (int i = 1; i <= 100; ++i) values.push_back(static_cast<double>(i));
+  for (size_t i = values.size(); i > 1; --i) {
+    std::swap(values[i - 1], values[rng.UniformInt(i)]);
+  }
+  for (double v : values) s.Add(v);
+  EXPECT_FALSE(s.empty());
+  EXPECT_DOUBLE_EQ(s.p50(), 50.5);
+  EXPECT_DOUBLE_EQ(s.p95(), 95.05);
+  EXPECT_DOUBLE_EQ(s.p99(), 99.01);
+  EXPECT_DOUBLE_EQ(s.percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100.0), 100.0);
+}
+
+TEST(SampleStatsTest, AddAfterQuantileInvalidatesCachedOrder) {
+  SampleStats s;
+  s.Add(10.0);
+  s.Add(2.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100.0), 10.0);  // forces the cached sort
+  s.Add(50.0);                                  // must invalidate it
+  EXPECT_DOUBLE_EQ(s.percentile(100.0), 50.0);
+  EXPECT_DOUBLE_EQ(s.p50(), 10.0);
+  EXPECT_EQ(s.count(), 3u);
+}
+
 }  // namespace
 }  // namespace contender

@@ -178,6 +178,12 @@ def self_test():
               '#include <iostream>\nvoid P() { std::cout << "x"; }\n')
         write("src/core/bad_units.h",
               "void Predict(double spoiler_latency, double io_fraction);\n")
+        # sched/ headers sit at the policy/oracle seam where raw doubles
+        # are most tempting (scores, slacks); the rule must cover them too,
+        # including defaulted parameters.
+        write("src/sched/bad_sched.h",
+              "void Admit(double predicted_latency = 0.0,\n"
+              "           int slot);\n")
         write("tests/core/orphan_test.cc", "// never registered\n")
         write("tests/CMakeLists.txt",
               "contender_test(other_test core/other_test.cc)\n")
@@ -192,15 +198,18 @@ def self_test():
             found.setdefault(f.rule, []).append(f)
 
         expect = {
-            "naked-random": "src/core/bad_random.cc",
-            "cout-in-src": "src/core/bad_print.cc",
-            "raw-dimension": "src/core/bad_units.h",
-            "unregistered-test": "tests/core/orphan_test.cc",
+            "naked-random": ["src/core/bad_random.cc"],
+            "cout-in-src": ["src/core/bad_print.cc"],
+            "raw-dimension": ["src/core/bad_units.h",
+                              "src/sched/bad_sched.h"],
+            "unregistered-test": ["tests/core/orphan_test.cc"],
         }
-        for rule, path in expect.items():
-            hits = [f for f in found.get(rule, []) if f.path == path]
-            if not hits:
-                failures.append(f"rule {rule} did not fire on seeded {path}")
+        for rule, paths in expect.items():
+            for path in paths:
+                hits = [f for f in found.get(rule, []) if f.path == path]
+                if not hits:
+                    failures.append(
+                        f"rule {rule} did not fire on seeded {path}")
         for f in sum(found.values(), []):
             if f.path == "src/core/ok.cc":
                 failures.append(f"false positive on suppressed/comment: {f}")
