@@ -1,0 +1,109 @@
+// Minimal ordered JSON emission for the BENCH_*.json summaries the
+// experiment binaries drop next to their stdout reports, so the perf
+// trajectory is machine-readable across PRs. Build values bottom-up with
+// Json::Object()/Json::Array(), then WriteJsonFile. Numbers print with
+// %.17g (round-trip precision); strings are escaped for the characters
+// that can actually appear in our keys and messages.
+
+#ifndef CONTENDER_BENCH_BENCH_JSON_H_
+#define CONTENDER_BENCH_BENCH_JSON_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace contender::bench {
+
+class Json {
+ public:
+  static Json Object() { return Json(Kind::kObject); }
+  static Json Array() { return Json(Kind::kArray); }
+
+  Json& Set(const std::string& key, double value) {
+    return SetRaw(key, Number(value));
+  }
+  Json& Set(const std::string& key, int value) {
+    return SetRaw(key, std::to_string(value));
+  }
+  Json& Set(const std::string& key, uint64_t value) {
+    return SetRaw(key, std::to_string(value));
+  }
+  Json& Set(const std::string& key, bool value) {
+    return SetRaw(key, value ? "true" : "false");
+  }
+  Json& Set(const std::string& key, const char* value) {
+    return SetRaw(key, Quote(value));
+  }
+  Json& Set(const std::string& key, const std::string& value) {
+    return SetRaw(key, Quote(value));
+  }
+  Json& Set(const std::string& key, const Json& value) {
+    return SetRaw(key, value.Dump());
+  }
+
+  Json& Append(const Json& value) { return AppendRaw(value.Dump()); }
+  Json& Append(double value) { return AppendRaw(Number(value)); }
+
+  [[nodiscard]] std::string Dump() const {
+    std::string out(1, kind_ == Kind::kObject ? '{' : '[');
+    for (size_t i = 0; i < items_.size(); ++i) {
+      if (i > 0) out += ',';
+      out += items_[i];
+    }
+    out += kind_ == Kind::kObject ? '}' : ']';
+    return out;
+  }
+
+ private:
+  enum class Kind { kObject, kArray };
+  explicit Json(Kind kind) : kind_(kind) {}
+
+  Json& SetRaw(const std::string& key, std::string value) {
+    CONTENDER_CHECK(kind_ == Kind::kObject);
+    items_.push_back(Quote(key) + ":" + std::move(value));
+    return *this;
+  }
+  Json& AppendRaw(std::string value) {
+    CONTENDER_CHECK(kind_ == Kind::kArray);
+    items_.push_back(std::move(value));
+    return *this;
+  }
+
+  static std::string Number(double value) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    return buf;
+  }
+  static std::string Quote(const std::string& s) {
+    std::string out = "\"";
+    for (char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      if (c == '\n') {
+        out += "\\n";
+        continue;
+      }
+      out += c;
+    }
+    out += '"';
+    return out;
+  }
+
+  Kind kind_;
+  std::vector<std::string> items_;
+};
+
+/// Writes `json` to `path` (plus a trailing newline) and logs the location.
+inline void WriteJsonFile(const std::string& path, const Json& json) {
+  std::ofstream out(path);
+  CONTENDER_CHECK(out.good()) << "cannot write " << path;
+  out << json.Dump() << "\n";
+  CONTENDER_CHECK(out.good()) << "short write to " << path;
+}
+
+}  // namespace contender::bench
+
+#endif  // CONTENDER_BENCH_BENCH_JSON_H_

@@ -15,8 +15,10 @@
 
 #include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "bench_json.h"
 #include "bench_support.h"
 #include "sched/metrics.h"
 #include "sched/mix_oracle.h"
@@ -71,8 +73,9 @@ int main(int argc, char** argv) {
   arrivals.min_slack = flags.GetDouble("min_slack", 3.0);
   arrivals.max_slack = flags.GetDouble("max_slack", 10.0);
   arrivals.seed = e.seed;
-  const std::vector<Request> requests =
-      GenerateArrivals(reference, arrivals);
+  auto generated = GenerateArrivals(reference, arrivals);
+  CONTENDER_CHECK(generated.ok()) << generated.status();
+  const std::vector<Request> requests = std::move(*generated);
   std::cout << "Arrival stream: " << requests.size() << " requests, mean "
             << "interarrival " << FormatDouble(
                    arrivals.mean_interarrival.value(), 0)
@@ -85,6 +88,7 @@ int main(int argc, char** argv) {
   TablePrinter table({"Policy", "MPL", "Makespan", "Mean wait", "p95 resp",
                       "p99 resp", "SLA miss", "Pred err"});
   MixOracle shared_oracle(&*predictor);
+  bench::Json runs = bench::Json::Array();
 
   for (int mpl : {2, 3, 4, 5}) {
     ScheduleOptions options;
@@ -117,6 +121,16 @@ int main(int argc, char** argv) {
                     FormatDouble(m.p99_response.value(), 0) + " s",
                     FormatPercent(m.sla_miss_rate, 0),
                     FormatPercent(m.mean_prediction_error, 1)});
+      runs.Append(bench::Json::Object()
+                      .Set("policy", policy->name())
+                      .Set("mpl", mpl)
+                      .Set("makespan_s", m.makespan.value())
+                      .Set("mean_queue_wait_s", m.mean_queue_wait.value())
+                      .Set("p95_response_s", m.p95_response.value())
+                      .Set("p99_response_s", m.p99_response.value())
+                      .Set("sla_miss_rate", m.sla_miss_rate)
+                      .Set("mean_prediction_error",
+                           m.mean_prediction_error));
     }
     if (check_wins) {
       CONTENDER_CHECK(greedy_metrics.makespan < fifo_metrics.makespan)
@@ -136,5 +150,20 @@ int main(int argc, char** argv) {
     std::cout << "Greedy contention-aware beats FIFO on makespan and p95 "
                  "latency at every MPL (checked).\n";
   }
+
+  const std::string json_path = flags.GetString("json", "BENCH_sched.json");
+  bench::Json root = bench::Json::Object();
+  root.Set("bench", "scheduler")
+      .Set("seed", e.seed)
+      .Set("requests", static_cast<uint64_t>(requests.size()))
+      .Set("mean_interarrival_s", arrivals.mean_interarrival.value())
+      .Set("deadline_probability", arrivals.deadline_probability)
+      .Set("runs", runs)
+      .Set("oracle", bench::Json::Object()
+                         .Set("hits", shared_oracle.hits())
+                         .Set("misses", shared_oracle.misses())
+                         .Set("fallbacks", shared_oracle.fallbacks()));
+  bench::WriteJsonFile(json_path, root);
+  std::cout << "Wrote " << json_path << "\n";
   return 0;
 }

@@ -8,6 +8,7 @@
 //   ./build/examples/batch_scheduler [--seed=42] [--requests=24] [--mpl=3]
 
 #include <iostream>
+#include <utility>
 
 #include "core/predictor.h"
 #include "sched/metrics.h"
@@ -47,8 +48,9 @@ int main(int argc, char** argv) {
   arrivals.num_requests = static_cast<int>(flags.GetInt("requests", 24));
   arrivals.mean_interarrival = units::Seconds(30.0);
   arrivals.seed = flags.Seed();
-  const std::vector<sched::Request> requests =
-      sched::GenerateArrivals(reference, arrivals);
+  auto generated = sched::GenerateArrivals(reference, arrivals);
+  CONTENDER_CHECK(generated.ok()) << generated.status();
+  const std::vector<sched::Request> requests = std::move(*generated);
 
   sched::ScheduleSimulator simulator(&workload, machine);
   sched::MixOracle oracle(&*predictor);

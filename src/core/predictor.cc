@@ -69,6 +69,32 @@ StatusOr<ContenderPredictor> ContenderPredictor::Train(
   return p;
 }
 
+StatusOr<ContenderPredictor> ContenderPredictor::WithRefitTemplates(
+    const std::vector<MixObservation>& observations,
+    const std::vector<int>& template_indices) const {
+  for (int t : template_indices) {
+    if (t < 0 || static_cast<size_t>(t) >= profiles_.size()) {
+      return Status::InvalidArgument(
+          "WithRefitTemplates: bad template index");
+    }
+  }
+  ContenderPredictor refit = *this;
+  for (const int mpl : options_.mpls) {
+    auto& models = refit.reference_models_[mpl];
+    for (int t : template_indices) {
+      auto set = BuildQsTrainingSet(profiles_, scan_times_, observations, t,
+                                    units::Mpl(mpl), options_.variant);
+      // Keep the existing model when the refreshed set cannot support a
+      // fit: refitting must never lose coverage the snapshot already had.
+      if (!set.ok() || set->cqi.size() < 3) continue;
+      auto model = FitQsModel(set->cqi, set->continuum);
+      if (!model.ok()) continue;
+      models[t] = *model;
+    }
+  }
+  return refit;
+}
+
 StatusOr<std::map<int, QsModel>> ContenderPredictor::ReferenceModels(
     units::Mpl mpl) const {
   auto it = reference_models_.find(mpl.value());

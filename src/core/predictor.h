@@ -86,6 +86,19 @@ class ContenderPredictor {
       const std::vector<int>& concurrent_indices, double known_slope,
       SpoilerSource spoiler_source) const;
 
+  /// Online-refit entry point (§6: the models are cheap enough to maintain
+  /// incrementally): returns a copy of this predictor whose per-template QS
+  /// reference models for `template_indices` are refit at every trained MPL
+  /// from `observations` — the *full* training set, i.e. the original
+  /// observations plus whatever has streamed in since. Transfer models,
+  /// the spoiler KNN and the profiles are untouched. A template whose
+  /// refreshed training set is too small or degenerate at some MPL keeps
+  /// its existing model there, so a refit never loses coverage.
+  /// serve::RefitController builds hot-swappable snapshots through this.
+  StatusOr<ContenderPredictor> WithRefitTemplates(
+      const std::vector<MixObservation>& observations,
+      const std::vector<int>& template_indices) const;
+
   // Accessors for experiment harnesses.
   const std::vector<TemplateProfile>& profiles() const { return profiles_; }
   const ScanTimes& scan_times() const { return scan_times_; }

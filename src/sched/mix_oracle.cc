@@ -21,6 +21,30 @@ uint64_t EvaluationKey(int template_index, const std::vector<int>& sorted_mix) {
 
 }  // namespace
 
+units::Seconds PredictInMixUncached(const ContenderPredictor& predictor,
+                                    int template_index,
+                                    std::vector<int> concurrent,
+                                    bool* used_fallback) {
+  const auto& profiles = predictor.profiles();
+  CONTENDER_CHECK(template_index >= 0 &&
+                  static_cast<size_t>(template_index) < profiles.size())
+      << "PredictInMixUncached: unknown template index " << template_index;
+  if (used_fallback != nullptr) *used_fallback = false;
+  const units::Seconds isolated =
+      profiles[static_cast<size_t>(template_index)].isolated_latency;
+  if (concurrent.empty()) return isolated;
+  // Evaluate on the canonical (sorted) mix so the answer is a pure function
+  // of the multiset — CQI sums over the mix in the order given, and
+  // floating-point addition is not associative.
+  std::sort(concurrent.begin(), concurrent.end());
+  auto predicted = predictor.PredictKnown(template_index, concurrent);
+  if (predicted.ok()) return *predicted;
+  // No model covers this (template, MPL); degrade to the continuum lower
+  // bound so the score stays defined.
+  if (used_fallback != nullptr) *used_fallback = true;
+  return isolated;
+}
+
 MixOracle::MixOracle(const ContenderPredictor* predictor)
     : MixOracle(predictor, Options()) {}
 
@@ -64,14 +88,10 @@ units::Seconds MixOracle::PredictInMix(
     ++misses_;
   }
 
-  auto predicted = predictor_->PredictKnown(template_index, canonical);
-  units::Seconds value;
-  if (predicted.ok()) {
-    value = *predicted;
-  } else {
-    // No model covers this (template, MPL); degrade to the continuum lower
-    // bound so the policy score stays defined.
-    value = IsolatedLatency(template_index);
+  bool used_fallback = false;
+  const units::Seconds value = PredictInMixUncached(
+      *predictor_, template_index, std::move(canonical), &used_fallback);
+  if (used_fallback) {
     std::lock_guard<std::mutex> lock(mutex_);
     ++fallbacks_;
   }

@@ -27,6 +27,20 @@
 
 namespace contender::sched {
 
+/// The pure canonicalized prediction MixOracle memoizes: sorts the mix,
+/// predicts via the predictor's reference/transfer models, and falls back
+/// to the template's isolated latency when no model covers the (template,
+/// MPL) pair — so the answer is total and a pure function of the
+/// (template, multiset) pair. Lock-free; serve::ModelSnapshot readers call
+/// it directly on the hot path, and the oracle delegates to it on a cache
+/// miss, so cached and uncached answers are bit-identical by construction.
+/// `template_index` must be a valid workload index. If `used_fallback` is
+/// non-null it is set to whether the isolated-latency degradation fired.
+units::Seconds PredictInMixUncached(const ContenderPredictor& predictor,
+                                    int template_index,
+                                    std::vector<int> concurrent,
+                                    bool* used_fallback = nullptr);
+
 /// Thread-safe memoized view of a trained predictor for policy evaluation.
 /// Thread safety mirrors sim::RunCache: a parallel policy sweep may probe
 /// one oracle from several workers.

@@ -20,16 +20,34 @@ bool QueueBefore(const Request& a, const Request& b) {
 
 }  // namespace
 
-std::vector<Request> GenerateArrivals(
+StatusOr<std::vector<Request>> GenerateArrivals(
     const std::vector<units::Seconds>& reference_latencies,
     const ArrivalOptions& options) {
-  CONTENDER_CHECK(!reference_latencies.empty())
-      << "GenerateArrivals: need at least one template";
-  CONTENDER_CHECK(options.num_requests >= 0);
-  CONTENDER_CHECK(options.mean_interarrival.value() >= 0.0);
-  CONTENDER_CHECK(options.deadline_probability >= 0.0 &&
-                  options.deadline_probability <= 1.0);
-  CONTENDER_CHECK(options.max_slack >= options.min_slack);
+  if (reference_latencies.empty()) {
+    return Status::InvalidArgument(
+        "GenerateArrivals: need at least one template");
+  }
+  if (options.num_requests < 0) {
+    return Status::InvalidArgument(
+        "GenerateArrivals: num_requests must be >= 0");
+  }
+  // A non-positive mean gap means an undefined or non-positive arrival
+  // rate (a zero gap silently collapsed the stream to one burst at t=0);
+  // NaN also fails this comparison.
+  if (!(options.mean_interarrival.value() > 0.0)) {
+    return Status::InvalidArgument(
+        "GenerateArrivals: mean_interarrival must be positive "
+        "(non-positive arrival rate)");
+  }
+  if (options.deadline_probability < 0.0 ||
+      options.deadline_probability > 1.0) {
+    return Status::InvalidArgument(
+        "GenerateArrivals: deadline_probability outside [0, 1]");
+  }
+  if (options.max_slack < options.min_slack) {
+    return Status::InvalidArgument(
+        "GenerateArrivals: max_slack below min_slack");
+  }
 
   Rng rng(options.seed);
   std::vector<Request> requests;
@@ -42,7 +60,7 @@ std::vector<Request> GenerateArrivals(
         rng.UniformInt(static_cast<uint64_t>(reference_latencies.size())));
     // Exponential gap via inverse transform; the first request arrives at
     // t = 0 so every run starts with work available.
-    if (i > 0 && options.mean_interarrival.value() > 0.0) {
+    if (i > 0) {
       const double u = rng.Uniform01();
       clock += options.mean_interarrival * (-std::log1p(-u));
     }

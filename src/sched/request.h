@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "util/random.h"
+#include "util/statusor.h"
 #include "util/units.h"
 
 namespace contender::sched {
@@ -44,7 +45,11 @@ struct ArrivalOptions {
 /// template drawn uniformly per request, exponential gaps, Bernoulli
 /// deadlines with uniform slack against the template's reference (isolated)
 /// latency. Request ids are assigned in arrival order starting at 0.
-std::vector<Request> GenerateArrivals(
+/// InvalidArgument when `reference_latencies` is empty, `num_requests` is
+/// negative, the mean interarrival gap is non-positive (the arrival rate
+/// 1/mean would be undefined or non-positive), the deadline probability is
+/// outside [0, 1], or the slack band is inverted.
+StatusOr<std::vector<Request>> GenerateArrivals(
     const std::vector<units::Seconds>& reference_latencies,
     const ArrivalOptions& options);
 

@@ -1,0 +1,34 @@
+#include "serve/model_snapshot.h"
+
+#include <utility>
+
+#include "util/logging.h"
+
+namespace contender::serve {
+
+ModelSnapshot::ModelSnapshot(ContenderPredictor predictor, uint64_t version,
+                             const sched::MixOracle::Options& oracle_options)
+    : predictor_(std::move(predictor)),
+      oracle_(std::make_unique<sched::MixOracle>(&predictor_,
+                                                 oracle_options)),
+      version_(version) {}
+
+std::shared_ptr<const ModelSnapshot> ModelSnapshot::Create(
+    ContenderPredictor predictor, uint64_t version,
+    const sched::MixOracle::Options& oracle_options) {
+  // Not make_shared: the constructor is private, and a plain `new` keeps
+  // the control block separate so a stray weak_ptr cannot pin the (large)
+  // predictor after the last strong reference dies.
+  return std::shared_ptr<const ModelSnapshot>(
+      new ModelSnapshot(std::move(predictor), version, oracle_options));
+}
+
+units::Seconds ModelSnapshot::IsolatedLatency(int template_index) const {
+  const auto& profiles = predictor_.profiles();
+  CONTENDER_CHECK(template_index >= 0 &&
+                  static_cast<size_t>(template_index) < profiles.size())
+      << "ModelSnapshot: unknown template index " << template_index;
+  return profiles[static_cast<size_t>(template_index)].isolated_latency;
+}
+
+}  // namespace contender::serve

@@ -1,0 +1,121 @@
+#include "serve/observation_log.h"
+
+#include <cmath>
+#include <utility>
+
+#include "core/continuum.h"
+#include "util/logging.h"
+
+namespace contender::serve {
+
+ObservationLog::ObservationLog(const PredictionService* service)
+    : ObservationLog(service, Options()) {}
+
+ObservationLog::ObservationLog(const PredictionService* service,
+                               const Options& options)
+    : service_(service), options_(options) {
+  CONTENDER_CHECK(service_ != nullptr);
+}
+
+StatusOr<IngestResult> ObservationLog::Ingest(
+    const MixObservation& observation) {
+  const std::shared_ptr<const ModelSnapshot> snap = service_->snapshot();
+  const int n = snap->num_templates();
+  auto reject = [this](Status status) -> StatusOr<IngestResult> {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++rejected_;
+    return status;
+  };
+  if (observation.primary_index < 0 || observation.primary_index >= n) {
+    return reject(
+        Status::InvalidArgument("ObservationLog: bad primary index"));
+  }
+  for (int c : observation.concurrent_indices) {
+    if (c < 0 || c >= n) {
+      return reject(
+          Status::InvalidArgument("ObservationLog: bad concurrent index"));
+    }
+  }
+  if (observation.mpl !=
+      static_cast<int>(observation.concurrent_indices.size()) + 1) {
+    return reject(Status::InvalidArgument(
+        "ObservationLog: mpl must equal concurrent_indices.size() + 1"));
+  }
+  if (!(observation.latency.value() > 0.0)) {
+    return reject(
+        Status::InvalidArgument("ObservationLog: latency must be positive"));
+  }
+
+  // Residual against the live snapshot: observed vs predicted continuum
+  // point on the template's [l_min, l_max] range at this MPL. When the
+  // profile carries no spoiler latency there, degrade to the relative
+  // latency error so the drift trigger still sees the record.
+  IngestResult result;
+  result.snapshot_version = snap->version();
+  const units::Seconds predicted = snap->PredictInMix(
+      observation.primary_index, observation.concurrent_indices);
+  const TemplateProfile& profile =
+      snap->predictor()
+          .profiles()[static_cast<size_t>(observation.primary_index)];
+  auto lmax_it = profile.spoiler_latency.find(observation.mpl);
+  bool have_range = false;
+  if (lmax_it != profile.spoiler_latency.end()) {
+    auto range =
+        units::LatencyRange::Make(profile.isolated_latency, lmax_it->second);
+    if (range.ok()) {
+      auto c_obs = ContinuumPoint(observation.latency, *range);
+      auto c_pred = ContinuumPoint(predicted, *range);
+      if (c_obs.ok() && c_pred.ok()) {
+        result.continuum_residual = c_obs->value() - c_pred->value();
+        have_range = true;
+      }
+    }
+  }
+  if (!have_range) {
+    result.continuum_residual =
+        (observation.latency - predicted) / predicted;
+  }
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (pending_.size() >= options_.pending_capacity) {
+    ++rejected_;
+    return Status::ResourceExhausted(
+        "ObservationLog: pending buffer full (controller not draining?)");
+  }
+  pending_.push_back(observation);
+  pending_abs_residuals_.Add(std::abs(result.continuum_residual));
+  ++ingested_;
+  return result;
+}
+
+ObservationBatch ObservationLog::Drain() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ObservationBatch batch;
+  batch.observations = std::move(pending_);
+  batch.mean_abs_residual = pending_abs_residuals_.mean();
+  pending_.clear();
+  pending_abs_residuals_ = SummaryStats();
+  return batch;
+}
+
+size_t ObservationLog::pending() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return pending_.size();
+}
+
+double ObservationLog::pending_mean_abs_residual() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return pending_abs_residuals_.mean();
+}
+
+uint64_t ObservationLog::ingested() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ingested_;
+}
+
+uint64_t ObservationLog::rejected() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return rejected_;
+}
+
+}  // namespace contender::serve

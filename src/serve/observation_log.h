@@ -1,0 +1,90 @@
+// Streaming ingest of observed concurrent latencies. Each record is a
+// MixObservation — (template, mix, MPL, observed latency) — validated and
+// scored against the *live* snapshot at ingest time: the observation's
+// continuum point (Eq. 6, against the template's [l_min, l_max] range at
+// its MPL) minus the snapshot's predicted continuum point is the residual
+// the RefitController's drift trigger watches. Records accumulate in a
+// pending buffer until the controller drains them into the training set.
+//
+// Determinism: the residual is a pure function of (observation, snapshot),
+// and pending records are drained in ingest order — so replaying the same
+// observation stream against the same snapshot sequence reproduces the
+// log state bit-exactly.
+
+#ifndef CONTENDER_SERVE_OBSERVATION_LOG_H_
+#define CONTENDER_SERVE_OBSERVATION_LOG_H_
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "core/template_profile.h"
+#include "serve/service.h"
+#include "util/statusor.h"
+#include "util/summary_stats.h"
+
+namespace contender::serve {
+
+/// What Ingest computed for one accepted record.
+struct IngestResult {
+  /// Observed minus predicted continuum point (signed; relative latency
+  /// error when the snapshot has no spoiler range at the record's MPL).
+  double continuum_residual = 0.0;
+  /// Version of the snapshot the residual was computed against.
+  uint64_t snapshot_version = 0;
+};
+
+/// One drained refit batch.
+struct ObservationBatch {
+  /// The pending records, in ingest order.
+  std::vector<MixObservation> observations;
+  /// Mean |continuum_residual| over those records (0 when empty).
+  double mean_abs_residual = 0.0;
+};
+
+/// Thread-safe streaming log of latency observations for one service.
+class ObservationLog {
+ public:
+  struct Options {
+    /// Pending-buffer bound; Ingest rejects past it with ResourceExhausted
+    /// (the controller is not draining — dropping silently would skew the
+    /// refit toward old data).
+    size_t pending_capacity = 65536;
+  };
+
+  /// `service` must outlive the log.
+  explicit ObservationLog(const PredictionService* service);
+  ObservationLog(const PredictionService* service, const Options& options);
+
+  ObservationLog(const ObservationLog&) = delete;
+  ObservationLog& operator=(const ObservationLog&) = delete;
+
+  /// Validates and appends one record. InvalidArgument for out-of-range
+  /// indices, an MPL that does not match the mix size, or a non-positive
+  /// latency; ResourceExhausted when the pending buffer is full.
+  StatusOr<IngestResult> Ingest(const MixObservation& observation);
+
+  /// Removes and returns every pending record with its residual summary.
+  ObservationBatch Drain();
+
+  /// Pending records and their mean |residual| (the refit triggers), and
+  /// lifetime counters.
+  [[nodiscard]] size_t pending() const;
+  [[nodiscard]] double pending_mean_abs_residual() const;
+  [[nodiscard]] uint64_t ingested() const;
+  [[nodiscard]] uint64_t rejected() const;
+
+ private:
+  const PredictionService* service_;
+  Options options_;
+
+  mutable std::mutex mutex_;
+  std::vector<MixObservation> pending_;
+  SummaryStats pending_abs_residuals_;
+  uint64_t ingested_ = 0;
+  uint64_t rejected_ = 0;
+};
+
+}  // namespace contender::serve
+
+#endif  // CONTENDER_SERVE_OBSERVATION_LOG_H_

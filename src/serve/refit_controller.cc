@@ -1,0 +1,106 @@
+#include "serve/refit_controller.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace contender::serve {
+
+RefitController::RefitController(PredictionService* service,
+                                 ObservationLog* log,
+                                 std::vector<MixObservation>
+                                     base_observations,
+                                 const RefitOptions& options)
+    : service_(service),
+      log_(log),
+      options_(options),
+      observations_(std::move(base_observations)) {
+  CONTENDER_CHECK(service_ != nullptr);
+  CONTENDER_CHECK(log_ != nullptr);
+}
+
+RefitController::~RefitController() { Stop(); }
+
+StatusOr<RefitStep> RefitController::Step() {
+  std::lock_guard<std::mutex> lock(step_mutex_);
+  RefitStep step;
+
+  const size_t pending = log_->pending();
+  const double drift = log_->pending_mean_abs_residual();
+  if (pending >= options_.min_new_observations) {
+    step.trigger = RefitStep::Trigger::kCount;
+  } else if (pending >= options_.drift_min_observations &&
+             drift > options_.residual_threshold) {
+    step.trigger = RefitStep::Trigger::kDrift;
+  } else {
+    return step;  // nothing to do; not an error
+  }
+
+  ObservationBatch batch = log_->Drain();
+  step.observations_consumed = batch.observations.size();
+  for (const MixObservation& obs : batch.observations) {
+    step.refit_templates.push_back(obs.primary_index);
+  }
+  std::sort(step.refit_templates.begin(), step.refit_templates.end());
+  step.refit_templates.erase(std::unique(step.refit_templates.begin(),
+                                         step.refit_templates.end()),
+                             step.refit_templates.end());
+  observations_.insert(observations_.end(),
+                       std::make_move_iterator(batch.observations.begin()),
+                       std::make_move_iterator(batch.observations.end()));
+
+  // Refit on a copy; the live snapshot keeps serving untouched until the
+  // publish below.
+  const std::shared_ptr<const ModelSnapshot> live = service_->snapshot();
+  auto refit = live->predictor().WithRefitTemplates(observations_,
+                                                    step.refit_templates);
+  if (!refit.ok()) return refit.status();
+  std::shared_ptr<const ModelSnapshot> next =
+      ModelSnapshot::Create(std::move(*refit), live->version() + 1,
+                            options_.oracle_options);
+  step.published_version = next->version();
+  service_->Publish(std::move(next));
+  step.refit = true;
+  refits_.fetch_add(1, std::memory_order_relaxed);
+  return step;
+}
+
+void RefitController::StartBackground(std::chrono::milliseconds interval) {
+  std::lock_guard<std::mutex> lock(background_mutex_);
+  CONTENDER_CHECK(!background_.joinable())
+      << "RefitController: background loop already running";
+  stop_requested_ = false;
+  background_ = std::thread([this, interval] {
+    std::unique_lock<std::mutex> lock(background_mutex_);
+    while (!background_wake_.wait_for(lock, interval,
+                                      [this] { return stop_requested_; })) {
+      lock.unlock();
+      auto step = Step();
+      if (!step.ok()) {
+        CONTENDER_LOG(Warning)
+            << "RefitController: background refit failed: " << step.status();
+      }
+      lock.lock();
+    }
+  });
+}
+
+void RefitController::Stop() {
+  std::thread to_join;
+  {
+    std::lock_guard<std::mutex> lock(background_mutex_);
+    if (!background_.joinable()) return;
+    stop_requested_ = true;
+    to_join = std::move(background_);
+  }
+  background_wake_.notify_all();
+  to_join.join();
+}
+
+size_t RefitController::training_set_size() const {
+  std::lock_guard<std::mutex> lock(step_mutex_);
+  return observations_.size();
+}
+
+}  // namespace contender::serve

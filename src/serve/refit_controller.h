@@ -1,0 +1,114 @@
+// The refit control loop closing serving back onto training (paper §6:
+// the QS models are cheap enough to maintain incrementally). Each Step():
+//
+//   1. reads the ObservationLog's pending count and mean |continuum
+//      residual|;
+//   2. fires when enough new observations accumulated OR the residual
+//      drifted past the threshold;
+//   3. drains the pending batch into the cumulative training set, refits
+//      the per-template QS models of the templates the batch touched on a
+//      COPY of the live predictor (serving continues on the old snapshot
+//      throughout), and
+//   4. atomically hot-swaps the new snapshot into the service.
+//
+// Deterministic mode is the default: nothing happens except inside an
+// explicit Step() call, and a step's outcome is a pure function of (the
+// observations ingested so far, the prior steps) — so cold-replaying the
+// same ingest/step sequence reproduces every snapshot bit-exactly. The
+// optional wall-clock background mode just calls the same Step() on an
+// interval for long-lived deployments; per-step behavior is identical.
+
+#ifndef CONTENDER_SERVE_REFIT_CONTROLLER_H_
+#define CONTENDER_SERVE_REFIT_CONTROLLER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/template_profile.h"
+#include "serve/observation_log.h"
+#include "serve/service.h"
+#include "util/statusor.h"
+
+namespace contender::serve {
+
+struct RefitOptions {
+  /// Count trigger: refit once this many records are pending.
+  size_t min_new_observations = 24;
+  /// Drift trigger: refit when the pending records' mean |continuum
+  /// residual| exceeds this (with at least `drift_min_observations`
+  /// pending, so one noisy record cannot force a refit).
+  double residual_threshold = 0.10;
+  size_t drift_min_observations = 4;
+  /// Per-snapshot oracle memo sizing for refit snapshots.
+  sched::MixOracle::Options oracle_options;
+};
+
+/// What one Step() did.
+struct RefitStep {
+  /// Why the step fired (or "none" when it did not).
+  enum class Trigger { kNone, kCount, kDrift };
+  Trigger trigger = Trigger::kNone;
+  bool refit = false;
+  /// Version of the snapshot published by this step (0 when !refit).
+  uint64_t published_version = 0;
+  /// Pending records consumed into the training set.
+  size_t observations_consumed = 0;
+  /// Templates whose QS models were refit (sorted, deduplicated).
+  std::vector<int> refit_templates;
+};
+
+/// Drives refits for one (service, log) pair.
+class RefitController {
+ public:
+  /// `base_observations` is the training set the live snapshot's models
+  /// were fit on; streamed batches are appended to it. `service` and `log`
+  /// must outlive the controller.
+  RefitController(PredictionService* service, ObservationLog* log,
+                  std::vector<MixObservation> base_observations,
+                  const RefitOptions& options = {});
+  ~RefitController();
+
+  RefitController(const RefitController&) = delete;
+  RefitController& operator=(const RefitController&) = delete;
+
+  /// One deterministic control step (see file comment). Thread-safe; steps
+  /// serialize. A non-OK status means a triggered refit failed — the old
+  /// snapshot stays live and the drained batch is still retained in the
+  /// training set.
+  StatusOr<RefitStep> Step();
+
+  /// Wall-clock mode: calls Step() every `interval` on a background thread
+  /// until Stop() (or destruction). Failed steps are logged and skipped.
+  void StartBackground(std::chrono::milliseconds interval);
+  void Stop();
+
+  /// Completed refits (snapshots published by this controller).
+  [[nodiscard]] uint64_t refits() const {
+    return refits_.load(std::memory_order_relaxed);
+  }
+  /// Observations in the cumulative training set (base + consumed).
+  [[nodiscard]] size_t training_set_size() const;
+
+ private:
+  PredictionService* service_;
+  ObservationLog* log_;
+  RefitOptions options_;
+
+  mutable std::mutex step_mutex_;  // serializes Step(); guards observations_
+  std::vector<MixObservation> observations_;  // base + drained batches
+  std::atomic<uint64_t> refits_{0};
+
+  std::mutex background_mutex_;
+  std::condition_variable background_wake_;
+  std::thread background_;
+  bool stop_requested_ = false;
+};
+
+}  // namespace contender::serve
+
+#endif  // CONTENDER_SERVE_REFIT_CONTROLLER_H_

@@ -1,0 +1,110 @@
+#include "serve/service.h"
+
+#include <algorithm>
+#include <future>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace contender::serve {
+
+PredictionService::PredictionService(
+    std::shared_ptr<const ModelSnapshot> initial)
+    : PredictionService(std::move(initial), Options()) {}
+
+PredictionService::PredictionService(
+    std::shared_ptr<const ModelSnapshot> initial, const Options& options)
+    : options_(options),
+      snapshot_(std::move(initial)),
+      pool_(options.num_threads <= 0 ? ThreadPool::DefaultThreads()
+                                     : options.num_threads) {
+  CONTENDER_CHECK(snapshot_ != nullptr)
+      << "PredictionService: initial snapshot must be non-null";
+}
+
+std::shared_ptr<const ModelSnapshot> PredictionService::snapshot() const {
+  const std::lock_guard<std::mutex> lock(snapshot_mutex_);
+  return snapshot_;
+}
+
+void PredictionService::Publish(std::shared_ptr<const ModelSnapshot> next) {
+  CONTENDER_CHECK(next != nullptr)
+      << "PredictionService: cannot publish a null snapshot";
+  {
+    const std::lock_guard<std::mutex> lock(snapshot_mutex_);
+    snapshot_.swap(next);
+  }
+  // `next` now holds the displaced snapshot; releasing it outside the lock
+  // keeps a potentially expensive destructor off the swap critical path.
+  publishes_.fetch_add(1, std::memory_order_relaxed);
+}
+
+PredictResult PredictionService::PredictOn(const ModelSnapshot& snapshot,
+                                           const PredictRequest& request) {
+  PredictResult result;
+  result.snapshot_version = snapshot.version();
+  const int n = snapshot.num_templates();
+  if (request.template_index < 0 || request.template_index >= n) {
+    result.status =
+        Status::InvalidArgument("PredictionService: bad template index");
+    return result;
+  }
+  for (int c : request.concurrent) {
+    if (c < 0 || c >= n) {
+      result.status = Status::InvalidArgument(
+          "PredictionService: bad concurrent template index");
+      return result;
+    }
+  }
+  result.latency =
+      snapshot.PredictInMix(request.template_index, request.concurrent);
+  return result;
+}
+
+StatusOr<units::Seconds> PredictionService::Predict(
+    int template_index, const std::vector<int>& concurrent) const {
+  const std::shared_ptr<const ModelSnapshot> snap = snapshot();
+  PredictRequest request;
+  request.template_index = template_index;
+  request.concurrent = concurrent;
+  const PredictResult result = PredictOn(*snap, request);
+  served_.fetch_add(1, std::memory_order_relaxed);
+  if (!result.status.ok()) return result.status;
+  return result.latency;
+}
+
+std::vector<PredictResult> PredictionService::PredictBatch(
+    const std::vector<PredictRequest>& batch) const {
+  // One snapshot for the whole batch: every answer is mutually consistent
+  // even if a Publish lands mid-batch.
+  const std::shared_ptr<const ModelSnapshot> snap = snapshot();
+  std::vector<PredictResult> results(batch.size());
+  served_.fetch_add(batch.size(), std::memory_order_relaxed);
+  if (batch.size() <= options_.inline_batch_limit ||
+      pool_.num_threads() < 2) {
+    for (size_t i = 0; i < batch.size(); ++i) {
+      results[i] = PredictOn(*snap, batch[i]);
+    }
+    return results;
+  }
+  // Chunked fan-out; each task writes a disjoint slice, so no result-side
+  // synchronization is needed and the output is identical to the inline
+  // path (each entry is a pure function of (snapshot, request)).
+  const size_t chunks =
+      std::min(batch.size(), static_cast<size_t>(pool_.num_threads()) * 2);
+  const size_t per_chunk = (batch.size() + chunks - 1) / chunks;
+  std::vector<std::future<void>> pending;
+  pending.reserve(chunks);
+  for (size_t start = 0; start < batch.size(); start += per_chunk) {
+    const size_t end = std::min(start + per_chunk, batch.size());
+    pending.push_back(pool_.Submit([&snap, &batch, &results, start, end] {
+      for (size_t i = start; i < end; ++i) {
+        results[i] = PredictOn(*snap, batch[i]);
+      }
+    }));
+  }
+  for (std::future<void>& f : pending) f.get();
+  return results;
+}
+
+}  // namespace contender::serve

@@ -22,6 +22,7 @@ enum class StatusCode {
   kOutOfRange,
   kInternal,
   kUnimplemented,
+  kResourceExhausted,
 };
 
 /// Returns a human-readable name for a StatusCode ("OK", "InvalidArgument"...).
@@ -58,6 +59,9 @@ class [[nodiscard]] Status {
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,8 +1,8 @@
 #include "util/summary_stats.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
+#include <limits>
 
 namespace contender {
 
@@ -58,8 +58,14 @@ double StdDev(const std::vector<double>& v) {
   return std::sqrt(s / static_cast<double>(v.size() - 1));
 }
 
+namespace {
+
+constexpr double kEmptySample = std::numeric_limits<double>::quiet_NaN();
+
+}  // namespace
+
 double Percentile(std::vector<double> v, double p) {
-  assert(!v.empty());
+  if (v.empty()) return kEmptySample;
   std::sort(v.begin(), v.end());
   if (v.size() == 1) return v[0];
   const double rank = p / 100.0 * static_cast<double>(v.size() - 1);
@@ -75,7 +81,7 @@ namespace {
 
 // Rank lookup over an already-sorted sample.
 double SortedPercentile(const std::vector<double>& sorted, double p) {
-  assert(!sorted.empty());
+  if (sorted.empty()) return kEmptySample;
   if (sorted.size() == 1) return sorted[0];
   const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
   const size_t lo = static_cast<size_t>(rank);
@@ -88,7 +94,6 @@ double SortedPercentile(const std::vector<double>& sorted, double p) {
 
 std::vector<double> Percentiles(std::vector<double> v,
                                 const std::vector<double>& ps) {
-  assert(!v.empty());
   std::sort(v.begin(), v.end());
   std::vector<double> out;
   out.reserve(ps.size());
@@ -103,7 +108,7 @@ void SampleStats::Add(double x) {
 }
 
 double SampleStats::percentile(double p) const {
-  assert(!samples_.empty());
+  if (samples_.empty()) return kEmptySample;
   if (!sorted_) {
     std::sort(samples_.begin(), samples_.end());
     sorted_ = true;

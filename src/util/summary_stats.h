@@ -40,14 +40,19 @@ double Mean(const std::vector<double>& v);
 /// Sample standard deviation of `v`; 0 when v.size() < 2.
 double StdDev(const std::vector<double>& v);
 
-/// p-th percentile (0..100) by linear interpolation; requires non-empty v.
+/// p-th percentile (0..100) by linear interpolation. An empty sample has
+/// no quantiles: the result is quiet NaN (a deliberate poison value —
+/// every comparison against it is false, so it cannot silently pass a
+/// threshold check the way a fabricated 0 would). A single-element sample
+/// returns that element at every rank.
 double Percentile(std::vector<double> v, double p);
 
-/// Median; requires non-empty v.
+/// Median; NaN for an empty sample (see Percentile).
 double Median(std::vector<double> v);
 
 /// Percentiles for several ranks at once, sorting the sample once.
-/// Returns one value per entry of `ps` (each 0..100); requires non-empty v.
+/// Returns one value per entry of `ps` (each 0..100); every entry is NaN
+/// for an empty sample (see Percentile).
 std::vector<double> Percentiles(std::vector<double> v,
                                 const std::vector<double>& ps);
 
@@ -67,9 +72,9 @@ class SampleStats {
   double max() const { return moments_.max(); }
   double sum() const { return moments_.sum(); }
 
-  /// Exact p-th percentile (0..100) over the retained samples; requires a
-  /// non-empty accumulator. The sorted order is cached between calls and
-  /// invalidated by Add.
+  /// Exact p-th percentile (0..100) over the retained samples; quiet NaN
+  /// on an empty accumulator (see Percentile above). The sorted order is
+  /// cached between calls and invalidated by Add.
   double percentile(double p) const;
   double p50() const { return percentile(50.0); }
   double p95() const { return percentile(95.0); }

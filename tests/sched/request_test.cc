@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <utility>
+#include <vector>
+
 namespace contender::sched {
 namespace {
 
@@ -20,9 +23,17 @@ std::vector<units::Seconds> Reference() {
   return {units::Seconds(30.0), units::Seconds(60.0), units::Seconds(90.0)};
 }
 
+// Unwraps a stream the test expects to be well-formed.
+std::vector<Request> MustGenerate(const std::vector<units::Seconds>& ref,
+                                  const ArrivalOptions& options) {
+  auto requests = GenerateArrivals(ref, options);
+  EXPECT_TRUE(requests.ok()) << requests.status();
+  return std::move(*requests);
+}
+
 TEST(GenerateArrivalsTest, DeterministicUnderFixedSeed) {
-  const auto a = GenerateArrivals(Reference(), SmallStream());
-  const auto b = GenerateArrivals(Reference(), SmallStream());
+  const auto a = MustGenerate(Reference(), SmallStream());
+  const auto b = MustGenerate(Reference(), SmallStream());
   ASSERT_EQ(a.size(), b.size());
   for (size_t i = 0; i < a.size(); ++i) {
     EXPECT_EQ(a[i].request_id, b[i].request_id);
@@ -35,11 +46,43 @@ TEST(GenerateArrivalsTest, DeterministicUnderFixedSeed) {
   }
 }
 
+TEST(GenerateArrivalsTest, RejectsNonPositiveArrivalRate) {
+  ArrivalOptions options = SmallStream();
+  options.mean_interarrival = units::Seconds(0.0);
+  auto zero = GenerateArrivals(Reference(), options);
+  ASSERT_FALSE(zero.ok());
+  EXPECT_EQ(zero.status().code(), StatusCode::kInvalidArgument);
+
+  options.mean_interarrival = units::Seconds(-3.0);
+  auto negative = GenerateArrivals(Reference(), options);
+  ASSERT_FALSE(negative.ok());
+  EXPECT_EQ(negative.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(GenerateArrivalsTest, RejectsMalformedOptions) {
+  auto no_templates = GenerateArrivals({}, SmallStream());
+  ASSERT_FALSE(no_templates.ok());
+  EXPECT_EQ(no_templates.status().code(), StatusCode::kInvalidArgument);
+
+  ArrivalOptions negative_count = SmallStream();
+  negative_count.num_requests = -1;
+  EXPECT_FALSE(GenerateArrivals(Reference(), negative_count).ok());
+
+  ArrivalOptions bad_probability = SmallStream();
+  bad_probability.deadline_probability = 1.5;
+  EXPECT_FALSE(GenerateArrivals(Reference(), bad_probability).ok());
+
+  ArrivalOptions inverted_slack = SmallStream();
+  inverted_slack.min_slack = 5.0;
+  inverted_slack.max_slack = 2.0;
+  EXPECT_FALSE(GenerateArrivals(Reference(), inverted_slack).ok());
+}
+
 TEST(GenerateArrivalsTest, SeedChangesStream) {
   ArrivalOptions other = SmallStream();
   other.seed = 8;
-  const auto a = GenerateArrivals(Reference(), SmallStream());
-  const auto b = GenerateArrivals(Reference(), other);
+  const auto a = MustGenerate(Reference(), SmallStream());
+  const auto b = MustGenerate(Reference(), other);
   bool differs = false;
   for (size_t i = 0; i < a.size(); ++i) {
     differs |= a[i].template_index != b[i].template_index ||
@@ -50,7 +93,7 @@ TEST(GenerateArrivalsTest, SeedChangesStream) {
 
 TEST(GenerateArrivalsTest, StreamShapeInvariants) {
   const auto reference = Reference();
-  const auto requests = GenerateArrivals(reference, SmallStream());
+  const auto requests = MustGenerate(reference, SmallStream());
   ASSERT_EQ(requests.size(), 64u);
   EXPECT_EQ(requests.front().arrival_time, units::Seconds(0.0));
   for (size_t i = 0; i < requests.size(); ++i) {
@@ -68,7 +111,7 @@ TEST(GenerateArrivalsTest, DeadlineSlackWithinConfiguredBand) {
   ArrivalOptions options = SmallStream();
   options.deadline_probability = 1.0;
   const auto reference = Reference();
-  const auto requests = GenerateArrivals(reference, options);
+  const auto requests = MustGenerate(reference, options);
   for (const Request& r : requests) {
     ASSERT_TRUE(r.deadline.has_value());
     const double slack =
@@ -82,7 +125,7 @@ TEST(GenerateArrivalsTest, DeadlineSlackWithinConfiguredBand) {
 TEST(GenerateArrivalsTest, ZeroProbabilityMeansBestEffortOnly) {
   ArrivalOptions options = SmallStream();
   options.deadline_probability = 0.0;
-  for (const Request& r : GenerateArrivals(Reference(), options)) {
+  for (const Request& r : MustGenerate(Reference(), options)) {
     EXPECT_FALSE(r.deadline.has_value());
   }
 }

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <utility>
+
 #include "sched/metrics.h"
 #include "test_support.h"
 
@@ -24,7 +26,9 @@ std::vector<Request> TestStream(int num_requests, uint64_t seed) {
   options.min_slack = 3.0;
   options.max_slack = 10.0;
   options.seed = seed;
-  return GenerateArrivals(reference, options);
+  auto requests = GenerateArrivals(reference, options);
+  CONTENDER_CHECK(requests.ok()) << requests.status();
+  return std::move(*requests);
 }
 
 StatusOr<ScheduleResult> RunPolicy(const std::vector<Request>& requests,

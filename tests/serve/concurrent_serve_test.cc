@@ -1,0 +1,153 @@
+// Concurrency torture for the serving layer: N client threads predict
+// (singles and batches) while the main thread ingests observations and
+// hot-swaps refit snapshots through RefitController::Step(). TSAN-clean by
+// construction: clients copy the snapshot handle in a one-pointer critical
+// section and predict with no lock held; the publisher's swap is equally
+// brief, so it never stalls them.
+//
+// Correctness oracle: the main thread is the only publisher, so right
+// after each Step() it can retain the exact snapshot for every version
+// ever served. Each batch answer is stamped with its snapshot version;
+// after the run every recorded answer must bit-equal a recompute on the
+// retained snapshot of that version — proving each batch was answered by
+// one consistent snapshot even while swaps were in flight.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "serve/refit_controller.h"
+#include "test_support.h"
+#include "util/random.h"
+
+namespace contender::serve {
+namespace {
+
+using contender::testing::SharedPredictor;
+using contender::testing::SharedTrainingData;
+
+struct RecordedAnswer {
+  PredictRequest request;
+  units::Seconds latency;
+  uint64_t snapshot_version = 0;
+};
+
+PredictRequest DrawRequest(Rng* rng, int num_templates) {
+  PredictRequest r;
+  r.template_index = static_cast<int>(
+      rng->UniformInt(static_cast<uint64_t>(num_templates)));
+  const uint64_t mix_size = rng->UniformInt(4);
+  for (uint64_t j = 0; j < mix_size; ++j) {
+    r.concurrent.push_back(static_cast<int>(
+        rng->UniformInt(static_cast<uint64_t>(num_templates))));
+  }
+  return r;
+}
+
+TEST(ConcurrentServeTest, ClientsStayConsistentAcrossHotSwaps) {
+  PredictionService::Options service_options;
+  service_options.num_threads = 2;
+  service_options.inline_batch_limit = 4;
+  PredictionService service(ModelSnapshot::Create(SharedPredictor(), 1),
+                            service_options);
+  ObservationLog log(&service);
+  RefitOptions refit_options;
+  refit_options.min_new_observations = 16;
+  RefitController controller(&service, &log,
+                             SharedTrainingData().observations,
+                             refit_options);
+
+  const int num_templates = service.snapshot()->num_templates();
+  constexpr int kClients = 4;
+  constexpr int kIterations = 120;
+  constexpr int kRefitRounds = 4;
+
+  // Only this (main) thread publishes, so snapshot() right after a Step is
+  // exactly the snapshot serving that version.
+  std::map<uint64_t, std::shared_ptr<const ModelSnapshot>> by_version;
+  by_version[1] = service.snapshot();
+
+  std::vector<std::vector<RecordedAnswer>> recorded(kClients);
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([c, num_templates, &service, &log, &recorded] {
+      Rng rng(1000 + static_cast<uint64_t>(c));
+      for (int i = 0; i < kIterations; ++i) {
+        if (i % 3 == 0) {
+          std::vector<PredictRequest> batch;
+          for (int j = 0; j < 6; ++j) {
+            batch.push_back(DrawRequest(&rng, num_templates));
+          }
+          const auto results = service.PredictBatch(batch);
+          for (size_t j = 0; j < results.size(); ++j) {
+            ASSERT_TRUE(results[j].status.ok()) << results[j].status;
+            recorded[static_cast<size_t>(c)].push_back(
+                {batch[j], results[j].latency, results[j].snapshot_version});
+          }
+        } else {
+          const PredictRequest r = DrawRequest(&rng, num_templates);
+          auto got = service.Predict(r.template_index, r.concurrent);
+          ASSERT_TRUE(got.ok()) << got.status();
+          EXPECT_GT(*got, units::Seconds(0.0));
+        }
+        if (i % 20 == 7) {
+          // Clients also ingest live observations concurrently with the
+          // publisher's drains.
+          MixObservation obs;
+          obs.primary_index = static_cast<int>(
+              rng.UniformInt(static_cast<uint64_t>(num_templates)));
+          obs.concurrent_indices = {static_cast<int>(
+              rng.UniformInt(static_cast<uint64_t>(num_templates)))};
+          obs.mpl = 2;
+          obs.latency = units::Seconds(1.0 + rng.Uniform01());
+          (void)log.Ingest(obs);
+        }
+      }
+    });
+  }
+
+  // Publisher loop: ingest a refit batch and hot-swap, concurrently with
+  // the clients above.
+  const auto& base = SharedTrainingData().observations;
+  size_t next_obs = 0;
+  for (int round = 0; round < kRefitRounds; ++round) {
+    for (size_t i = 0; i < refit_options.min_new_observations; ++i) {
+      const MixObservation& o = base[next_obs++ % base.size()];
+      MixObservation copy = o;
+      copy.latency = copy.latency * (round % 2 == 0 ? 1.15 : 0.9);
+      ASSERT_TRUE(log.Ingest(copy).ok());
+    }
+    auto step = controller.Step();
+    ASSERT_TRUE(step.ok()) << step.status();
+    if (step->refit) {
+      by_version[step->published_version] = service.snapshot();
+    }
+  }
+  for (std::thread& t : clients) t.join();
+
+  // Every recorded answer must match a recompute on the snapshot of the
+  // version that stamped it.
+  size_t checked = 0;
+  for (const auto& per_client : recorded) {
+    for (const RecordedAnswer& answer : per_client) {
+      auto it = by_version.find(answer.snapshot_version);
+      ASSERT_NE(it, by_version.end())
+          << "answer stamped with unknown version "
+          << answer.snapshot_version;
+      EXPECT_EQ(answer.latency,
+                it->second->PredictInMix(answer.request.template_index,
+                                         answer.request.concurrent));
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 0u);
+  EXPECT_GE(controller.refits(), 1u);
+  EXPECT_GE(service.served(), static_cast<uint64_t>(kClients * kIterations));
+}
+
+}  // namespace
+}  // namespace contender::serve

@@ -1,0 +1,164 @@
+#include "serve/observation_log.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "core/continuum.h"
+#include "test_support.h"
+
+namespace contender::serve {
+namespace {
+
+using contender::testing::SharedPredictor;
+using contender::testing::SharedTrainingData;
+
+std::shared_ptr<const ModelSnapshot> MakeSnapshot(uint64_t version = 1) {
+  return ModelSnapshot::Create(SharedPredictor(), version);
+}
+
+// The first training observation whose template has a spoiler range at the
+// observation's MPL (in practice: the first one).
+MixObservation RangedObservation() {
+  for (const MixObservation& o : SharedTrainingData().observations) {
+    const TemplateProfile& p =
+        SharedPredictor().profiles()[static_cast<size_t>(o.primary_index)];
+    auto it = p.spoiler_latency.find(o.mpl);
+    if (it == p.spoiler_latency.end()) continue;
+    if (units::LatencyRange::Make(p.isolated_latency, it->second).ok()) {
+      return o;
+    }
+  }
+  CONTENDER_CHECK(false) << "no observation with a spoiler range";
+  return {};
+}
+
+TEST(ObservationLogTest, IngestComputesContinuumResidual) {
+  PredictionService service(MakeSnapshot(5));
+  ObservationLog log(&service);
+  const MixObservation obs = RangedObservation();
+
+  auto result = log.Ingest(obs);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->snapshot_version, 5u);
+
+  // Recompute Eq. 6 by hand against the same snapshot.
+  const auto snapshot = service.snapshot();
+  const TemplateProfile& p =
+      snapshot->predictor()
+          .profiles()[static_cast<size_t>(obs.primary_index)];
+  auto range = units::LatencyRange::Make(
+      p.isolated_latency, p.spoiler_latency.at(obs.mpl));
+  ASSERT_TRUE(range.ok());
+  auto c_obs = ContinuumPoint(obs.latency, *range);
+  auto c_pred = ContinuumPoint(
+      snapshot->PredictInMix(obs.primary_index, obs.concurrent_indices),
+      *range);
+  ASSERT_TRUE(c_obs.ok() && c_pred.ok());
+  EXPECT_EQ(result->continuum_residual, c_obs->value() - c_pred->value());
+
+  EXPECT_EQ(log.pending(), 1u);
+  EXPECT_EQ(log.ingested(), 1u);
+  EXPECT_EQ(log.rejected(), 0u);
+}
+
+TEST(ObservationLogTest, ResidualSignTracksObservedShift) {
+  PredictionService service(MakeSnapshot());
+  ObservationLog log(&service);
+  MixObservation obs = RangedObservation();
+  const units::Seconds predicted = service.snapshot()->PredictInMix(
+      obs.primary_index, obs.concurrent_indices);
+
+  obs.latency = predicted * 1.2;
+  auto slower = log.Ingest(obs);
+  ASSERT_TRUE(slower.ok()) << slower.status();
+  EXPECT_GT(slower->continuum_residual, 0.0);
+
+  obs.latency = predicted * 0.8;
+  auto faster = log.Ingest(obs);
+  ASSERT_TRUE(faster.ok()) << faster.status();
+  EXPECT_LT(faster->continuum_residual, 0.0);
+}
+
+TEST(ObservationLogTest, DrainPreservesIngestOrderAndResets) {
+  PredictionService service(MakeSnapshot());
+  ObservationLog log(&service);
+  const auto& all = SharedTrainingData().observations;
+  ASSERT_GE(all.size(), 6u);
+  SummaryStats expected_abs;
+  for (size_t i = 0; i < 6; ++i) {
+    auto result = log.Ingest(all[i]);
+    ASSERT_TRUE(result.ok()) << result.status();
+    expected_abs.Add(std::abs(result->continuum_residual));
+  }
+  EXPECT_EQ(log.pending(), 6u);
+  EXPECT_EQ(log.pending_mean_abs_residual(), expected_abs.mean());
+
+  ObservationBatch batch = log.Drain();
+  ASSERT_EQ(batch.observations.size(), 6u);
+  for (size_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(batch.observations[i].primary_index, all[i].primary_index);
+    EXPECT_EQ(batch.observations[i].latency, all[i].latency);
+  }
+  EXPECT_EQ(batch.mean_abs_residual, expected_abs.mean());
+  EXPECT_EQ(log.pending(), 0u);
+  EXPECT_EQ(log.pending_mean_abs_residual(), 0.0);
+  EXPECT_EQ(log.ingested(), 6u);  // lifetime counter survives the drain
+  EXPECT_TRUE(log.Drain().observations.empty());
+}
+
+TEST(ObservationLogTest, RejectsMalformedRecords) {
+  PredictionService service(MakeSnapshot());
+  ObservationLog log(&service);
+  const int n = service.snapshot()->num_templates();
+  const MixObservation good = RangedObservation();
+
+  MixObservation bad = good;
+  bad.primary_index = n;
+  auto r1 = log.Ingest(bad);
+  EXPECT_EQ(r1.status().code(), StatusCode::kInvalidArgument);
+
+  bad = good;
+  bad.concurrent_indices.push_back(-1);
+  bad.mpl = static_cast<int>(bad.concurrent_indices.size()) + 1;
+  auto r2 = log.Ingest(bad);
+  EXPECT_EQ(r2.status().code(), StatusCode::kInvalidArgument);
+
+  bad = good;
+  bad.mpl = good.mpl + 1;  // MPL must equal mix size + 1
+  auto r3 = log.Ingest(bad);
+  EXPECT_EQ(r3.status().code(), StatusCode::kInvalidArgument);
+
+  bad = good;
+  bad.latency = units::Seconds(0.0);
+  auto r4 = log.Ingest(bad);
+  EXPECT_EQ(r4.status().code(), StatusCode::kInvalidArgument);
+
+  EXPECT_EQ(log.rejected(), 4u);
+  EXPECT_EQ(log.ingested(), 0u);
+  EXPECT_EQ(log.pending(), 0u);
+}
+
+TEST(ObservationLogTest, BoundedBufferRejectsWithResourceExhausted) {
+  PredictionService service(MakeSnapshot());
+  ObservationLog::Options options;
+  options.pending_capacity = 2;
+  ObservationLog log(&service, options);
+  const MixObservation obs = RangedObservation();
+
+  EXPECT_TRUE(log.Ingest(obs).ok());
+  EXPECT_TRUE(log.Ingest(obs).ok());
+  auto overflow = log.Ingest(obs);
+  EXPECT_EQ(overflow.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(log.pending(), 2u);
+  EXPECT_EQ(log.rejected(), 1u);
+
+  // Draining frees capacity again.
+  EXPECT_EQ(log.Drain().observations.size(), 2u);
+  EXPECT_TRUE(log.Ingest(obs).ok());
+}
+
+}  // namespace
+}  // namespace contender::serve

@@ -93,6 +93,45 @@ TEST(BatchStatsTest, PercentilesMatchSingleRankCalls) {
   EXPECT_TRUE(Percentiles(v, {}).empty());
 }
 
+TEST(BatchStatsTest, EmptySampleHasNoQuantiles) {
+  // An empty sample yields quiet NaN — a poison value no threshold
+  // comparison can silently accept — rather than a fabricated number.
+  EXPECT_TRUE(std::isnan(Percentile({}, 50.0)));
+  EXPECT_TRUE(std::isnan(Median({})));
+  const std::vector<double> batch = Percentiles({}, {0.0, 50.0, 99.0});
+  ASSERT_EQ(batch.size(), 3u);
+  for (double v : batch) EXPECT_TRUE(std::isnan(v));
+}
+
+TEST(BatchStatsTest, SingleElementSampleIsEveryQuantile) {
+  for (double p : {0.0, 25.0, 50.0, 99.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(Percentile({7.5}, p), 7.5);
+  }
+  const std::vector<double> batch = Percentiles({7.5}, {1.0, 99.0});
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_DOUBLE_EQ(batch[0], 7.5);
+  EXPECT_DOUBLE_EQ(batch[1], 7.5);
+}
+
+TEST(SampleStatsTest, EmptyAccumulatorQuantilesAreNaN) {
+  SampleStats s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_TRUE(std::isnan(s.percentile(50.0)));
+  EXPECT_TRUE(std::isnan(s.p50()));
+  EXPECT_TRUE(std::isnan(s.p95()));
+  EXPECT_TRUE(std::isnan(s.p99()));
+}
+
+TEST(SampleStatsTest, SingleObservationIsEveryQuantile) {
+  SampleStats s;
+  s.Add(3.25);
+  EXPECT_DOUBLE_EQ(s.percentile(0.0), 3.25);
+  EXPECT_DOUBLE_EQ(s.p50(), 3.25);
+  EXPECT_DOUBLE_EQ(s.p99(), 3.25);
+  EXPECT_DOUBLE_EQ(s.percentile(100.0), 3.25);
+}
+
 TEST(SampleStatsTest, MomentsMatchStreamingAccumulator) {
   Rng rng(11);
   SampleStats sample;

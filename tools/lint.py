@@ -184,6 +184,16 @@ def self_test():
         write("src/sched/bad_sched.h",
               "void Admit(double predicted_latency = 0.0,\n"
               "           int slot);\n")
+        # serve/ is the concurrent serving layer: wall-clock randomness
+        # would break deterministic replay of ingest/refit sequences, and
+        # observed latencies crossing its API must use units::Seconds.
+        # Seed both violation kinds there to prove the walk reaches it.
+        write("src/serve/bad_serve_random.cc",
+              "std::random_device entropy;\n"
+              "int Jitter() { return rand() % 3; }\n")
+        write("src/serve/bad_serve.h",
+              "void Ingest(double observed_latency,\n"
+              "            double drift_fraction = 0.0);\n")
         write("tests/core/orphan_test.cc", "// never registered\n")
         write("tests/CMakeLists.txt",
               "contender_test(other_test core/other_test.cc)\n")
@@ -198,10 +208,12 @@ def self_test():
             found.setdefault(f.rule, []).append(f)
 
         expect = {
-            "naked-random": ["src/core/bad_random.cc"],
+            "naked-random": ["src/core/bad_random.cc",
+                             "src/serve/bad_serve_random.cc"],
             "cout-in-src": ["src/core/bad_print.cc"],
             "raw-dimension": ["src/core/bad_units.h",
-                              "src/sched/bad_sched.h"],
+                              "src/sched/bad_sched.h",
+                              "src/serve/bad_serve.h"],
             "unregistered-test": ["tests/core/orphan_test.cc"],
         }
         for rule, paths in expect.items():
