@@ -124,7 +124,14 @@ int main(int argc, char** argv) {
       e.data.profiles, e.data.scan_times, e.data.observations, {});
   CONTENDER_CHECK(predictor.ok()) << predictor.status();
 
-  PredictionService service(ModelSnapshot::Create(*predictor, 1));
+  // Serve behind a health tracker so the run also reports the degradation
+  // ladder's counters (tier mix, breaker trips). With healthy traffic every
+  // answer stays at tier 0 and the counters document that.
+  auto initial_snapshot = ModelSnapshot::Create(*predictor, 1);
+  PredictionService::Options service_options;
+  service_options.health =
+      std::make_shared<HealthTracker>(initial_snapshot->num_templates());
+  PredictionService service(std::move(initial_snapshot), service_options);
   const size_t total_requests =
       static_cast<size_t>(flags.GetInt("requests", 4000));
   const unsigned hardware = std::thread::hardware_concurrency();
@@ -272,6 +279,20 @@ int main(int argc, char** argv) {
             << audited << " answers audited bit-exact against their "
             << "snapshot version.\n";
 
+  // Degradation ladder counters: on a healthy run every answer should be
+  // tier 0 (full model) with zero breaker trips; anything else in the JSON
+  // flags a model-health regression to the perf dashboard.
+  const uint64_t tier_full =
+      service.tier_count(DegradationTier::kFullModel);
+  const uint64_t tier_transfer =
+      service.tier_count(DegradationTier::kTransferredQs);
+  const uint64_t tier_isolated =
+      service.tier_count(DegradationTier::kIsolatedHeuristic);
+  const uint64_t breaker_trips = service.health()->trips();
+  std::cout << "Degradation ladder: tier0=" << tier_full
+            << " tier1=" << tier_transfer << " tier2=" << tier_isolated
+            << ", breaker trips " << breaker_trips << "\n";
+
   const std::string json_path =
       flags.GetString("json", "BENCH_serve.json");
   bench::Json root = bench::Json::Object();
@@ -286,7 +307,13 @@ int main(int argc, char** argv) {
                         .Set("baseline_p99_us", quiet_p99)
                         .Set("during_refit_p99_us", swap_p99)
                         .Set("answers_audited",
-                             static_cast<uint64_t>(audited)));
+                             static_cast<uint64_t>(audited)))
+      .Set("degradation",
+           bench::Json::Object()
+               .Set("tier_full_model", tier_full)
+               .Set("tier_transferred_qs", tier_transfer)
+               .Set("tier_isolated_heuristic", tier_isolated)
+               .Set("breaker_trips", breaker_trips));
   bench::WriteJsonFile(json_path, root);
   std::cout << "Wrote " << json_path << "\n";
   return 0;

@@ -3,11 +3,16 @@
 #include <algorithm>
 
 #include "sim/run_cache.h"
+#include "util/failpoint.h"
 #include "util/logging.h"
 
 namespace contender::sched {
 
 namespace {
+
+// Chaos site: a fired evaluation answers with the isolated latency (the
+// same degradation an open breaker forces), bypassing the cache.
+auto& kPredictFailPoint = CONTENDER_DEFINE_FAILPOINT("sched.mix_oracle.predict");
 
 // Content key of one evaluation: primary template plus the canonical
 // (sorted) mix. Sorting makes the key order-insensitive.
@@ -62,9 +67,24 @@ units::Seconds MixOracle::IsolatedLatency(int template_index) const {
   return profiles[static_cast<size_t>(template_index)].isolated_latency;
 }
 
+bool MixOracle::Degraded(int template_index) const {
+  return options_.health != nullptr &&
+         options_.health->Degraded(template_index);
+}
+
 units::Seconds MixOracle::PredictInMix(
     int template_index, const std::vector<int>& concurrent) const {
   if (concurrent.empty()) return IsolatedLatency(template_index);
+
+  // Degrade BEFORE touching the cache: an open breaker (or a fired chaos
+  // site) answers with the isolated lower bound, and that answer must
+  // never be memoized — the cache only ever holds full-model values, so
+  // recovery is instant once the breaker closes.
+  if (kPredictFailPoint.ShouldFail() || Degraded(template_index)) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++degradations_;
+    return IsolatedLatency(template_index);
+  }
 
   // Evaluate on the canonical (sorted) mix, not the caller's ordering: CQI
   // sums over the mix in the order given, and floating-point addition is
@@ -124,6 +144,11 @@ uint64_t MixOracle::misses() const {
 uint64_t MixOracle::fallbacks() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return fallbacks_;
+}
+
+uint64_t MixOracle::degradations() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return degradations_;
 }
 
 size_t MixOracle::size() const {

@@ -27,6 +27,18 @@
 
 namespace contender::sched {
 
+/// Per-template health as seen by the scheduler: Degraded(t) means t's
+/// circuit breaker is open — its model's predictions are currently not
+/// trusted, and consumers must fall back to isolated-latency reasoning
+/// instead of scheduling on garbage. serve::HealthTracker implements this
+/// (the interface lives here so sched/ does not depend on serve/).
+/// Implementations must be thread-safe.
+class TemplateHealth {
+ public:
+  virtual ~TemplateHealth() = default;
+  [[nodiscard]] virtual bool Degraded(int template_index) const = 0;
+};
+
 /// The pure canonicalized prediction MixOracle memoizes: sorts the mix,
 /// predicts via the predictor's reference/transfer models, and falls back
 /// to the template's isolated latency when no model covers the (template,
@@ -52,6 +64,11 @@ class MixOracle {
     /// Disable to force every probe through the predictor (used by the
     /// cached-vs-uncached equivalence tests).
     bool enable_cache = true;
+    /// Optional per-template health signal (must outlive the oracle). When
+    /// a template's breaker is open, PredictInMix degrades to its isolated
+    /// latency — bypassing the cache so no degraded answer is memoized —
+    /// and policies switch to shortest-isolated scoring.
+    const TemplateHealth* health = nullptr;
   };
 
   explicit MixOracle(const ContenderPredictor* predictor);
@@ -69,6 +86,11 @@ class MixOracle {
   /// l_min of a template (profile lookup, never cached — it is one load).
   units::Seconds IsolatedLatency(int template_index) const;
 
+  /// True when the health signal reports an open breaker for the template
+  /// (always false without an Options::health). Policies consult this to
+  /// drop to shortest-isolated scoring.
+  bool Degraded(int template_index) const;
+
   int num_templates() const {
     return static_cast<int>(predictor_->profiles().size());
   }
@@ -77,6 +99,9 @@ class MixOracle {
   uint64_t hits() const;
   uint64_t misses() const;
   uint64_t fallbacks() const;
+  /// PredictInMix calls answered with the isolated latency because of an
+  /// open breaker or a fired "sched.mix_oracle.predict" fail point.
+  uint64_t degradations() const;
   size_t size() const;
 
  private:
@@ -91,6 +116,7 @@ class MixOracle {
   mutable uint64_t hits_ = 0;
   mutable uint64_t misses_ = 0;
   mutable uint64_t fallbacks_ = 0;
+  mutable uint64_t degradations_ = 0;
 };
 
 }  // namespace contender::sched

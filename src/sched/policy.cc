@@ -38,6 +38,31 @@ size_t ArgMinScore(size_t arrived, ScoreFn&& score) {
   return best;
 }
 
+/// True when the oracle reports an open breaker for any template involved
+/// in this admission decision — the running mix or any arrived candidate.
+/// Contention-aware scores would then be built on untrusted predictions,
+/// so the contention-aware policies degrade to shortest-isolated ordering
+/// (isolated latencies come from measured profiles, not the QS models, and
+/// stay trustworthy when a model goes bad).
+bool OracleReportsDegraded(const RequestQueue& queue, size_t arrived,
+                           const SchedContext& ctx) {
+  for (int t : *ctx.running_templates) {
+    if (ctx.oracle->Degraded(t)) return true;
+  }
+  for (size_t i = 0; i < arrived; ++i) {
+    if (ctx.oracle->Degraded(queue.at(i).template_index)) return true;
+  }
+  return false;
+}
+
+/// Shortest-isolated ordering, shared by the degraded paths.
+size_t PickShortestIsolated(const RequestQueue& queue, size_t arrived,
+                            const SchedContext& ctx) {
+  return ArgMinScore(arrived, [&](size_t i) {
+    return ctx.oracle->IsolatedLatency(queue.at(i).template_index).value();
+  });
+}
+
 /// Predicted added completion time of admitting `r` into the live mix M:
 /// the candidate's own predicted latency inside M, plus the predicted
 /// latency inflation it inflicts on every query already running
@@ -80,9 +105,7 @@ class ShortestIsolatedFirstPolicy : public Policy {
                         const SchedContext& ctx) override {
     size_t arrived = 0;
     CONTENDER_RETURN_IF_ERROR(ValidateContext(queue, ctx, &arrived));
-    return ArgMinScore(arrived, [&](size_t i) {
-      return ctx.oracle->IsolatedLatency(queue.at(i).template_index).value();
-    });
+    return PickShortestIsolated(queue, arrived, ctx);
   }
 };
 
@@ -96,6 +119,9 @@ class GreedyContentionPolicy : public Policy {
                         const SchedContext& ctx) override {
     size_t arrived = 0;
     CONTENDER_RETURN_IF_ERROR(ValidateContext(queue, ctx, &arrived));
+    if (OracleReportsDegraded(queue, arrived, ctx)) {
+      return PickShortestIsolated(queue, arrived, ctx);
+    }
     return ArgMinScore(
         arrived, [&](size_t i) { return GreedyScore(queue.at(i), ctx); });
   }
@@ -111,6 +137,9 @@ class DeadlineAwarePolicy : public Policy {
                         const SchedContext& ctx) override {
     size_t arrived = 0;
     CONTENDER_RETURN_IF_ERROR(ValidateContext(queue, ctx, &arrived));
+    if (OracleReportsDegraded(queue, arrived, ctx)) {
+      return PickShortestIsolated(queue, arrived, ctx);
+    }
     bool any_deadline = false;
     for (size_t i = 0; i < arrived && !any_deadline; ++i) {
       any_deadline = queue.at(i).deadline.has_value();

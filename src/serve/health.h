@@ -1,0 +1,137 @@
+// Model-health tracking and the graceful-degradation ladder.
+//
+// Contender's continuum residual (PAPER.md §5: observed minus predicted
+// continuum point, scored by ObservationLog at ingest) is a per-template
+// health signal: a template whose residuals drift is a template whose QS
+// model has gone stale. This module turns that signal into a per-template
+// circuit breaker and names the ladder of fallbacks the serving path
+// descends when a model cannot be trusted:
+//
+//   tier 0  kFullModel          the template's own QS reference model
+//   tier 1  kTransferredQs      QS coefficients transferred from the
+//                               healthy reference templates, continuum
+//                               upper bound from the KNN spoiler predictor
+//                               (paper §6 — the "new template" path, reused
+//                               here as the degraded path for a known
+//                               template whose own model is quarantined)
+//   tier 2  kIsolatedHeuristic  the measured isolated latency l_min (the
+//                               continuum lower bound; measured, so it
+//                               cannot go stale with the models)
+//
+// Every answer is stamped with the tier that produced it
+// (serve::PredictResult::tier), so degraded answers are auditable.
+//
+// Breaker state machine (deterministic, driven only by recorded
+// residuals — no wall clock, so chaos replays are bit-reproducible):
+//
+//           mean |residual| over window > threshold
+//   Closed ──────────────────────────────────────────▶ Open
+//     ▲                                                 │ next
+//     │ half_open_probes consecutive                    │ open_cooldown
+//     │ healthy residuals                               │ records observed
+//     │                 one unhealthy residual          ▼
+//     └───────────────── Half-open ◀────────────────────┘
+//                            │ (unhealthy → back to Open, trips++)
+//
+// While Open, serving skips tier 0 for that template and the scheduler
+// (sched::TemplateHealth) drops to shortest-isolated ordering. Half-open
+// lets full-model answers through again (the probe) while the tracker
+// watches whether residuals recovered.
+
+#ifndef CONTENDER_SERVE_HEALTH_H_
+#define CONTENDER_SERVE_HEALTH_H_
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "sched/mix_oracle.h"
+
+namespace contender::serve {
+
+/// Which rung of the fallback ladder produced an answer (see file comment).
+enum class DegradationTier {
+  kFullModel = 0,
+  kTransferredQs = 1,
+  kIsolatedHeuristic = 2,
+};
+
+const char* DegradationTierName(DegradationTier tier);
+
+/// The three breaker states (see the state machine above).
+enum class BreakerState { kClosed, kOpen, kHalfOpen };
+
+const char* BreakerStateName(BreakerState state);
+
+struct BreakerOptions {
+  /// A rolling-mean |continuum residual| above this is unhealthy.
+  double error_threshold = 0.25;
+  /// Rolling-window size for the closed-state mean.
+  size_t window = 16;
+  /// Minimum residuals in the window before the breaker may trip (one
+  /// noisy record cannot open it).
+  size_t min_samples = 4;
+  /// Records observed while open before probing (open -> half-open).
+  size_t open_cooldown = 8;
+  /// Consecutive healthy residuals in half-open required to close.
+  size_t half_open_probes = 3;
+};
+
+/// One template's breaker. Not thread-safe; HealthTracker serializes.
+class CircuitBreaker {
+ public:
+  explicit CircuitBreaker(const BreakerOptions& options);
+
+  /// Feeds one |continuum residual| and advances the state machine.
+  void Record(double abs_residual);
+
+  [[nodiscard]] BreakerState state() const { return state_; }
+  /// Transitions into Open (from closed or half-open).
+  [[nodiscard]] uint64_t trips() const { return trips_; }
+
+ private:
+  void TripOpen();
+
+  BreakerOptions options_;
+  BreakerState state_ = BreakerState::kClosed;
+  std::vector<double> window_;  // ring buffer of recent |residuals|
+  size_t window_next_ = 0;
+  size_t window_count_ = 0;
+  double window_sum_ = 0.0;
+  size_t cooldown_seen_ = 0;
+  size_t half_open_ok_ = 0;
+  uint64_t trips_ = 0;
+};
+
+/// Thread-safe per-template breaker bank for one workload. Implements
+/// sched::TemplateHealth so an oracle/policy stack can consume the same
+/// signal the serving ladder does.
+class HealthTracker final : public sched::TemplateHealth {
+ public:
+  explicit HealthTracker(int num_templates,
+                         const BreakerOptions& options = {});
+
+  /// Feeds template `template_index`'s breaker (ObservationLog calls this
+  /// with each accepted record's |continuum residual|).
+  void Record(int template_index, double abs_residual);
+
+  [[nodiscard]] BreakerState state(int template_index) const;
+  /// sched::TemplateHealth: open breaker == degraded.
+  [[nodiscard]] bool Degraded(int template_index) const override;
+
+  /// Total breaker trips across all templates.
+  [[nodiscard]] uint64_t trips() const;
+  [[nodiscard]] uint64_t records() const;
+  /// Template indices whose breakers are currently open (sorted).
+  [[nodiscard]] std::vector<int> OpenTemplates() const;
+  [[nodiscard]] int num_templates() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<CircuitBreaker> breakers_;
+  uint64_t records_ = 0;
+};
+
+}  // namespace contender::serve
+
+#endif  // CONTENDER_SERVE_HEALTH_H_

@@ -22,9 +22,17 @@
 
 #include "core/predictor.h"
 #include "sched/mix_oracle.h"
+#include "serve/health.h"
 #include "util/units.h"
 
 namespace contender::serve {
+
+/// One answer from the degradation ladder: the latency plus the tier that
+/// produced it (serve/health.h documents the ladder).
+struct TieredPrediction {
+  units::Seconds latency;
+  DegradationTier tier = DegradationTier::kFullModel;
+};
 
 /// Immutable (predictor, oracle, version) triple. Non-copyable and
 /// non-movable: the oracle holds a pointer to the predictor member, so the
@@ -47,6 +55,20 @@ class ModelSnapshot {
     return sched::PredictInMixUncached(predictor_, template_index,
                                        concurrent);
   }
+
+  /// The degradation ladder (serve/health.h): full QS model →
+  /// transferred-QS via the KNN spoiler (paper §6's new-template path) →
+  /// isolated latency, stamping the tier that answered. Pass
+  /// `allow_full_model = false` when the template's circuit breaker is
+  /// open to start the descent at tier 1. With the full model allowed, no
+  /// open breaker and no armed fail points, the answer is bit-identical to
+  /// PredictInMix (same canonicalized pure function). Lock-free except for
+  /// the fail-point probes ("serve.snapshot.qs_model",
+  /// "serve.snapshot.transfer" — a fired probe forces the descent past
+  /// that tier).
+  [[nodiscard]] TieredPrediction PredictInMixTiered(
+      int template_index, const std::vector<int>& concurrent,
+      bool allow_full_model = true) const;
 
   /// l_min of a known template.
   [[nodiscard]] units::Seconds IsolatedLatency(int template_index) const;

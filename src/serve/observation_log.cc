@@ -4,9 +4,19 @@
 #include <utility>
 
 #include "core/continuum.h"
+#include "util/failpoint.h"
 #include "util/logging.h"
 
 namespace contender::serve {
+
+namespace {
+
+// Chaos site: a fire rejects the (otherwise valid) record as if ingest
+// itself had failed, exercising callers' rejection handling.
+auto& kIngestFailPoint =
+    CONTENDER_DEFINE_FAILPOINT("serve.observation_log.ingest");
+
+}  // namespace
 
 ObservationLog::ObservationLog(const PredictionService* service)
     : ObservationLog(service, Options()) {}
@@ -45,6 +55,12 @@ StatusOr<IngestResult> ObservationLog::Ingest(
     return reject(
         Status::InvalidArgument("ObservationLog: latency must be positive"));
   }
+  // Probe after validation so chaos runs exercise the failure path for
+  // records that would otherwise have been accepted.
+  if (kIngestFailPoint.ShouldFail()) {
+    return reject(Status::Internal(
+        "ObservationLog: injected ingest failure (chaos)"));
+  }
 
   // Residual against the live snapshot: observed vs predicted continuum
   // point on the template's [l_min, l_max] range at this MPL. When the
@@ -76,15 +92,24 @@ StatusOr<IngestResult> ObservationLog::Ingest(
         (observation.latency - predicted) / predicted;
   }
 
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (pending_.size() >= options_.pending_capacity) {
-    ++rejected_;
-    return Status::ResourceExhausted(
-        "ObservationLog: pending buffer full (controller not draining?)");
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (pending_.size() >= options_.pending_capacity) {
+      ++rejected_;
+      ++overflow_dropped_;
+      return Status::ResourceExhausted(
+          "ObservationLog: pending buffer full (controller not draining?)");
+    }
+    pending_.push_back(observation);
+    pending_abs_residuals_.Add(std::abs(result.continuum_residual));
+    ++ingested_;
   }
-  pending_.push_back(observation);
-  pending_abs_residuals_.Add(std::abs(result.continuum_residual));
-  ++ingested_;
+  // Feed the accepted residual to the template's circuit breaker outside
+  // the log mutex (the tracker has its own lock; never nest the two).
+  if (service_->health() != nullptr) {
+    service_->health()->Record(observation.primary_index,
+                               std::abs(result.continuum_residual));
+  }
   return result;
 }
 
@@ -96,6 +121,25 @@ ObservationBatch ObservationLog::Drain() {
   pending_.clear();
   pending_abs_residuals_ = SummaryStats();
   return batch;
+}
+
+void ObservationLog::Quarantine(std::vector<MixObservation> observations) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  quarantined_ += observations.size();
+  for (MixObservation& obs : observations) {
+    if (dead_letter_.size() >= options_.dead_letter_capacity) {
+      ++dead_letter_dropped_;
+      continue;
+    }
+    dead_letter_.push_back(std::move(obs));
+  }
+}
+
+std::vector<MixObservation> ObservationLog::TakeDeadLetter() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<MixObservation> taken = std::move(dead_letter_);
+  dead_letter_.clear();
+  return taken;
 }
 
 size_t ObservationLog::pending() const {
@@ -116,6 +160,26 @@ uint64_t ObservationLog::ingested() const {
 uint64_t ObservationLog::rejected() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return rejected_;
+}
+
+uint64_t ObservationLog::overflow_dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return overflow_dropped_;
+}
+
+uint64_t ObservationLog::quarantined() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return quarantined_;
+}
+
+size_t ObservationLog::dead_letter_pending() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dead_letter_.size();
+}
+
+uint64_t ObservationLog::dead_letter_dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dead_letter_dropped_;
 }
 
 }  // namespace contender::serve

@@ -10,6 +10,12 @@
 // and pending records are drained in ingest order — so replaying the same
 // observation stream against the same snapshot sequence reproduces the
 // log state bit-exactly.
+//
+// Failure handling: each accepted residual also feeds the service's
+// HealthTracker (when one is attached), records rejected because the
+// pending buffer is full are counted in overflow_dropped(), and batches a
+// refit abandoned are quarantined into a bounded dead-letter buffer
+// (Quarantine/TakeDeadLetter) instead of silently re-entering training.
 
 #ifndef CONTENDER_SERVE_OBSERVATION_LOG_H_
 #define CONTENDER_SERVE_OBSERVATION_LOG_H_
@@ -50,6 +56,8 @@ class ObservationLog {
     /// (the controller is not draining — dropping silently would skew the
     /// refit toward old data).
     size_t pending_capacity = 65536;
+    /// Dead-letter-buffer bound; Quarantine drops (and counts) past it.
+    size_t dead_letter_capacity = 1024;
   };
 
   /// `service` must outlive the log.
@@ -67,12 +75,28 @@ class ObservationLog {
   /// Removes and returns every pending record with its residual summary.
   ObservationBatch Drain();
 
+  /// Parks records whose refit failed in the bounded dead-letter buffer
+  /// (they are suspected of poisoning the fit, so they must NOT rejoin
+  /// the training set automatically). Past dead_letter_capacity the
+  /// oldest survivors stay and the excess is dropped and counted.
+  void Quarantine(std::vector<MixObservation> observations);
+
+  /// Removes and returns the dead-letter buffer (for offline forensics).
+  [[nodiscard]] std::vector<MixObservation> TakeDeadLetter();
+
   /// Pending records and their mean |residual| (the refit triggers), and
   /// lifetime counters.
   [[nodiscard]] size_t pending() const;
   [[nodiscard]] double pending_mean_abs_residual() const;
   [[nodiscard]] uint64_t ingested() const;
   [[nodiscard]] uint64_t rejected() const;
+  /// Valid records rejected only because the pending buffer was full.
+  [[nodiscard]] uint64_t overflow_dropped() const;
+  /// Records ever quarantined / currently parked / dropped because the
+  /// dead-letter buffer itself was full.
+  [[nodiscard]] uint64_t quarantined() const;
+  [[nodiscard]] size_t dead_letter_pending() const;
+  [[nodiscard]] uint64_t dead_letter_dropped() const;
 
  private:
   const PredictionService* service_;
@@ -80,9 +104,13 @@ class ObservationLog {
 
   mutable std::mutex mutex_;
   std::vector<MixObservation> pending_;
+  std::vector<MixObservation> dead_letter_;
   SummaryStats pending_abs_residuals_;
   uint64_t ingested_ = 0;
   uint64_t rejected_ = 0;
+  uint64_t overflow_dropped_ = 0;
+  uint64_t quarantined_ = 0;
+  uint64_t dead_letter_dropped_ = 0;
 };
 
 }  // namespace contender::serve

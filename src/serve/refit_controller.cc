@@ -3,9 +3,21 @@
 #include <algorithm>
 #include <utility>
 
+#include "util/failpoint.h"
 #include "util/logging.h"
 
 namespace contender::serve {
+
+namespace {
+
+// Chaos sites: kFit fails the (retryable) model fit, kPublish aborts the
+// step after a successful fit but before the snapshot swap — the publish
+// itself is atomic, so the only injectable publish failure is "never
+// happened", which is exactly what kAborted reports.
+auto& kFitFailPoint = CONTENDER_DEFINE_FAILPOINT("serve.refit.fit");
+auto& kPublishFailPoint = CONTENDER_DEFINE_FAILPOINT("serve.refit.publish");
+
+}  // namespace
 
 RefitController::RefitController(PredictionService* service,
                                  ObservationLog* log,
@@ -46,19 +58,47 @@ StatusOr<RefitStep> RefitController::Step() {
   step.refit_templates.erase(std::unique(step.refit_templates.begin(),
                                          step.refit_templates.end()),
                              step.refit_templates.end());
-  observations_.insert(observations_.end(),
-                       std::make_move_iterator(batch.observations.begin()),
-                       std::make_move_iterator(batch.observations.end()));
+  const uint64_t step_index = triggered_steps_++;
 
-  // Refit on a copy; the live snapshot keeps serving untouched until the
-  // publish below.
+  // Candidate training set: the batch joins `observations_` only if the
+  // refit succeeds. Until then everything runs on copies — the live
+  // snapshot and the committed training set are untouched by any failure.
+  std::vector<MixObservation> candidate = observations_;
+  candidate.insert(candidate.end(), batch.observations.begin(),
+                   batch.observations.end());
+
   const std::shared_ptr<const ModelSnapshot> live = service_->snapshot();
-  auto refit = live->predictor().WithRefitTemplates(observations_,
-                                                    step.refit_templates);
-  if (!refit.ok()) return refit.status();
-  std::shared_ptr<const ModelSnapshot> next =
-      ModelSnapshot::Create(std::move(*refit), live->version() + 1,
-                            options_.oracle_options);
+  std::shared_ptr<const ModelSnapshot> next;
+  auto attempt = [&]() -> Status {
+    next = nullptr;
+    if (kFitFailPoint.ShouldFail()) {
+      return Status::Internal("RefitController: injected fit failure");
+    }
+    auto refit = live->predictor().WithRefitTemplates(candidate,
+                                                      step.refit_templates);
+    if (!refit.ok()) return refit.status();
+    if (kPublishFailPoint.ShouldFail()) {
+      // The swap in Publish() is atomic, so a "publish failure" can only
+      // mean the new snapshot never went live — deliberate abandonment,
+      // which kAborted marks as non-retryable.
+      return Status::Aborted("RefitController: injected publish abort");
+    }
+    next = ModelSnapshot::Create(std::move(*refit), live->version() + 1,
+                                 options_.oracle_options);
+    return Status::OK();
+  };
+  const Status fit_status = RetryWithBackoff(
+      options_.refit_retry, options_.retry_jitter_seed ^ step_index,
+      options_.clock != nullptr ? options_.clock : Clock::System(), attempt);
+  if (!fit_status.ok()) {
+    // Quarantine the batch: it broke the fit repeatedly, so letting it
+    // rejoin the training set would poison every future refit too.
+    log_->Quarantine(std::move(batch.observations));
+    failed_steps_.fetch_add(1, std::memory_order_relaxed);
+    return fit_status;
+  }
+
+  observations_ = std::move(candidate);
   step.published_version = next->version();
   service_->Publish(std::move(next));
   step.refit = true;

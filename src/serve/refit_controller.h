@@ -17,6 +17,13 @@
 // same ingest/step sequence reproduces every snapshot bit-exactly. The
 // optional wall-clock background mode just calls the same Step() on an
 // interval for long-lived deployments; per-step behavior is identical.
+//
+// Failure handling (DESIGN.md §11): the refit runs entirely on a copy, so
+// a failing fit can never corrupt the live snapshot. A transient failure
+// is retried with seeded-jitter backoff (util/retry.h); once the budget is
+// exhausted the batch is quarantined into the log's dead-letter buffer —
+// observations that repeatedly break the fit must not silently rejoin the
+// training set.
 
 #ifndef CONTENDER_SERVE_REFIT_CONTROLLER_H_
 #define CONTENDER_SERVE_REFIT_CONTROLLER_H_
@@ -32,6 +39,7 @@
 #include "core/template_profile.h"
 #include "serve/observation_log.h"
 #include "serve/service.h"
+#include "util/retry.h"
 #include "util/statusor.h"
 
 namespace contender::serve {
@@ -46,6 +54,16 @@ struct RefitOptions {
   size_t drift_min_observations = 4;
   /// Per-snapshot oracle memo sizing for refit snapshots.
   sched::MixOracle::Options oracle_options;
+  /// Retry budget for one triggered refit: a transiently failing fit is
+  /// retried with seeded-jitter backoff until attempts or deadline run
+  /// out (util/retry.h). Defaults keep a step bounded at a few seconds.
+  RetryOptions refit_retry;
+  /// Seed for the backoff jitter (combined with the step index, so each
+  /// step's schedule differs but the whole run replays bit-exactly).
+  uint64_t retry_jitter_seed = 0xC0117E17DE5ULL;
+  /// Time source for backoff sleeps; null selects Clock::System(). Tests
+  /// inject a FakeClock so retry paths run instantly.
+  Clock* clock = nullptr;
 };
 
 /// What one Step() did.
@@ -77,9 +95,12 @@ class RefitController {
   RefitController& operator=(const RefitController&) = delete;
 
   /// One deterministic control step (see file comment). Thread-safe; steps
-  /// serialize. A non-OK status means a triggered refit failed — the old
-  /// snapshot stays live and the drained batch is still retained in the
-  /// training set.
+  /// serialize. A failing fit is retried with seeded-jitter backoff under
+  /// `options_.refit_retry`; a non-OK status means the whole budget was
+  /// exhausted (or the failure was non-retryable) — the old snapshot stays
+  /// live, nothing partial is ever published, and the drained batch is
+  /// quarantined into the log's dead-letter buffer instead of joining the
+  /// training set (it is suspected of poisoning the fit).
   StatusOr<RefitStep> Step();
 
   /// Wall-clock mode: calls Step() every `interval` on a background thread
@@ -91,6 +112,11 @@ class RefitController {
   [[nodiscard]] uint64_t refits() const {
     return refits_.load(std::memory_order_relaxed);
   }
+  /// Triggered steps whose refit exhausted the retry budget (their
+  /// batches are in the log's dead-letter buffer).
+  [[nodiscard]] uint64_t failed_steps() const {
+    return failed_steps_.load(std::memory_order_relaxed);
+  }
   /// Observations in the cumulative training set (base + consumed).
   [[nodiscard]] size_t training_set_size() const;
 
@@ -101,7 +127,9 @@ class RefitController {
 
   mutable std::mutex step_mutex_;  // serializes Step(); guards observations_
   std::vector<MixObservation> observations_;  // base + drained batches
+  uint64_t triggered_steps_ = 0;  // guarded by step_mutex_
   std::atomic<uint64_t> refits_{0};
+  std::atomic<uint64_t> failed_steps_{0};
 
   std::mutex background_mutex_;
   std::condition_variable background_wake_;

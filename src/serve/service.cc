@@ -40,7 +40,7 @@ void PredictionService::Publish(std::shared_ptr<const ModelSnapshot> next) {
 }
 
 PredictResult PredictionService::PredictOn(const ModelSnapshot& snapshot,
-                                           const PredictRequest& request) {
+                                           const PredictRequest& request) const {
   PredictResult result;
   result.snapshot_version = snapshot.version();
   const int n = snapshot.num_templates();
@@ -56,8 +56,18 @@ PredictResult PredictionService::PredictOn(const ModelSnapshot& snapshot,
       return result;
     }
   }
-  result.latency =
-      snapshot.PredictInMix(request.template_index, request.concurrent);
+  // An open breaker quarantines the template's own model: descend the
+  // ladder starting at tier 1 (transferred-QS). Closed and half-open both
+  // allow tier 0 — half-open IS the recovery probe.
+  const bool allow_full_model =
+      options_.health == nullptr ||
+      options_.health->state(request.template_index) != BreakerState::kOpen;
+  const TieredPrediction answer = snapshot.PredictInMixTiered(
+      request.template_index, request.concurrent, allow_full_model);
+  result.latency = answer.latency;
+  result.tier = answer.tier;
+  tier_counts_[static_cast<size_t>(answer.tier)].fetch_add(
+      1, std::memory_order_relaxed);
   return result;
 }
 
@@ -71,6 +81,17 @@ StatusOr<units::Seconds> PredictionService::Predict(
   served_.fetch_add(1, std::memory_order_relaxed);
   if (!result.status.ok()) return result.status;
   return result.latency;
+}
+
+PredictResult PredictionService::PredictDetailed(
+    int template_index, const std::vector<int>& concurrent) const {
+  const std::shared_ptr<const ModelSnapshot> snap = snapshot();
+  PredictRequest request;
+  request.template_index = template_index;
+  request.concurrent = concurrent;
+  const PredictResult result = PredictOn(*snap, request);
+  served_.fetch_add(1, std::memory_order_relaxed);
+  return result;
 }
 
 std::vector<PredictResult> PredictionService::PredictBatch(
@@ -97,7 +118,8 @@ std::vector<PredictResult> PredictionService::PredictBatch(
   pending.reserve(chunks);
   for (size_t start = 0; start < batch.size(); start += per_chunk) {
     const size_t end = std::min(start + per_chunk, batch.size());
-    pending.push_back(pool_.Submit([&snap, &batch, &results, start, end] {
+    pending.push_back(pool_.Submit([this, &snap, &batch, &results, start,
+                                    end] {
       for (size_t i = start; i < end; ++i) {
         results[i] = PredictOn(*snap, batch[i]);
       }

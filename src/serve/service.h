@@ -23,12 +23,14 @@
 #ifndef CONTENDER_SERVE_SERVICE_H_
 #define CONTENDER_SERVE_SERVICE_H_
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
 #include <vector>
 
+#include "serve/health.h"
 #include "serve/model_snapshot.h"
 #include "util/status.h"
 #include "util/statusor.h"
@@ -45,12 +47,14 @@ struct PredictRequest {
 };
 
 /// One answer. `status` is non-OK only for malformed requests (indices
-/// outside the snapshot's workload); model-coverage gaps degrade to the
-/// isolated latency inside the snapshot instead, so a valid request always
+/// outside the snapshot's workload); model problems degrade down the
+/// fallback ladder instead (serve/health.h), so a valid request always
 /// yields a latency.
 struct PredictResult {
   Status status;
   units::Seconds latency;
+  /// Rung of the degradation ladder that produced `latency`.
+  DegradationTier tier = DegradationTier::kFullModel;
   /// Version of the snapshot that answered (for staleness auditing).
   uint64_t snapshot_version = 0;
 };
@@ -64,6 +68,11 @@ class PredictionService {
     /// Batches at or below this size are answered inline (a pool
     /// round-trip costs more than the predictions).
     size_t inline_batch_limit = 16;
+    /// Optional model-health signal. When a template's breaker is open,
+    /// answers for it start at tier 1 of the degradation ladder
+    /// (transferred-QS) instead of its quarantined full model. Null
+    /// disables breaker-driven degradation (pre-health behavior).
+    std::shared_ptr<HealthTracker> health;
   };
 
   /// Starts serving `initial` (must be non-null).
@@ -87,6 +96,11 @@ class PredictionService {
   StatusOr<units::Seconds> Predict(int template_index,
                                    const std::vector<int>& concurrent) const;
 
+  /// Like Predict but returns the full result — including which rung of
+  /// the degradation ladder answered and the snapshot version.
+  [[nodiscard]] PredictResult PredictDetailed(
+      int template_index, const std::vector<int>& concurrent) const;
+
   /// Answers every request against ONE snapshot (loaded once at batch
   /// start), fanning chunks across the pool for large batches. Results are
   /// positionally aligned with `batch` and bit-identical for every pool
@@ -104,9 +118,19 @@ class PredictionService {
   }
   [[nodiscard]] int num_threads() const { return pool_.num_threads(); }
 
+  /// The health tracker this service consults (null when none was given).
+  [[nodiscard]] const std::shared_ptr<HealthTracker>& health() const {
+    return options_.health;
+  }
+  /// Answers served so far from the given ladder tier.
+  [[nodiscard]] uint64_t tier_count(DegradationTier tier) const {
+    return tier_counts_[static_cast<size_t>(tier)].load(
+        std::memory_order_relaxed);
+  }
+
  private:
-  static PredictResult PredictOn(const ModelSnapshot& snapshot,
-                                 const PredictRequest& request);
+  PredictResult PredictOn(const ModelSnapshot& snapshot,
+                          const PredictRequest& request) const;
 
   Options options_;
   /// Guards only the pointer itself; the critical section on both sides
@@ -115,6 +139,8 @@ class PredictionService {
   std::shared_ptr<const ModelSnapshot> snapshot_;
   mutable std::atomic<uint64_t> served_{0};
   std::atomic<uint64_t> publishes_{0};
+  /// Valid answers per DegradationTier (indexed by the enum's value).
+  mutable std::array<std::atomic<uint64_t>, 3> tier_counts_{};
   mutable ThreadPool pool_;
 };
 

@@ -1,0 +1,123 @@
+#include "util/retry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "util/logging.h"
+
+namespace contender {
+
+namespace {
+
+class SystemClock final : public Clock {
+ public:
+  units::Seconds Now() override {
+    return units::Seconds(
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+
+  void Sleep(units::Seconds duration) override {
+    if (duration <= units::Seconds(0.0)) return;
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(duration.value()));
+  }
+};
+
+}  // namespace
+
+Clock* Clock::System() {
+  static SystemClock* clock = new SystemClock();
+  return clock;
+}
+
+FakeClock::FakeClock(units::Seconds start) : now_(start) {}
+
+units::Seconds FakeClock::Now() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return now_;
+}
+
+void FakeClock::Sleep(units::Seconds duration) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  now_ += duration;
+  sleeps_.push_back(duration);
+}
+
+void FakeClock::Advance(units::Seconds duration) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  now_ += duration;
+}
+
+std::vector<units::Seconds> FakeClock::sleeps() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return sleeps_;
+}
+
+bool IsRetryableStatusCode(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+    case StatusCode::kAborted:
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kFailedPrecondition:
+    case StatusCode::kOutOfRange:
+    case StatusCode::kUnimplemented:
+      return false;
+    case StatusCode::kNotFound:
+    case StatusCode::kInternal:
+    case StatusCode::kResourceExhausted:
+    case StatusCode::kDeadlineExceeded:
+      return true;
+  }
+  return false;
+}
+
+BackoffSchedule::BackoffSchedule(const RetryOptions& options, uint64_t seed)
+    : options_(options), rng_(seed), base_(options.initial_backoff) {
+  CONTENDER_CHECK(options_.jitter_fraction >= 0.0 &&
+                  options_.jitter_fraction < 1.0)
+      << "BackoffSchedule: jitter_fraction must be in [0, 1)";
+  CONTENDER_CHECK(options_.backoff_multiplier >= 1.0)
+      << "BackoffSchedule: backoff_multiplier must be >= 1";
+}
+
+units::Seconds BackoffSchedule::Next() {
+  const units::Seconds capped = std::min(base_, options_.max_backoff);
+  base_ = base_ * options_.backoff_multiplier;
+  const double jitter =
+      options_.jitter_fraction == 0.0
+          ? 1.0
+          : rng_.Uniform(1.0 - options_.jitter_fraction,
+                         1.0 + options_.jitter_fraction);
+  return capped * jitter;
+}
+
+Status RetryWithBackoff(const RetryOptions& options, uint64_t jitter_seed,
+                        Clock* clock, const std::function<Status()>& attempt) {
+  CONTENDER_CHECK(clock != nullptr) << "RetryWithBackoff: clock is required";
+  CONTENDER_CHECK(options.max_attempts >= 1)
+      << "RetryWithBackoff: max_attempts must be >= 1";
+  BackoffSchedule schedule(options, jitter_seed);
+  const units::Seconds start = clock->Now();
+  Status last;
+  // The retry loop the lint rule points everyone at; its shape is the
+  // whole reason ad-hoc copies are banned.
+  for (int tries = 1;; ++tries) {
+    last = attempt();
+    if (last.ok()) return last;
+    if (!IsRetryableStatusCode(last.code())) return last;
+    if (tries >= options.max_attempts) return last;
+    const units::Seconds delay = schedule.Next();
+    if ((clock->Now() - start) + delay > options.deadline) {
+      return Status::DeadlineExceeded(
+          "retry budget exhausted after " + std::to_string(tries) +
+          " attempt(s); last error: " + last.ToString());
+    }
+    clock->Sleep(delay);
+  }
+}
+
+}  // namespace contender

@@ -1,0 +1,114 @@
+// Deadline budgets and seeded-jitter exponential backoff — the only
+// sanctioned way to retry or sleep in library code (tools/lint.py forbids
+// naked sleep_for / ad-hoc retry loops outside this module).
+//
+// Time is injectable: every consumer takes a Clock*, so deadline and
+// backoff behavior is testable without wall time (FakeClock advances
+// instantly and records each sleep) and chaos runs stay deterministic.
+// Jitter draws from a caller-seeded Rng, so the exact backoff sequence is
+// reproducible from the seed.
+//
+// RetryWithBackoff returns OK on the first successful attempt, the last
+// error Status when attempts are exhausted, kDeadlineExceeded (wrapping
+// the last error) when the budget runs out first, and stops immediately —
+// no retry — on non-retryable codes (kAborted and the caller-bug family).
+
+#ifndef CONTENDER_UTIL_RETRY_H_
+#define CONTENDER_UTIL_RETRY_H_
+
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "util/random.h"
+#include "util/status.h"
+#include "util/units.h"
+
+namespace contender {
+
+/// An injectable time source. Library code that waits must go through a
+/// Clock so tests can substitute FakeClock.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Monotonic now; only differences are meaningful.
+  virtual units::Seconds Now() = 0;
+
+  /// Blocks (or, for FakeClock, advances) for `duration`.
+  virtual void Sleep(units::Seconds duration) = 0;
+
+  /// The process-wide monotonic wall clock (never null, never destroyed).
+  static Clock* System();
+};
+
+/// Deterministic manual clock for tests: Sleep() advances time instantly
+/// and records the requested duration. Thread-safe.
+class FakeClock final : public Clock {
+ public:
+  explicit FakeClock(units::Seconds start = units::Seconds(0.0));
+
+  units::Seconds Now() override;
+  void Sleep(units::Seconds duration) override;
+
+  /// Advances time without recording a sleep (external event).
+  void Advance(units::Seconds duration);
+
+  /// Every Sleep() duration, in call order.
+  [[nodiscard]] std::vector<units::Seconds> sleeps() const;
+
+ private:
+  mutable std::mutex mutex_;
+  units::Seconds now_;
+  std::vector<units::Seconds> sleeps_;
+};
+
+/// Retry policy: attempt/backoff/deadline budgets.
+struct RetryOptions {
+  /// Total attempts, including the first (>= 1).
+  int max_attempts = 3;
+  /// Backoff before the second attempt; grows by `backoff_multiplier` per
+  /// retry, capped at `max_backoff`, then scaled by jitter.
+  units::Seconds initial_backoff{0.010};
+  double backoff_multiplier = 2.0;
+  units::Seconds max_backoff{1.0};
+  /// Uniform jitter factor in [1 - j, 1 + j] applied to each delay
+  /// (j in [0, 1)); drawn from the caller-seeded schedule Rng.
+  double jitter_fraction = 0.25;
+  /// Total budget from the first attempt's start: when the *next* planned
+  /// sleep would overrun it, RetryWithBackoff gives up with
+  /// kDeadlineExceeded instead of sleeping.
+  units::Seconds deadline{5.0};
+};
+
+/// Whether a failure with this code may be retried. kAborted (deliberate
+/// abandonment) and the caller-bug family (kInvalidArgument,
+/// kFailedPrecondition, kOutOfRange, kUnimplemented) are terminal;
+/// everything else is assumed transient.
+[[nodiscard]] bool IsRetryableStatusCode(StatusCode code);
+
+/// The deterministic delay sequence RetryWithBackoff sleeps through:
+/// exponential growth with seeded jitter. Exposed for tests and for call
+/// sites that need the schedule without the loop.
+class BackoffSchedule {
+ public:
+  BackoffSchedule(const RetryOptions& options, uint64_t seed);
+
+  /// Delay before the next retry (first call = delay before attempt 2).
+  units::Seconds Next();
+
+ private:
+  RetryOptions options_;
+  Rng rng_;
+  units::Seconds base_;  // pre-jitter delay for the next retry
+};
+
+/// Runs `attempt` under `options` (see file comment for the result
+/// contract). `clock` must be non-null; pass FakeClock in tests. The
+/// jitter sequence is a pure function of `jitter_seed`.
+Status RetryWithBackoff(const RetryOptions& options, uint64_t jitter_seed,
+                        Clock* clock, const std::function<Status()>& attempt);
+
+}  // namespace contender
+
+#endif  // CONTENDER_UTIL_RETRY_H_

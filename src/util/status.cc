@@ -20,8 +20,26 @@ const char* StatusCodeToString(StatusCode code) {
       return "Unimplemented";
     case StatusCode::kResourceExhausted:
       return "ResourceExhausted";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case StatusCode::kAborted:
+      return "Aborted";
   }
   return "Unknown";
+}
+
+std::optional<StatusCode> StatusCodeFromString(const std::string& name) {
+  static constexpr StatusCode kAll[] = {
+      StatusCode::kOk,                 StatusCode::kInvalidArgument,
+      StatusCode::kNotFound,           StatusCode::kFailedPrecondition,
+      StatusCode::kOutOfRange,         StatusCode::kInternal,
+      StatusCode::kUnimplemented,      StatusCode::kResourceExhausted,
+      StatusCode::kDeadlineExceeded,   StatusCode::kAborted,
+  };
+  for (StatusCode code : kAll) {
+    if (name == StatusCodeToString(code)) return code;
+  }
+  return std::nullopt;
 }
 
 std::string Status::ToString() const {

@@ -7,6 +7,7 @@
 #ifndef CONTENDER_UTIL_STATUS_H_
 #define CONTENDER_UTIL_STATUS_H_
 
+#include <optional>
 #include <ostream>
 #include <string>
 #include <utility>
@@ -23,10 +24,20 @@ enum class StatusCode {
   kInternal,
   kUnimplemented,
   kResourceExhausted,
+  /// A time or retry budget ran out before the operation completed
+  /// (util/retry.h returns this when a deadline cuts retries short).
+  kDeadlineExceeded,
+  /// The operation was deliberately abandoned and must not be retried
+  /// (util/retry.h treats this as terminal).
+  kAborted,
 };
 
 /// Returns a human-readable name for a StatusCode ("OK", "InvalidArgument"...).
 const char* StatusCodeToString(StatusCode code);
+
+/// Inverse of StatusCodeToString; nullopt for unrecognized names. Round-trips
+/// every StatusCode.
+std::optional<StatusCode> StatusCodeFromString(const std::string& name);
 
 /// A success-or-error result. Cheap to copy on the OK path. Marked
 /// [[nodiscard]] so a dropped error status is a compile-time warning
@@ -62,6 +73,12 @@ class [[nodiscard]] Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

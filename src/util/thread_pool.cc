@@ -1,6 +1,20 @@
 #include "util/thread_pool.h"
 
+#include "util/failpoint.h"
+
 namespace contender {
+
+namespace internal {
+
+namespace {
+// Eagerly registered so chaos suites can enumerate and arm the site before
+// any task is submitted.
+auto& kSubmitFailPoint = CONTENDER_DEFINE_FAILPOINT("util.thread_pool.submit");
+}  // namespace
+
+bool ThreadPoolSubmitDegradesInline() { return kSubmitFailPoint.ShouldFail(); }
+
+}  // namespace internal
 
 ThreadPool::ThreadPool(int num_threads) {
   const int n = num_threads < 1 ? 1 : num_threads;

@@ -25,6 +25,15 @@
 
 namespace contender {
 
+namespace internal {
+/// Chaos hook: true when the "util.thread_pool.submit" fail point fires,
+/// in which case Submit degrades gracefully by running the task inline on
+/// the caller's thread instead of enqueueing it (the future contract is
+/// unchanged). Defined in thread_pool.cc; disarmed cost is one relaxed
+/// atomic load.
+bool ThreadPoolSubmitDegradesInline();
+}  // namespace internal
+
 /// Fixed-size thread pool with a shared FIFO queue.
 class ThreadPool {
  public:
@@ -45,6 +54,10 @@ class ThreadPool {
     auto task =
         std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(fn));
     std::future<R> future = task->get_future();
+    if (internal::ThreadPoolSubmitDegradesInline()) {
+      (*task)();  // degraded mode: caller executes; future still delivers
+      return future;
+    }
     {
       std::lock_guard<std::mutex> lock(mutex_);
       queue_.push([task] { (*task)(); });

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "test_support.h"
+#include "util/failpoint.h"
 
 namespace contender::sched {
 namespace {
@@ -74,6 +75,61 @@ TEST(MixOracleTest, UncoveredMplFallsBackToIsolated) {
   const std::vector<int> mix = {1, 2, 3, 4, 5};
   EXPECT_EQ(oracle.PredictInMix(0, mix), oracle.IsolatedLatency(0));
   EXPECT_EQ(oracle.fallbacks(), 1u);
+}
+
+// A controllable health signal for degradation tests.
+class StubHealth : public TemplateHealth {
+ public:
+  bool Degraded(int template_index) const override {
+    for (int d : degraded) {
+      if (d == template_index) return true;
+    }
+    return false;
+  }
+  std::vector<int> degraded;
+};
+
+TEST(MixOracleTest, OpenBreakerDegradesToIsolatedWithoutCaching) {
+  StubHealth health;
+  MixOracle::Options options;
+  options.health = &health;
+  MixOracle oracle(&SharedPredictor(), options);
+  const std::vector<int> mix = {1, 2};
+
+  const units::Seconds model_answer = oracle.PredictInMix(0, mix);
+  EXPECT_NE(model_answer, oracle.IsolatedLatency(0));
+  EXPECT_EQ(oracle.degradations(), 0u);
+
+  // Breaker opens: the oracle answers with the isolated latency and does
+  // NOT memoize the degraded value...
+  health.degraded = {0};
+  EXPECT_EQ(oracle.PredictInMix(0, mix), oracle.IsolatedLatency(0));
+  EXPECT_EQ(oracle.degradations(), 1u);
+  EXPECT_TRUE(oracle.Degraded(0));
+  EXPECT_FALSE(oracle.Degraded(1));
+
+  // ...so recovery immediately serves the cached full-model answer again.
+  health.degraded = {};
+  EXPECT_EQ(oracle.PredictInMix(0, mix), model_answer);
+  EXPECT_FALSE(oracle.Degraded(0));
+}
+
+TEST(MixOracleTest, PredictFailPointForcesDegradation) {
+  MixOracle oracle(&SharedPredictor());
+  auto& registry = FailPointRegistry::Global();
+  const std::vector<int> mix = {3, 4};
+  const units::Seconds model_answer = oracle.PredictInMix(0, mix);
+
+  registry.ArmOnce("sched.mix_oracle.predict");
+  EXPECT_EQ(oracle.PredictInMix(0, mix), oracle.IsolatedLatency(0));
+  EXPECT_EQ(oracle.degradations(), 1u);
+  registry.DisarmAll();
+
+  EXPECT_EQ(oracle.PredictInMix(0, mix), model_answer);
+  // Empty mixes short-circuit before the probe: isolated IS the answer.
+  registry.ArmProbability("sched.mix_oracle.predict", 1.0);
+  EXPECT_EQ(oracle.PredictInMix(0, {}), oracle.IsolatedLatency(0));
+  registry.DisarmAll();
 }
 
 TEST(MixOracleTest, LruEvictsBeyondCapacity) {

@@ -122,6 +122,80 @@ TEST(PolicyTest, DeadlineAwareDegradesToGreedyWithoutDeadlines) {
   }
 }
 
+// A controllable health signal (mirrors serve::HealthTracker's shape).
+class StubHealth : public TemplateHealth {
+ public:
+  bool Degraded(int template_index) const override {
+    for (int d : degraded) {
+      if (d == template_index) return true;
+    }
+    return false;
+  }
+  std::vector<int> degraded;
+};
+
+TEST(PolicyTest, OpenBreakerDropsScoringPoliciesToShortestIsolated) {
+  StubHealth health;
+  MixOracle::Options options;
+  options.health = &health;
+  MixOracle oracle(&SharedPredictor(), options);
+  auto shortest = MakePolicy(PolicyKind::kShortestIsolatedFirst);
+  const int n = oracle.num_templates();
+  for (PolicyKind kind :
+       {PolicyKind::kGreedyContention, PolicyKind::kDeadlineAware}) {
+    auto policy = MakePolicy(kind);
+    for (int shift = 0; shift < n; ++shift) {
+      const std::vector<int> running = {shift, (shift + 4) % n};
+      RequestQueue queue({MakeRequest(0, (shift + 1) % n, 0.0, 500.0),
+                          MakeRequest(1, (shift + 9) % n, 1.0),
+                          MakeRequest(2, (shift + 17) % n, 2.0)});
+      const SchedContext ctx = MakeContext(&oracle, &running, 10.0);
+
+      // Degrade a template in the running mix: every contention score
+      // would consult its garbage model, so the policy must fall back to
+      // the same pick shortest-isolated makes.
+      health.degraded = {shift};
+      auto degraded_pick = policy->Pick(queue, ctx);
+      auto expected = shortest->Pick(queue, ctx);
+      ASSERT_TRUE(degraded_pick.ok());
+      ASSERT_TRUE(expected.ok());
+      EXPECT_EQ(*degraded_pick, *expected)
+          << PolicyKindName(kind) << " shift " << shift;
+
+      // Degrading a queued candidate (not in the mix) also forces the
+      // fallback — its own in-mix score is untrustworthy.
+      health.degraded = {(shift + 9) % n};
+      degraded_pick = policy->Pick(queue, ctx);
+      ASSERT_TRUE(degraded_pick.ok());
+      EXPECT_EQ(*degraded_pick, *expected)
+          << PolicyKindName(kind) << " candidate shift " << shift;
+
+      health.degraded = {};
+    }
+  }
+}
+
+TEST(PolicyTest, HealthySignalLeavesPicksUnchanged) {
+  StubHealth health;
+  MixOracle::Options with_health;
+  with_health.health = &health;
+  MixOracle tracked(&SharedPredictor(), with_health);
+  MixOracle plain(&SharedPredictor());
+  const int n = plain.num_templates();
+  for (PolicyKind kind : AllPolicyKinds()) {
+    auto policy = MakePolicy(kind);
+    for (int shift = 0; shift < n; shift += 5) {
+      const std::vector<int> running = {(shift + 2) % n};
+      RequestQueue queue({MakeRequest(0, (shift + 1) % n, 0.0),
+                          MakeRequest(1, (shift + 9) % n, 1.0)});
+      auto a = policy->Pick(queue, MakeContext(&tracked, &running, 10.0));
+      auto b = policy->Pick(queue, MakeContext(&plain, &running, 10.0));
+      ASSERT_TRUE(a.ok() && b.ok());
+      EXPECT_EQ(*a, *b) << PolicyKindName(kind) << " shift " << shift;
+    }
+  }
+}
+
 TEST(PolicyTest, DeadlineAwareProtectsTightestSlack) {
   MixOracle oracle(&SharedPredictor());
   const std::vector<int> running;

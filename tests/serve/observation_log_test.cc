@@ -7,7 +7,9 @@
 #include <vector>
 
 #include "core/continuum.h"
+#include "serve/health.h"
 #include "test_support.h"
+#include "util/failpoint.h"
 
 namespace contender::serve {
 namespace {
@@ -158,6 +160,103 @@ TEST(ObservationLogTest, BoundedBufferRejectsWithResourceExhausted) {
   // Draining frees capacity again.
   EXPECT_EQ(log.Drain().observations.size(), 2u);
   EXPECT_TRUE(log.Ingest(obs).ok());
+}
+
+TEST(ObservationLogTest, OverflowDroppedCountsOnlyCapacityRejections) {
+  PredictionService service(MakeSnapshot());
+  ObservationLog::Options options;
+  options.pending_capacity = 1;
+  ObservationLog log(&service, options);
+  const MixObservation good = RangedObservation();
+
+  // A malformed record is rejected but NOT an overflow drop.
+  MixObservation bad = good;
+  bad.latency = units::Seconds(0.0);
+  EXPECT_FALSE(log.Ingest(bad).ok());
+  EXPECT_EQ(log.overflow_dropped(), 0u);
+
+  ASSERT_TRUE(log.Ingest(good).ok());
+  EXPECT_FALSE(log.Ingest(good).ok());
+  EXPECT_FALSE(log.Ingest(good).ok());
+  EXPECT_EQ(log.overflow_dropped(), 2u);
+  EXPECT_EQ(log.rejected(), 3u);
+
+  // Overflow -> drain -> re-ingest: the stream recovers completely, and
+  // the overflow counter records history without blocking new records.
+  EXPECT_EQ(log.Drain().observations.size(), 1u);
+  ASSERT_TRUE(log.Ingest(good).ok());
+  EXPECT_EQ(log.pending(), 1u);
+  EXPECT_EQ(log.overflow_dropped(), 2u);
+  EXPECT_EQ(log.ingested(), 2u);
+}
+
+TEST(ObservationLogTest, QuarantineParksRecordsInBoundedDeadLetter) {
+  PredictionService service(MakeSnapshot());
+  ObservationLog::Options options;
+  options.dead_letter_capacity = 3;
+  ObservationLog log(&service, options);
+  const MixObservation obs = RangedObservation();
+
+  log.Quarantine(std::vector<MixObservation>(2, obs));
+  EXPECT_EQ(log.quarantined(), 2u);
+  EXPECT_EQ(log.dead_letter_pending(), 2u);
+  EXPECT_EQ(log.dead_letter_dropped(), 0u);
+
+  // Past capacity the excess is dropped and counted, never unbounded.
+  log.Quarantine(std::vector<MixObservation>(4, obs));
+  EXPECT_EQ(log.quarantined(), 6u);
+  EXPECT_EQ(log.dead_letter_pending(), 3u);
+  EXPECT_EQ(log.dead_letter_dropped(), 3u);
+
+  // Quarantined records never rejoin the pending (training) stream.
+  EXPECT_EQ(log.pending(), 0u);
+  std::vector<MixObservation> taken = log.TakeDeadLetter();
+  EXPECT_EQ(taken.size(), 3u);
+  EXPECT_EQ(log.dead_letter_pending(), 0u);
+  EXPECT_EQ(log.quarantined(), 6u);  // lifetime counter survives the take
+}
+
+TEST(ObservationLogTest, IngestFailPointRejectsValidRecords) {
+  auto& registry = FailPointRegistry::Global();
+  PredictionService service(MakeSnapshot());
+  ObservationLog log(&service);
+  const MixObservation obs = RangedObservation();
+
+  registry.ArmNthHit("serve.observation_log.ingest", 2);
+  EXPECT_TRUE(log.Ingest(obs).ok());
+  auto injected = log.Ingest(obs);
+  EXPECT_EQ(injected.status().code(), StatusCode::kInternal);
+  EXPECT_TRUE(log.Ingest(obs).ok());  // NthHit self-disarmed
+  registry.DisarmAll();
+
+  EXPECT_EQ(log.pending(), 2u);
+  EXPECT_EQ(log.rejected(), 1u);
+  EXPECT_EQ(log.overflow_dropped(), 0u);
+}
+
+TEST(ObservationLogTest, AcceptedResidualsFeedTheHealthTracker) {
+  PredictionService::Options service_options;
+  service_options.health = std::make_shared<HealthTracker>(
+      static_cast<int>(SharedPredictor().profiles().size()));
+  PredictionService service(MakeSnapshot(), service_options);
+  ObservationLog log(&service);
+  MixObservation obs = RangedObservation();
+
+  ASSERT_TRUE(log.Ingest(obs).ok());
+  EXPECT_EQ(service_options.health->records(), 1u);
+
+  // Rejected records must not feed the breaker.
+  MixObservation bad = obs;
+  bad.latency = units::Seconds(0.0);
+  EXPECT_FALSE(log.Ingest(bad).ok());
+  EXPECT_EQ(service_options.health->records(), 1u);
+
+  // A stream of wildly mispredicted observations trips the breaker.
+  obs.latency = obs.latency * 50.0;
+  for (int i = 0; i < 16; ++i) ASSERT_TRUE(log.Ingest(obs).ok());
+  EXPECT_EQ(service_options.health->state(obs.primary_index),
+            BreakerState::kOpen);
+  EXPECT_GE(service_options.health->trips(), 1u);
 }
 
 }  // namespace

@@ -1,0 +1,138 @@
+#include "util/failpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace contender {
+namespace {
+
+// Each test arms its own uniquely named sites and disarms them on exit, so
+// tests cannot leak armed state into each other (or into other suites).
+class FailPointTest : public ::testing::Test {
+ protected:
+  void TearDown() override { FailPointRegistry::Global().DisarmAll(); }
+
+  FailPointRegistry& registry() { return FailPointRegistry::Global(); }
+};
+
+TEST_F(FailPointTest, DisarmedNeverFires) {
+  FailPoint& site = registry().Site("test.fp.disarmed");
+  EXPECT_EQ(site.mode(), FailPointMode::kOff);
+  for (int i = 0; i < 1000; ++i) EXPECT_FALSE(site.ShouldFail());
+  EXPECT_EQ(site.fires(), 0u);
+}
+
+TEST_F(FailPointTest, SiteReturnsSameInstanceAndRegistersOnce) {
+  FailPoint& a = registry().Site("test.fp.identity");
+  FailPoint& b = registry().Site("test.fp.identity");
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(a.name(), "test.fp.identity");
+}
+
+TEST_F(FailPointTest, OnceFiresExactlyOnceThenDisarms) {
+  FailPoint& site = registry().Site("test.fp.once");
+  registry().ArmOnce("test.fp.once");
+  EXPECT_EQ(site.mode(), FailPointMode::kOnce);
+  EXPECT_TRUE(site.ShouldFail());
+  EXPECT_EQ(site.mode(), FailPointMode::kOff);
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(site.ShouldFail());
+  EXPECT_EQ(site.fires(), 1u);
+}
+
+TEST_F(FailPointTest, NthHitFiresOnExactlyTheNthEvaluation) {
+  FailPoint& site = registry().Site("test.fp.nth");
+  registry().ArmNthHit("test.fp.nth", 5);
+  for (int i = 1; i <= 4; ++i) EXPECT_FALSE(site.ShouldFail()) << i;
+  EXPECT_TRUE(site.ShouldFail());
+  // Self-disarmed after firing.
+  EXPECT_EQ(site.mode(), FailPointMode::kOff);
+  EXPECT_FALSE(site.ShouldFail());
+  EXPECT_EQ(site.fires(), 1u);
+}
+
+TEST_F(FailPointTest, ProbabilityZeroAndOneAreExact) {
+  FailPoint& site = registry().Site("test.fp.p");
+  registry().ArmProbability("test.fp.p", 0.0);
+  for (int i = 0; i < 200; ++i) EXPECT_FALSE(site.ShouldFail());
+  registry().ArmProbability("test.fp.p", 1.0);
+  for (int i = 0; i < 200; ++i) EXPECT_TRUE(site.ShouldFail());
+}
+
+TEST_F(FailPointTest, ProbabilityRateIsRoughlyRespected) {
+  FailPoint& site = registry().Site("test.fp.rate");
+  registry().SetRootSeed(42);
+  registry().ArmProbability("test.fp.rate", 0.3);
+  int fired = 0;
+  const int kTrials = 10000;
+  for (int i = 0; i < kTrials; ++i) fired += site.ShouldFail() ? 1 : 0;
+  EXPECT_GT(fired, kTrials * 0.25);
+  EXPECT_LT(fired, kTrials * 0.35);
+  EXPECT_EQ(site.hits(), static_cast<uint64_t>(kTrials));
+  EXPECT_EQ(site.fires(), static_cast<uint64_t>(fired));
+}
+
+TEST_F(FailPointTest, SameRootSeedReproducesTheFiredSubsetBitExactly) {
+  FailPoint& site = registry().Site("test.fp.repro");
+  auto run = [&](uint64_t seed) {
+    registry().SetRootSeed(seed);
+    registry().ArmProbability("test.fp.repro", 0.2);
+    std::vector<bool> fired;
+    fired.reserve(500);
+    for (int i = 0; i < 500; ++i) fired.push_back(site.ShouldFail());
+    registry().Disarm("test.fp.repro");
+    return fired;
+  };
+  EXPECT_EQ(run(7), run(7));
+  EXPECT_NE(run(7), run(8));
+}
+
+TEST_F(FailPointTest, RearmingResetsTheEvaluationCount) {
+  FailPoint& site = registry().Site("test.fp.rearm");
+  registry().SetRootSeed(99);
+  registry().ArmProbability("test.fp.rearm", 0.5);
+  std::vector<bool> first;
+  for (int i = 0; i < 100; ++i) first.push_back(site.ShouldFail());
+  // Re-arming restarts the per-site counter, so the sequence repeats.
+  registry().ArmProbability("test.fp.rearm", 0.5);
+  std::vector<bool> second;
+  for (int i = 0; i < 100; ++i) second.push_back(site.ShouldFail());
+  EXPECT_EQ(first, second);
+}
+
+TEST_F(FailPointTest, DistinctSitesDeriveDistinctSequencesFromOneRoot) {
+  FailPoint& a = registry().Site("test.fp.derive.a");
+  FailPoint& b = registry().Site("test.fp.derive.b");
+  registry().SetRootSeed(1234);
+  registry().ArmProbability("test.fp.derive.a", 0.5);
+  registry().ArmProbability("test.fp.derive.b", 0.5);
+  std::vector<bool> fa, fb;
+  for (int i = 0; i < 200; ++i) {
+    fa.push_back(a.ShouldFail());
+    fb.push_back(b.ShouldFail());
+  }
+  EXPECT_NE(fa, fb);
+}
+
+TEST_F(FailPointTest, SiteNamesFiltersByPrefixAndIsSorted) {
+  registry().Site("test.prefix.b");
+  registry().Site("test.prefix.a");
+  const std::vector<std::string> names =
+      registry().SiteNames("test.prefix.");
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "test.prefix.a");
+  EXPECT_EQ(names[1], "test.prefix.b");
+}
+
+TEST_F(FailPointTest, DisarmAllSilencesEverything) {
+  FailPoint& site = registry().Site("test.fp.disarmall");
+  registry().ArmProbability("test.fp.disarmall", 1.0);
+  EXPECT_TRUE(site.ShouldFail());
+  registry().DisarmAll();
+  EXPECT_FALSE(site.ShouldFail());
+}
+
+}  // namespace
+}  // namespace contender

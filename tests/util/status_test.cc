@@ -33,6 +33,36 @@ TEST(StatusTest, AllConstructorsProduceMatchingCodes) {
             StatusCode::kResourceExhausted);
   EXPECT_EQ(Status::ResourceExhausted("full").ToString(),
             "ResourceExhausted: full");
+  EXPECT_EQ(Status::DeadlineExceeded("x").code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(Status::Aborted("x").code(), StatusCode::kAborted);
+  EXPECT_EQ(Status::DeadlineExceeded("late").ToString(),
+            "DeadlineExceeded: late");
+  EXPECT_EQ(Status::Aborted("given up").ToString(), "Aborted: given up");
+}
+
+TEST(StatusTest, EveryCodeRoundTripsThroughItsName) {
+  const StatusCode all[] = {
+      StatusCode::kOk,
+      StatusCode::kInvalidArgument,
+      StatusCode::kNotFound,
+      StatusCode::kFailedPrecondition,
+      StatusCode::kOutOfRange,
+      StatusCode::kInternal,
+      StatusCode::kUnimplemented,
+      StatusCode::kResourceExhausted,
+      StatusCode::kDeadlineExceeded,
+      StatusCode::kAborted,
+  };
+  for (StatusCode code : all) {
+    const std::string name = StatusCodeToString(code);
+    EXPECT_NE(name, "Unknown") << static_cast<int>(code);
+    auto parsed = StatusCodeFromString(name);
+    ASSERT_TRUE(parsed.has_value()) << name;
+    EXPECT_EQ(*parsed, code) << name;
+  }
+  EXPECT_FALSE(StatusCodeFromString("NoSuchCode").has_value());
+  EXPECT_FALSE(StatusCodeFromString("").has_value());
 }
 
 TEST(StatusTest, EqualityComparesCodeAndMessage) {

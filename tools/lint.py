@@ -14,6 +14,15 @@ Rules enforced (each maps to an invariant documented in DESIGN.md):
                       Those quantities have dedicated types in util/units.h.
   R4 unregistered-test  Every tests/**/*_test.cc must be registered in a
                       CMakeLists.txt, or it silently never runs.
+  R5 naked-sleep      No sleep_for/sleep_until/usleep/nanosleep and no
+                      ad-hoc retry loops (a for/while spelled over
+                      retry/attempt counters) in src/ outside
+                      src/util/retry.*. Library code that waits or retries
+                      must go through util/retry's Clock and
+                      RetryWithBackoff so deadlines are budgeted, backoff
+                      is seeded-deterministic, and tests can inject a
+                      FakeClock. bench/ and tests/ drive wall-clock
+                      scenarios and are exempt.
 
 Usage:
   tools/lint.py [--root DIR]   lint the repository (non-zero exit on findings)
@@ -30,7 +39,8 @@ import re
 import sys
 import tempfile
 
-RULES = ("naked-random", "cout-in-src", "raw-dimension", "unregistered-test")
+RULES = ("naked-random", "cout-in-src", "raw-dimension", "unregistered-test",
+         "naked-sleep")
 
 NAKED_RANDOM_RE = re.compile(r"(?<![\w:])(?:std::)?rand\s*\(\s*\)|std::random_device")
 COUT_RE = re.compile(r"std::c(?:out|err)\b")
@@ -39,6 +49,12 @@ COUT_RE = re.compile(r"std::c(?:out|err)\b")
 # buffers and simulator knobs legitimately hold raw doubles.
 RAW_DIMENSION_RE = re.compile(
     r"\bdouble\s+\w*(?:latency|fraction)\w*\s*(?:=[^,);]*)?[,)]")
+NAKED_SLEEP_RE = re.compile(
+    r"\bsleep_(?:for|until)\s*\(|(?<![\w:])(?:u|nano)sleep\s*\(")
+# A for/while header spelled over a retry/attempt counter is an ad-hoc
+# retry loop; the sanctioned loop lives in util/retry.cc.
+RETRY_LOOP_RE = re.compile(
+    r"\b(?:for|while)\s*\([^)]*\b(?:retry|retries|attempts?)\b")
 SUPPRESS_RE = re.compile(r"//\s*contender-lint:\s*disable=([\w,-]+)")
 LINE_COMMENT_RE = re.compile(r"//.*$")
 
@@ -142,11 +158,29 @@ def check_unregistered_tests(root):
     return findings
 
 
+def check_naked_sleep(root):
+    findings = []
+    for path in iter_source_files(root, ("src",)):
+        rel = os.path.relpath(path, root)
+        # util/retry IS the sanctioned sleep/retry implementation.
+        if rel.startswith(os.path.join("src", "util", "retry")):
+            continue
+        with open(path, encoding="utf-8", errors="replace") as f:
+            for i, line in enumerate(f, 1):
+                if suppressed(line, "naked-sleep"):
+                    continue
+                code = code_of(line)
+                if NAKED_SLEEP_RE.search(code) or RETRY_LOOP_RE.search(code):
+                    findings.append(Finding("naked-sleep", rel, i, line))
+    return findings
+
+
 CHECKS = {
     "naked-random": check_naked_random,
     "cout-in-src": check_cout_in_src,
     "raw-dimension": check_raw_dimension,
     "unregistered-test": check_unregistered_tests,
+    "naked-sleep": check_naked_sleep,
 }
 
 
@@ -194,6 +228,23 @@ def self_test():
         write("src/serve/bad_serve.h",
               "void Ingest(double observed_latency,\n"
               "            double drift_fraction = 0.0);\n")
+        # serve/ is also where wall-clock waits and hand-rolled retry
+        # loops would silently break deterministic replay — seed both
+        # naked-sleep violation kinds there.
+        write("src/serve/bad_sleep.cc",
+              "void Wait() {\n"
+              "  std::this_thread::sleep_for(std::chrono::seconds(1));\n"
+              "}\n"
+              "void Retry() {\n"
+              "  for (int attempt = 0; attempt < 3; ++attempt) {}\n"
+              "  while (retries < kMax) { ++retries; }\n"
+              "  usleep(100);\n"
+              "}\n")
+        # The sanctioned implementation must stay exempt.
+        write("src/util/retry.cc",
+              "void SystemClock::Sleep() {\n"
+              "  std::this_thread::sleep_for(std::chrono::seconds(1));\n"
+              "}\n")
         write("tests/core/orphan_test.cc", "// never registered\n")
         write("tests/CMakeLists.txt",
               "contender_test(other_test core/other_test.cc)\n")
@@ -215,6 +266,7 @@ def self_test():
                               "src/sched/bad_sched.h",
                               "src/serve/bad_serve.h"],
             "unregistered-test": ["tests/core/orphan_test.cc"],
+            "naked-sleep": ["src/serve/bad_sleep.cc"],
         }
         for rule, paths in expect.items():
             for path in paths:
@@ -227,6 +279,8 @@ def self_test():
                 failures.append(f"false positive on suppressed/comment: {f}")
             if f.path == "tests/core/other_test.cc":
                 failures.append(f"false positive on registered test: {f}")
+            if f.path == os.path.join("src", "util", "retry.cc"):
+                failures.append(f"naked-sleep fired on exempt retry.cc: {f}")
 
     if failures:
         for msg in failures:
