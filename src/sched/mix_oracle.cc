@@ -57,6 +57,14 @@ MixOracle::MixOracle(const ContenderPredictor* predictor,
                      const Options& options)
     : predictor_(predictor), options_(options) {
   CONTENDER_CHECK(predictor_ != nullptr);
+  CONTENDER_CHECK(options_.num_shards >= 1)
+      << "MixOracle: num_shards must be >= 1";
+  shard_capacity_ = std::max<size_t>(
+      1, options_.capacity / static_cast<size_t>(options_.num_shards));
+  shards_.reserve(static_cast<size_t>(options_.num_shards));
+  for (int i = 0; i < options_.num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
 }
 
 units::Seconds MixOracle::IsolatedLatency(int template_index) const {
@@ -81,8 +89,7 @@ units::Seconds MixOracle::PredictInMix(
   // never be memoized — the cache only ever holds full-model values, so
   // recovery is instant once the breaker closes.
   if (kPredictFailPoint.ShouldFail() || Degraded(template_index)) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    ++degradations_;
+    degradations_.Add(template_index);
     return IsolatedLatency(template_index);
   }
 
@@ -97,63 +104,55 @@ units::Seconds MixOracle::PredictInMix(
   std::sort(canonical.begin(), canonical.end());
 
   const uint64_t key = EvaluationKey(template_index, canonical);
+  const int stripe = static_cast<int>(key % shards_.size());
   if (options_.enable_cache) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    auto it = index_.find(key);
-    if (it != index_.end()) {
-      lru_.splice(lru_.begin(), lru_, it->second);
-      ++hits_;
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      hits_.Add(stripe);
       return it->second->second;
     }
-    ++misses_;
+    misses_.Add(stripe);
   }
 
   bool used_fallback = false;
   const units::Seconds value = PredictInMixUncached(
       *predictor_, template_index, std::move(canonical), &used_fallback);
-  if (used_fallback) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    ++fallbacks_;
-  }
+  if (used_fallback) fallbacks_.Add(stripe);
 
   if (options_.enable_cache) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    auto it = index_.find(key);
-    if (it == index_.end()) {
-      lru_.emplace_front(key, value);
-      index_[key] = lru_.begin();
-      while (lru_.size() > options_.capacity) {
-        index_.erase(lru_.back().first);
-        lru_.pop_back();
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.index.find(key);
+    if (it == shard.index.end()) {
+      shard.lru.emplace_front(key, value);
+      shard.index[key] = shard.lru.begin();
+      while (shard.lru.size() > shard_capacity_) {
+        shard.index.erase(shard.lru.back().first);
+        shard.lru.pop_back();
       }
     }
   }
   return value;
 }
 
-uint64_t MixOracle::hits() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return hits_;
-}
+uint64_t MixOracle::hits() const { return hits_.Total(); }
 
-uint64_t MixOracle::misses() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return misses_;
-}
+uint64_t MixOracle::misses() const { return misses_.Total(); }
 
-uint64_t MixOracle::fallbacks() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return fallbacks_;
-}
+uint64_t MixOracle::fallbacks() const { return fallbacks_.Total(); }
 
-uint64_t MixOracle::degradations() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return degradations_;
-}
+uint64_t MixOracle::degradations() const { return degradations_.Total(); }
 
 size_t MixOracle::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return lru_.size();
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    total += shard->lru.size();
+  }
+  return total;
 }
 
 }  // namespace contender::sched

@@ -17,12 +17,15 @@
 
 #include <cstdint>
 #include <list>
+#include <memory>
 #include <mutex>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "core/predictor.h"
+#include "util/cacheline.h"
+#include "util/sharded_counter.h"
 #include "util/units.h"
 
 namespace contender::sched {
@@ -54,13 +57,23 @@ units::Seconds PredictInMixUncached(const ContenderPredictor& predictor,
                                     bool* used_fallback = nullptr);
 
 /// Thread-safe memoized view of a trained predictor for policy evaluation.
-/// Thread safety mirrors sim::RunCache: a parallel policy sweep may probe
-/// one oracle from several workers.
+/// Thread safety mirrors sim::RunCache — a parallel policy sweep may probe
+/// one oracle from several workers — but the memo is sharded by key so
+/// those workers serialize per shard, not globally, and all counters are
+/// cache-line-padded stripes.
 class MixOracle {
  public:
   struct Options {
-    /// Bounded LRU capacity (entries).
+    /// Bounded LRU capacity (entries, across all shards). Each shard holds
+    /// up to capacity / num_shards entries (at least one), so eviction is
+    /// per-shard LRU — global recency order is approximated, never
+    /// tracked, because tracking it would re-serialize every probe.
     size_t capacity = 4096;
+    /// Memo shard count (>= 1). A key always lives in exactly one shard
+    /// (key % num_shards), so concurrent probes of different keys contend
+    /// only when they hash to the same shard; num_shards = 1 restores the
+    /// single-LRU semantics exactly.
+    int num_shards = 8;
     /// Disable to force every probe through the predictor (used by the
     /// cached-vs-uncached equivalence tests).
     bool enable_cache = true;
@@ -103,20 +116,35 @@ class MixOracle {
   /// open breaker or a fired "sched.mix_oracle.predict" fail point.
   uint64_t degradations() const;
   size_t size() const;
+  int num_shards() const { return static_cast<int>(shards_.size()); }
 
  private:
   using LruList = std::list<std::pair<uint64_t, units::Seconds>>;
 
+  /// One memo shard: an independent bounded LRU under its own padded
+  /// mutex. A key maps to exactly one shard, so two probes contend only
+  /// when their keys collide modulo the shard count.
+  struct alignas(kCacheLineSize) Shard {
+    mutable std::mutex mutex;
+    mutable LruList lru;  // front = most recently used
+    mutable std::unordered_map<uint64_t, LruList::iterator> index;
+  };
+
+  Shard& ShardFor(uint64_t key) const {
+    return *shards_[key % shards_.size()];
+  }
+
   const ContenderPredictor* predictor_;
   Options options_;
+  size_t shard_capacity_ = 0;
 
-  mutable std::mutex mutex_;
-  mutable LruList lru_;  // front = most recently used
-  mutable std::unordered_map<uint64_t, LruList::iterator> index_;
-  mutable uint64_t hits_ = 0;
-  mutable uint64_t misses_ = 0;
-  mutable uint64_t fallbacks_ = 0;
-  mutable uint64_t degradations_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  /// Striped (cache-line-padded) counters: probes bump the stripe of the
+  /// shard they touched, so counting never adds cross-shard contention.
+  mutable ShardedCounter hits_;
+  mutable ShardedCounter misses_;
+  mutable ShardedCounter fallbacks_;
+  mutable ShardedCounter degradations_;
 };
 
 }  // namespace contender::sched

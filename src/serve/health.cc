@@ -85,9 +85,14 @@ void CircuitBreaker::Record(double abs_residual) {
 }
 
 HealthTracker::HealthTracker(int num_templates, const BreakerOptions& options)
-    : breakers_(static_cast<size_t>(num_templates), CircuitBreaker(options)) {
+    : breakers_(static_cast<size_t>(num_templates), CircuitBreaker(options)),
+      published_(static_cast<size_t>(num_templates)) {
   CONTENDER_CHECK(num_templates >= 1)
       << "HealthTracker: num_templates must be >= 1";
+  for (std::atomic<uint8_t>& s : published_) {
+    s.store(static_cast<uint8_t>(BreakerState::kClosed),
+            std::memory_order_relaxed);
+  }
 }
 
 void HealthTracker::Record(int template_index, double abs_residual) {
@@ -95,16 +100,21 @@ void HealthTracker::Record(int template_index, double abs_residual) {
   CONTENDER_CHECK(template_index >= 0 &&
                   static_cast<size_t>(template_index) < breakers_.size())
       << "HealthTracker: unknown template index " << template_index;
-  breakers_[static_cast<size_t>(template_index)].Record(abs_residual);
+  CircuitBreaker& breaker = breakers_[static_cast<size_t>(template_index)];
+  breaker.Record(abs_residual);
+  // Republish so lock-free readers see the post-transition state.
+  published_[static_cast<size_t>(template_index)].store(
+      static_cast<uint8_t>(breaker.state()), std::memory_order_release);
   ++records_;
 }
 
 BreakerState HealthTracker::state(int template_index) const {
-  std::lock_guard<std::mutex> lock(mutex_);
   CONTENDER_CHECK(template_index >= 0 &&
-                  static_cast<size_t>(template_index) < breakers_.size())
+                  static_cast<size_t>(template_index) < published_.size())
       << "HealthTracker: unknown template index " << template_index;
-  return breakers_[static_cast<size_t>(template_index)].state();
+  return static_cast<BreakerState>(
+      published_[static_cast<size_t>(template_index)].load(
+          std::memory_order_acquire));
 }
 
 bool HealthTracker::Degraded(int template_index) const {

@@ -41,6 +41,7 @@
 #ifndef CONTENDER_SERVE_HEALTH_H_
 #define CONTENDER_SERVE_HEALTH_H_
 
+#include <atomic>
 #include <cstdint>
 #include <mutex>
 #include <vector>
@@ -115,6 +116,12 @@ class HealthTracker final : public sched::TemplateHealth {
   /// with each accepted record's |continuum residual|).
   void Record(int template_index, double abs_residual);
 
+  /// Lock-free: reads the published per-template state, not the breaker
+  /// itself. The serving hot path calls this per prediction, so it must
+  /// never contend with Record's state-machine mutex; Record republishes
+  /// after every transition. A reader may observe a state at most one
+  /// in-flight Record stale — indistinguishable from the prediction
+  /// having raced the record the other way.
   [[nodiscard]] BreakerState state(int template_index) const;
   /// sched::TemplateHealth: open breaker == degraded.
   [[nodiscard]] bool Degraded(int template_index) const override;
@@ -127,8 +134,13 @@ class HealthTracker final : public sched::TemplateHealth {
   [[nodiscard]] int num_templates() const;
 
  private:
+  /// Serializes the breaker state machines (the ingest-side write path);
+  /// state() never takes it.
   mutable std::mutex mutex_;
   std::vector<CircuitBreaker> breakers_;
+  /// Per-template breaker state mirrored for lock-free readers; written
+  /// under mutex_ after each Record, read with acquire by state().
+  std::vector<std::atomic<uint8_t>> published_;
   uint64_t records_ = 0;
 };
 

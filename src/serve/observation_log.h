@@ -6,10 +6,21 @@
 // the RefitController's drift trigger watches. Records accumulate in a
 // pending buffer until the controller drains them into the training set.
 //
-// Determinism: the residual is a pure function of (observation, snapshot),
-// and pending records are drained in ingest order — so replaying the same
-// observation stream against the same snapshot sequence reproduces the
-// log state bit-exactly.
+// Concurrency: the pending buffer is sharded. Each ingesting thread is
+// assigned a shard (by thread ordinal), so concurrent producers append to
+// disjoint vectors under disjoint, cache-line-padded mutexes and the only
+// cross-thread rendezvous is a relaxed fetch_add on the capacity gate.
+// The snapshot consulted for the residual comes from the service's
+// lock-free SnapshotHolder (an epoch-pinned view, not a refcount bump).
+//
+// Determinism: the residual is a pure function of (observation, snapshot).
+// Drain merges shards canonically — shard 0's records in ingest order,
+// then shard 1's, and so on — and replays the residual summary in that
+// merged order, so replaying the same per-shard streams reproduces the
+// batch bit-exactly. A single-threaded producer lands in exactly one
+// shard, so the merged order IS its ingest order and the log behaves
+// bit-identically to the unsharded implementation. Tests that need full
+// control of placement use IngestInShard directly.
 //
 // Failure handling: each accepted residual also feeds the service's
 // HealthTracker (when one is attached), records rejected because the
@@ -20,12 +31,15 @@
 #ifndef CONTENDER_SERVE_OBSERVATION_LOG_H_
 #define CONTENDER_SERVE_OBSERVATION_LOG_H_
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <vector>
 
 #include "core/template_profile.h"
 #include "serve/service.h"
+#include "util/cacheline.h"
 #include "util/statusor.h"
 #include "util/summary_stats.h"
 
@@ -38,13 +52,17 @@ struct IngestResult {
   double continuum_residual = 0.0;
   /// Version of the snapshot the residual was computed against.
   uint64_t snapshot_version = 0;
+  /// Which shard buffered the record (for tests auditing placement).
+  int shard = -1;
 };
 
 /// One drained refit batch.
 struct ObservationBatch {
-  /// The pending records, in ingest order.
+  /// The pending records, in canonical merged order (shard index, then
+  /// per-shard ingest sequence).
   std::vector<MixObservation> observations;
-  /// Mean |continuum_residual| over those records (0 when empty).
+  /// Mean |continuum_residual| over those records (0 when empty),
+  /// accumulated by replaying the merged order.
   double mean_abs_residual = 0.0;
 };
 
@@ -52,12 +70,15 @@ struct ObservationBatch {
 class ObservationLog {
  public:
   struct Options {
-    /// Pending-buffer bound; Ingest rejects past it with ResourceExhausted
-    /// (the controller is not draining — dropping silently would skew the
-    /// refit toward old data).
+    /// Pending-buffer bound across all shards; Ingest rejects past it with
+    /// ResourceExhausted (the controller is not draining — dropping
+    /// silently would skew the refit toward old data).
     size_t pending_capacity = 65536;
     /// Dead-letter-buffer bound; Quarantine drops (and counts) past it.
     size_t dead_letter_capacity = 1024;
+    /// Pending-buffer shard count (>= 1). Concurrent producers land in
+    /// different shards; one producer always lands in one shard.
+    int num_shards = 16;
   };
 
   /// `service` must outlive the log.
@@ -67,12 +88,19 @@ class ObservationLog {
   ObservationLog(const ObservationLog&) = delete;
   ObservationLog& operator=(const ObservationLog&) = delete;
 
-  /// Validates and appends one record. InvalidArgument for out-of-range
-  /// indices, an MPL that does not match the mix size, or a non-positive
-  /// latency; ResourceExhausted when the pending buffer is full.
+  /// Validates and appends one record to the calling thread's shard.
+  /// InvalidArgument for out-of-range indices, an MPL that does not match
+  /// the mix size, or a non-positive latency; ResourceExhausted when the
+  /// pending buffer is full.
   StatusOr<IngestResult> Ingest(const MixObservation& observation);
 
-  /// Removes and returns every pending record with its residual summary.
+  /// Ingest with explicit shard placement (tests proving merge
+  /// determinism; `shard` is taken modulo num_shards).
+  StatusOr<IngestResult> IngestInShard(int shard,
+                                       const MixObservation& observation);
+
+  /// Removes and returns every pending record, merged canonically by
+  /// (shard index, per-shard sequence), with its residual summary.
   ObservationBatch Drain();
 
   /// Parks records whose refit failed in the bounded dead-letter buffer
@@ -84,7 +112,8 @@ class ObservationLog {
   /// Removes and returns the dead-letter buffer (for offline forensics).
   [[nodiscard]] std::vector<MixObservation> TakeDeadLetter();
 
-  /// Pending records and their mean |residual| (the refit triggers), and
+  /// Pending records across all shards and their mean |residual| (the
+  /// refit triggers; the mean replays the canonical merged order), and
   /// lifetime counters.
   [[nodiscard]] size_t pending() const;
   [[nodiscard]] double pending_mean_abs_residual() const;
@@ -97,18 +126,38 @@ class ObservationLog {
   [[nodiscard]] uint64_t quarantined() const;
   [[nodiscard]] size_t dead_letter_pending() const;
   [[nodiscard]] uint64_t dead_letter_dropped() const;
+  [[nodiscard]] int num_shards() const {
+    return static_cast<int>(shards_.size());
+  }
 
  private:
+  /// One accepted record plus the residual it was scored with (kept so
+  /// Drain can replay the summary without re-predicting).
+  struct PendingRecord {
+    MixObservation observation;
+    double abs_residual = 0.0;
+  };
+  /// Padded so producers on different shards never share a line.
+  struct alignas(kCacheLineSize) Shard {
+    mutable std::mutex mutex;
+    std::vector<PendingRecord> records;
+  };
+
+  /// The calling thread's stable shard index.
+  [[nodiscard]] int ThreadShard() const;
+
   const PredictionService* service_;
   Options options_;
 
-  mutable std::mutex mutex_;
-  std::vector<MixObservation> pending_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  /// Capacity gate: total records currently buffered across shards.
+  std::atomic<size_t> total_pending_{0};
+  std::atomic<uint64_t> ingested_{0};
+  std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> overflow_dropped_{0};
+
+  mutable std::mutex dead_letter_mutex_;
   std::vector<MixObservation> dead_letter_;
-  SummaryStats pending_abs_residuals_;
-  uint64_t ingested_ = 0;
-  uint64_t rejected_ = 0;
-  uint64_t overflow_dropped_ = 0;
   uint64_t quarantined_ = 0;
   uint64_t dead_letter_dropped_ = 0;
 };

@@ -15,27 +15,18 @@ PredictionService::PredictionService(
 PredictionService::PredictionService(
     std::shared_ptr<const ModelSnapshot> initial, const Options& options)
     : options_(options),
-      snapshot_(std::move(initial)),
+      holder_(std::move(initial)),  // CHECKs non-null
       pool_(options.num_threads <= 0 ? ThreadPool::DefaultThreads()
-                                     : options.num_threads) {
-  CONTENDER_CHECK(snapshot_ != nullptr)
-      << "PredictionService: initial snapshot must be non-null";
-}
+                                     : options.num_threads) {}
 
 std::shared_ptr<const ModelSnapshot> PredictionService::snapshot() const {
-  const std::lock_guard<std::mutex> lock(snapshot_mutex_);
-  return snapshot_;
+  return holder_.shared();
 }
 
 void PredictionService::Publish(std::shared_ptr<const ModelSnapshot> next) {
   CONTENDER_CHECK(next != nullptr)
       << "PredictionService: cannot publish a null snapshot";
-  {
-    const std::lock_guard<std::mutex> lock(snapshot_mutex_);
-    snapshot_.swap(next);
-  }
-  // `next` now holds the displaced snapshot; releasing it outside the lock
-  // keeps a potentially expensive destructor off the swap critical path.
+  holder_.Publish(std::move(next));
   publishes_.fetch_add(1, std::memory_order_relaxed);
 }
 
@@ -66,64 +57,87 @@ PredictResult PredictionService::PredictOn(const ModelSnapshot& snapshot,
       request.template_index, request.concurrent, allow_full_model);
   result.latency = answer.latency;
   result.tier = answer.tier;
-  tier_counts_[static_cast<size_t>(answer.tier)].fetch_add(
-      1, std::memory_order_relaxed);
   return result;
+}
+
+void PredictionService::AddTierCounts(
+    int stripe, const std::array<uint64_t, 3>& counts) const {
+  for (size_t t = 0; t < counts.size(); ++t) {
+    if (counts[t] != 0) tier_counts_[t].Add(stripe, counts[t]);
+  }
 }
 
 StatusOr<units::Seconds> PredictionService::Predict(
     int template_index, const std::vector<int>& concurrent) const {
-  const std::shared_ptr<const ModelSnapshot> snap = snapshot();
+  const SnapshotHolder::View view = holder_.Acquire();
   PredictRequest request;
   request.template_index = template_index;
   request.concurrent = concurrent;
-  const PredictResult result = PredictOn(*snap, request);
-  served_.fetch_add(1, std::memory_order_relaxed);
+  const PredictResult result = PredictOn(*view, request);
+  served_.Add(view.stats_slot());
   if (!result.status.ok()) return result.status;
+  tier_counts_[static_cast<size_t>(result.tier)].Add(view.stats_slot());
   return result.latency;
 }
 
 PredictResult PredictionService::PredictDetailed(
     int template_index, const std::vector<int>& concurrent) const {
-  const std::shared_ptr<const ModelSnapshot> snap = snapshot();
+  const SnapshotHolder::View view = holder_.Acquire();
   PredictRequest request;
   request.template_index = template_index;
   request.concurrent = concurrent;
-  const PredictResult result = PredictOn(*snap, request);
-  served_.fetch_add(1, std::memory_order_relaxed);
+  const PredictResult result = PredictOn(*view, request);
+  served_.Add(view.stats_slot());
+  if (result.status.ok()) {
+    tier_counts_[static_cast<size_t>(result.tier)].Add(view.stats_slot());
+  }
   return result;
 }
 
 std::vector<PredictResult> PredictionService::PredictBatch(
     const std::vector<PredictRequest>& batch) const {
-  // One snapshot for the whole batch: every answer is mutually consistent
-  // even if a Publish lands mid-batch.
-  const std::shared_ptr<const ModelSnapshot> snap = snapshot();
+  // One pinned snapshot for the whole batch: every answer is mutually
+  // consistent even if a Publish lands mid-batch.
+  const SnapshotHolder::View view = holder_.Acquire();
   std::vector<PredictResult> results(batch.size());
-  served_.fetch_add(batch.size(), std::memory_order_relaxed);
+  served_.Add(view.stats_slot(), batch.size());
   if (batch.size() <= options_.inline_batch_limit ||
       pool_.num_threads() < 2) {
+    std::array<uint64_t, 3> counts{};
     for (size_t i = 0; i < batch.size(); ++i) {
-      results[i] = PredictOn(*snap, batch[i]);
+      results[i] = PredictOn(*view, batch[i]);
+      if (results[i].status.ok()) {
+        ++counts[static_cast<size_t>(results[i].tier)];
+      }
     }
+    AddTierCounts(view.stats_slot(), counts);
     return results;
   }
   // Chunked fan-out; each task writes a disjoint slice, so no result-side
   // synchronization is needed and the output is identical to the inline
-  // path (each entry is a pure function of (snapshot, request)).
+  // path (each entry is a pure function of (snapshot, request)). Tier
+  // tallies accumulate per chunk and fold in with one striped Add per
+  // tier, so workers never rendezvous on a shared counter line.
   const size_t chunks =
       std::min(batch.size(), static_cast<size_t>(pool_.num_threads()) * 2);
   const size_t per_chunk = (batch.size() + chunks - 1) / chunks;
+  const ModelSnapshot* snap = view.get();
   std::vector<std::future<void>> pending;
   pending.reserve(chunks);
-  for (size_t start = 0; start < batch.size(); start += per_chunk) {
+  int stripe = 0;
+  for (size_t start = 0; start < batch.size(); start += per_chunk, ++stripe) {
     const size_t end = std::min(start + per_chunk, batch.size());
-    pending.push_back(pool_.Submit([this, &snap, &batch, &results, start,
-                                    end] {
-      for (size_t i = start; i < end; ++i) {
-        results[i] = PredictOn(*snap, batch[i]);
-      }
-    }));
+    pending.push_back(
+        pool_.Submit([this, snap, &batch, &results, start, end, stripe] {
+          std::array<uint64_t, 3> counts{};
+          for (size_t i = start; i < end; ++i) {
+            results[i] = PredictOn(*snap, batch[i]);
+            if (results[i].status.ok()) {
+              ++counts[static_cast<size_t>(results[i].tier)];
+            }
+          }
+          AddTierCounts(stripe, counts);
+        }));
   }
   for (std::future<void>& f : pending) f.get();
   return results;

@@ -1,24 +1,23 @@
-// The concurrent prediction front-end: a long-lived service that owns the
-// *current* ModelSnapshot behind a mutex-guarded shared_ptr, serves
-// single predictions off whatever snapshot a reader loads, and fans
-// batched requests across a util::ThreadPool.
+// The concurrent prediction front-end: a long-lived service that owns
+// the *current* ModelSnapshot inside a lock-free SnapshotHolder, serves
+// predictions off an epoch-pinned view of it, and fans batched requests
+// across a util::ThreadPool.
 //
-// Swap protocol: Publish() replaces the current snapshot under a mutex
-// whose critical section is one pointer swap — it is never held while a
-// model is refit, trained, or even evaluated, so serving never pauses.
-// Readers hold the same mutex only long enough to copy the shared_ptr;
-// all prediction work happens on their private handle afterwards.
-// Readers that already loaded the old snapshot finish on it (shared_ptr
-// keeps it alive); readers that load after the swap see the new one.
-// There is no torn state — a batch is answered entirely by the single
-// snapshot loaded at its start, so every response in one batch is
-// mutually consistent and stamped with that snapshot's version.
+// Read path: Predict/PredictDetailed/PredictBatch acquire a
+// SnapshotHolder::View — an epoch registration plus a bounded-spin
+// seqlock read (DESIGN.md §12); no mutex, no refcount bump, no shared
+// line written except the reader's own padded epoch slot and counter
+// stripes. Single-threaded answers are bit-identical to the pre-lock-free
+// implementation: the prediction itself is the same pure function of
+// (snapshot, request), only the pointer-publication mechanism changed.
 //
-// (std::atomic<std::shared_ptr> would shrink the reader's critical
-// section to libstdc++'s internal spinlock, but GCC 12's _Sp_atomic
-// parks contended waiters on a futex ThreadSanitizer cannot model, which
-// makes every hot-swap test a false positive. A real mutex costs the
-// same uncontended atomic op and keeps the concurrency story auditable.)
+// Write path: Publish() — the designated writer seam — rewrites the
+// seqlock pair under the holder's writer mutex and retires the displaced
+// snapshot into the epoch domain. In-flight readers finish on the
+// snapshot they pinned; cold-path handles from snapshot() keep versions
+// alive arbitrarily long, exactly as before. There is no torn state — a
+// batch is answered entirely by the single snapshot pinned at its start,
+// and every answer is stamped with that snapshot's version.
 
 #ifndef CONTENDER_SERVE_SERVICE_H_
 #define CONTENDER_SERVE_SERVICE_H_
@@ -27,11 +26,12 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "serve/health.h"
 #include "serve/model_snapshot.h"
+#include "serve/snapshot_holder.h"
+#include "util/sharded_counter.h"
 #include "util/status.h"
 #include "util/statusor.h"
 #include "util/thread_pool.h"
@@ -83,16 +83,21 @@ class PredictionService {
   PredictionService(const PredictionService&) = delete;
   PredictionService& operator=(const PredictionService&) = delete;
 
-  /// The snapshot currently being served (a pointer copy under a
-  /// micro-lock; callers may hold the result for as long as they like).
+  /// The snapshot currently being served (a cold-path shared_ptr copy
+  /// from the writer seam; callers may hold it as long as they like).
   [[nodiscard]] std::shared_ptr<const ModelSnapshot> snapshot() const;
 
-  /// Replaces the served snapshot with one pointer swap. In-flight readers
-  /// finish on the snapshot they already loaded; `next` must be non-null.
+  /// The lock-free holder itself, for read-side collaborators that want
+  /// epoch-pinned views instead of refcounted handles (ObservationLog's
+  /// ingest scoring path does).
+  [[nodiscard]] const SnapshotHolder& holder() const { return holder_; }
+
+  /// Replaces the served snapshot (the writer seam). In-flight readers
+  /// finish on the snapshot they already pinned; `next` must be non-null.
   void Publish(std::shared_ptr<const ModelSnapshot> next);
 
-  /// One prediction against the current snapshot; no lock is held while
-  /// the model evaluates. Non-OK only for out-of-range indices.
+  /// One prediction against the current snapshot; the entire read path is
+  /// lock-free. Non-OK only for out-of-range indices.
   StatusOr<units::Seconds> Predict(int template_index,
                                    const std::vector<int>& concurrent) const;
 
@@ -101,7 +106,7 @@ class PredictionService {
   [[nodiscard]] PredictResult PredictDetailed(
       int template_index, const std::vector<int>& concurrent) const;
 
-  /// Answers every request against ONE snapshot (loaded once at batch
+  /// Answers every request against ONE snapshot (pinned once at batch
   /// start), fanning chunks across the pool for large batches. Results are
   /// positionally aligned with `batch` and bit-identical for every pool
   /// width, including inline execution.
@@ -109,9 +114,7 @@ class PredictionService {
       const std::vector<PredictRequest>& batch) const;
 
   /// Total single predictions + batch entries answered.
-  [[nodiscard]] uint64_t served() const {
-    return served_.load(std::memory_order_relaxed);
-  }
+  [[nodiscard]] uint64_t served() const { return served_.Total(); }
   /// Number of Publish() calls (initial snapshot excluded).
   [[nodiscard]] uint64_t publishes() const {
     return publishes_.load(std::memory_order_relaxed);
@@ -124,23 +127,24 @@ class PredictionService {
   }
   /// Answers served so far from the given ladder tier.
   [[nodiscard]] uint64_t tier_count(DegradationTier tier) const {
-    return tier_counts_[static_cast<size_t>(tier)].load(
-        std::memory_order_relaxed);
+    return tier_counts_[static_cast<size_t>(tier)].Total();
   }
 
  private:
+  /// Pure evaluation of one request on one snapshot — no counter side
+  /// effects, so pool workers can batch their stripe bumps per chunk.
   PredictResult PredictOn(const ModelSnapshot& snapshot,
                           const PredictRequest& request) const;
+  /// Folds one chunk's per-tier tallies into the striped counters.
+  void AddTierCounts(int stripe, const std::array<uint64_t, 3>& counts) const;
 
   Options options_;
-  /// Guards only the pointer itself; the critical section on both sides
-  /// is a shared_ptr copy/swap, never a model evaluation or refit.
-  mutable std::mutex snapshot_mutex_;
-  std::shared_ptr<const ModelSnapshot> snapshot_;
-  mutable std::atomic<uint64_t> served_{0};
+  SnapshotHolder holder_;
   std::atomic<uint64_t> publishes_{0};
-  /// Valid answers per DegradationTier (indexed by the enum's value).
-  mutable std::array<std::atomic<uint64_t>, 3> tier_counts_{};
+  /// Striped by the reader's epoch slot: bumping them never contends
+  /// across serving threads.
+  mutable ShardedCounter served_;
+  mutable std::array<ShardedCounter, 3> tier_counts_;
   mutable ThreadPool pool_;
 };
 

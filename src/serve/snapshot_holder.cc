@@ -1,0 +1,59 @@
+#include "serve/snapshot_holder.h"
+
+#include <utility>
+
+#include "util/logging.h"
+
+namespace contender::serve {
+
+SnapshotHolder::SnapshotHolder(std::shared_ptr<const ModelSnapshot> initial)
+    : current_(std::move(initial)) {
+  CONTENDER_CHECK(current_ != nullptr)
+      << "SnapshotHolder: initial snapshot must be non-null";
+  ref_.Write({current_.get(), current_->version()});
+}
+
+SnapshotHolder::~SnapshotHolder() = default;
+
+SnapshotHolder::View::View(const SnapshotHolder* holder)
+    : guard_(&holder->epochs_) {
+  // Epoch registration (the guard, already constructed) MUST precede the
+  // seqlock read: the reclamation proof relies on the pointer being
+  // loaded after this reader's announcement is visible to writers.
+  if (guard_.engaged()) {
+    Ref ref;
+    if (holder->ref_.TryRead(&ref, kReadSpins)) {
+      snapshot_ = ref.snapshot;
+      version_ = ref.version;
+      return;
+    }
+  }
+  // Slow path (slot saturation or writer churn): pin by refcount. The
+  // guard stays registered but unused — harmless.
+  fallback_ = holder->shared();
+  snapshot_ = fallback_.get();
+  version_ = fallback_->version();
+}
+
+std::shared_ptr<const ModelSnapshot> SnapshotHolder::shared() const {
+  const std::lock_guard<std::mutex> lock(writer_mutex_);  // contender-lint: writer-seam
+  return current_;
+}
+
+void SnapshotHolder::Publish(std::shared_ptr<const ModelSnapshot> next) {
+  CONTENDER_CHECK(next != nullptr)
+      << "SnapshotHolder: cannot publish a null snapshot";
+  std::shared_ptr<const ModelSnapshot> displaced;
+  {
+    const std::lock_guard<std::mutex> lock(writer_mutex_);  // contender-lint: writer-seam
+    ref_.Write({next.get(), next->version()});
+    displaced = std::move(current_);
+    current_ = std::move(next);
+  }
+  // Retire outside the seam so reclamation (which may run a snapshot
+  // destructor) never extends the writer critical section readers'
+  // fallback path waits on.
+  epochs_.Retire(std::move(displaced));
+}
+
+}  // namespace contender::serve

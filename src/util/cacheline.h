@@ -1,0 +1,44 @@
+// Cache-line geometry and padding helpers for hot shared state.
+//
+// Two atomics that live on one cache line ping-pong that line between
+// cores even when the logical variables are independent ("false
+// sharing") — the serving hot path pays that cost on every counter
+// bump. Every shared-but-independent atomic in the read path is wrapped
+// in CachePadded so each one owns a full line.
+//
+// std::hardware_destructive_interference_size would be the standard
+// spelling, but GCC warns (-Winterference-size) that its value is ABI-
+// fragile across -mtune flags; a fixed 64 matches every x86-64 and the
+// common AArch64 parts, and over-aligning on exotic 128-byte-line parts
+// costs only memory, never correctness.
+
+#ifndef CONTENDER_UTIL_CACHELINE_H_
+#define CONTENDER_UTIL_CACHELINE_H_
+
+#include <cstddef>
+#include <new>
+
+namespace contender {
+
+/// The padding granularity used for hot shared state.
+inline constexpr std::size_t kCacheLineSize = 64;
+
+/// Wraps T so it starts on its own cache line and nothing else shares the
+/// line behind it. Intended for atomics in arrays indexed by shard/slot:
+/// `CachePadded<std::atomic<uint64_t>> counters[kShards];`.
+template <typename T>
+struct alignas(kCacheLineSize) CachePadded {
+  T value{};
+
+  T* operator->() { return &value; }
+  const T* operator->() const { return &value; }
+  T& operator*() { return value; }
+  const T& operator*() const { return value; }
+};
+
+static_assert(alignof(CachePadded<char>) == kCacheLineSize);
+static_assert(sizeof(CachePadded<char>) == kCacheLineSize);
+
+}  // namespace contender
+
+#endif  // CONTENDER_UTIL_CACHELINE_H_

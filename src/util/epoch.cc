@@ -1,0 +1,118 @@
+#include "util/epoch.h"
+
+#include <algorithm>
+#include <limits>
+#include <thread>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace contender {
+
+namespace {
+
+// Per-thread starting slot for the claim scan. Distinct threads start at
+// distinct slots, so steady-state claims are CASes on a line no other
+// reader touches; the scan only walks on collision (more threads than
+// slots, or two threads racing the same hint).
+int ThreadSlotHint() {
+  static std::atomic<int> next_hint{0};
+  thread_local const int hint =
+      next_hint.fetch_add(1, std::memory_order_relaxed) %
+      EpochDomain::kNumSlots;
+  return hint;
+}
+
+}  // namespace
+
+EpochDomain::EpochDomain() = default;
+
+EpochDomain::~EpochDomain() {
+  for (int i = 0; i < kNumSlots; ++i) {
+    CONTENDER_CHECK(slots_[i]->load(std::memory_order_acquire) == 0)
+        << "EpochDomain destroyed with reader registered in slot " << i;
+  }
+  // No readers left: every retired object is trivially safe to drop.
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  retired_.clear();
+}
+
+EpochDomain::ReaderGuard::ReaderGuard(EpochDomain* domain) : domain_(domain) {
+  uint64_t epoch = domain_->epoch_.load(std::memory_order_seq_cst);
+  const int hint = ThreadSlotHint();
+  for (int probe = 0; probe < kNumSlots; ++probe) {
+    const int idx = (hint + probe) % kNumSlots;
+    uint64_t expected = 0;
+    if (domain_->slots_[idx]->compare_exchange_strong(
+            expected, epoch, std::memory_order_seq_cst)) {
+      slot_ = idx;
+      break;
+    }
+  }
+  if (slot_ < 0) return;  // saturated: caller takes the slow path
+  // Close the announce race: if the epoch advanced between our load and
+  // the claim, a writer may have scanned the slots before our claim was
+  // visible. Re-announce until the epoch holds still; the loop runs at
+  // most once per concurrent Retire.
+  while (true) {
+    const uint64_t current =
+        domain_->epoch_.load(std::memory_order_seq_cst);
+    if (current == epoch) break;
+    epoch = current;
+    domain_->slots_[slot_]->store(epoch, std::memory_order_seq_cst);
+  }
+}
+
+EpochDomain::ReaderGuard::~ReaderGuard() {
+  if (slot_ < 0) return;
+  // Release-publishes every read made under the guard before the slot
+  // frees, so a writer that observes the free slot also observes that
+  // this reader is done with anything it dereferenced.
+  domain_->slots_[slot_]->store(0, std::memory_order_release);
+}
+
+void EpochDomain::Retire(std::shared_ptr<const void> object) {
+  {
+    std::lock_guard<std::mutex> lock(writer_mutex_);
+    retired_.push_back(
+        {std::move(object), epoch_.load(std::memory_order_relaxed)});
+  }
+  epoch_.fetch_add(1, std::memory_order_seq_cst);
+  Reclaim();
+}
+
+size_t EpochDomain::Reclaim() {
+  // A retired object tagged G is invisible to future readers (they will
+  // announce the advanced epoch > G) and to every active reader whose
+  // announcement exceeds G — so once min(active announcements) > G it is
+  // unreachable and safe to drop.
+  uint64_t min_announced = std::numeric_limits<uint64_t>::max();
+  for (int i = 0; i < kNumSlots; ++i) {
+    const uint64_t announced = slots_[i]->load(std::memory_order_seq_cst);
+    if (announced != 0) min_announced = std::min(min_announced, announced);
+  }
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  const size_t before = retired_.size();
+  retired_.erase(
+      std::remove_if(retired_.begin(), retired_.end(),
+                     [min_announced](const Retired& r) {
+                       return r.tag < min_announced;
+                     }),
+      retired_.end());
+  return before - retired_.size();
+}
+
+size_t EpochDomain::retired_pending() const {
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  return retired_.size();
+}
+
+int EpochDomain::active_readers() const {
+  int active = 0;
+  for (int i = 0; i < kNumSlots; ++i) {
+    if (slots_[i]->load(std::memory_order_acquire) != 0) ++active;
+  }
+  return active;
+}
+
+}  // namespace contender

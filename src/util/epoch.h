@@ -1,0 +1,114 @@
+// Epoch-based reclamation for read-mostly shared objects.
+//
+// The serving hot path must load the current ModelSnapshot, use it, and
+// never take a lock — while a writer occasionally replaces the snapshot
+// and must know when the displaced one is safe to release. Classic RCU
+// shape. Readers announce the epoch they entered in a per-slot atomic
+// (one cache line each, claimed by CAS from a per-thread hint, so the
+// announcement never contends with other readers); the writer retires a
+// displaced object tagged with the epoch it was current in, advances the
+// global epoch, and releases a retired object only once every active
+// announcement is strictly newer than its tag. A reader announced at
+// epoch e can only be dereferencing objects whose eventual retire tag is
+// >= e, so nothing it can see is ever released under it (the proof
+// sketch lives in DESIGN.md §12).
+//
+// LeanStore keeps the same discipline for its per-thread backend state:
+// per-worker structures the hot path touches without coordination, and a
+// slow path that scans the workers. The read side here is three atomic
+// operations (claim, confirm, release); the write side is mutex-guarded
+// because writers are rare (hot-swap publishes) and already serialized.
+//
+// Lifetime: the domain must outlive all guards; destroying it with a
+// reader still registered is a caller bug and CHECK-fails.
+
+#ifndef CONTENDER_UTIL_EPOCH_H_
+#define CONTENDER_UTIL_EPOCH_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "util/cacheline.h"
+
+namespace contender {
+
+/// One independent reclamation scope (one per SnapshotHolder).
+class EpochDomain {
+ public:
+  /// Concurrent reader-registration capacity. More simultaneous readers
+  /// than slots is not an error: the guard reports !engaged() and the
+  /// caller falls back to its locking slow path.
+  static constexpr int kNumSlots = 64;
+
+  EpochDomain();
+  ~EpochDomain();
+
+  EpochDomain(const EpochDomain&) = delete;
+  EpochDomain& operator=(const EpochDomain&) = delete;
+
+  /// Lock-free read-side registration. While engaged, any object retired
+  /// at or after the announced epoch stays alive. Guards nest freely —
+  /// each claims its own slot.
+  class ReaderGuard {
+   public:
+    explicit ReaderGuard(EpochDomain* domain);
+    ~ReaderGuard();
+
+    ReaderGuard(const ReaderGuard&) = delete;
+    ReaderGuard& operator=(const ReaderGuard&) = delete;
+
+    /// False when every slot was taken; the caller must use its slow
+    /// path instead of touching epoch-protected objects.
+    [[nodiscard]] bool engaged() const { return slot_ >= 0; }
+    /// The claimed slot index in [0, kNumSlots); also usable as a
+    /// contention-free shard index for reader-side statistics. -1 when
+    /// not engaged.
+    [[nodiscard]] int slot() const { return slot_; }
+
+   private:
+    EpochDomain* domain_;
+    int slot_ = -1;
+  };
+
+  /// Writer side: parks `object` until no reader can still see it, then
+  /// drops the reference (releases the object unless the caller handed
+  /// out other shared_ptr copies). Advances the epoch and opportunistically
+  /// reclaims. Thread-safe, but writers are expected to be rare.
+  void Retire(std::shared_ptr<const void> object);
+
+  /// Releases every retired object no active reader can see. Returns how
+  /// many were released. Called from Retire; exposed for tests and for
+  /// idle-time sweeps.
+  size_t Reclaim();
+
+  /// Currently parked (retired but not yet reclaimable) objects.
+  [[nodiscard]] size_t retired_pending() const;
+  /// Current epoch (starts at 1, advances once per Retire).
+  [[nodiscard]] uint64_t epoch() const {
+    return epoch_.load(std::memory_order_acquire);
+  }
+  /// Slots currently announcing (diagnostic; racy by nature).
+  [[nodiscard]] int active_readers() const;
+
+ private:
+  friend class ReaderGuard;
+
+  /// Slot value 0 = free; otherwise the announced epoch (epochs start
+  /// at 1, so 0 is unambiguous).
+  CachePadded<std::atomic<uint64_t>> slots_[kNumSlots];
+  std::atomic<uint64_t> epoch_{1};
+
+  struct Retired {
+    std::shared_ptr<const void> object;
+    uint64_t tag = 0;  // epoch the object was current in when retired
+  };
+  mutable std::mutex writer_mutex_;  // guards retired_ (writer seam only)
+  std::vector<Retired> retired_;
+};
+
+}  // namespace contender
+
+#endif  // CONTENDER_UTIL_EPOCH_H_

@@ -107,6 +107,14 @@ void SampleStats::Add(double x) {
   sorted_ = samples_.size() == 1;
 }
 
+void SampleStats::Merge(const SampleStats& other) {
+  if (other.samples_.empty()) return;  // empty shard: exact no-op
+  moments_.Merge(other.moments_);
+  samples_.insert(samples_.end(), other.samples_.begin(),
+                  other.samples_.end());
+  sorted_ = false;
+}
+
 double SampleStats::percentile(double p) const {
   if (samples_.empty()) return kEmptySample;
   if (!sorted_) {

@@ -72,6 +72,14 @@ class SampleStats {
   double max() const { return moments_.max(); }
   double sum() const { return moments_.sum(); }
 
+  /// Folds another accumulator's samples and moments into this one (the
+  /// per-thread/per-shard stats merge). Merging an empty shard is an
+  /// exact no-op: a thread that served zero requests contributes no
+  /// samples, so it can never drag a merged quantile to NaN — only a
+  /// merge in which EVERY shard was empty stays empty (and then
+  /// percentile() returns the deliberate NaN poison).
+  void Merge(const SampleStats& other);
+
   /// Exact p-th percentile (0..100) over the retained samples; quiet NaN
   /// on an empty accumulator (see Percentile above). The sorted order is
   /// cached between calls and invalidated by Add.

@@ -135,12 +135,39 @@ TEST(MixOracleTest, PredictFailPointForcesDegradation) {
 TEST(MixOracleTest, LruEvictsBeyondCapacity) {
   MixOracle::Options options;
   options.capacity = 4;
+  // One shard restores the exact single-LRU semantics: a global recency
+  // order and a global bound.
+  options.num_shards = 1;
   MixOracle oracle(&SharedPredictor(), options);
   for (int t = 0; t < 8; ++t) {
     oracle.PredictInMix(t, {(t + 1) % oracle.num_templates()});
   }
   EXPECT_EQ(oracle.size(), 4u);
   EXPECT_EQ(oracle.misses(), 8u);
+}
+
+TEST(MixOracleTest, ShardedEvictionBoundsEachShard) {
+  MixOracle::Options options;
+  options.capacity = 8;
+  options.num_shards = 4;  // per-shard bound = 2
+  MixOracle oracle(&SharedPredictor(), options);
+  const int n = oracle.num_templates();
+  for (int round = 0; round < 4; ++round) {
+    for (int t = 0; t < n; ++t) {
+      oracle.PredictInMix(t, {(t + round) % n, (t + round + 1) % n});
+    }
+  }
+  // Never over the global bound, and eviction happened per shard — the
+  // memo retained SOMETHING (each shard keeps its most recent entries).
+  EXPECT_LE(oracle.size(), 8u);
+  EXPECT_GE(oracle.size(), 1u);
+  // A retained key still answers bit-identically to an uncached oracle.
+  MixOracle uncached(&SharedPredictor(), Uncached());
+  for (int t = 0; t < n; ++t) {
+    const std::vector<int> mix = {(t + 3) % n, (t + 4) % n};
+    EXPECT_EQ(oracle.PredictInMix(t, mix).value(),
+              uncached.PredictInMix(t, mix).value());
+  }
 }
 
 TEST(MixOracleTest, ConcurrentProbesMatchSerialAnswers) {

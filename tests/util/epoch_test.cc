@@ -1,0 +1,144 @@
+// Battery for epoch-based reclamation (util/epoch.h): retire/reclaim
+// lifecycle, reader pinning, slot exhaustion degrading to !engaged(),
+// nested guards, the destroy-with-live-reader death, and a concurrent
+// readers-vs-retirer stress proving nothing is ever freed under a reader.
+
+#include "util/epoch.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+namespace contender {
+namespace {
+
+// Tracks destruction so tests can assert exactly when reclamation fires.
+struct Tracked {
+  explicit Tracked(std::atomic<int>* counter) : counter(counter) {}
+  ~Tracked() { counter->fetch_add(1, std::memory_order_relaxed); }
+  std::atomic<int>* counter;
+};
+
+std::shared_ptr<const void> MakeTracked(std::atomic<int>* counter) {
+  return std::static_pointer_cast<const void>(
+      std::make_shared<Tracked>(counter));
+}
+
+TEST(EpochDomainTest, RetireWithoutReadersReclaimsImmediately) {
+  EpochDomain domain;
+  std::atomic<int> destroyed{0};
+  domain.Retire(MakeTracked(&destroyed));
+  // No reader was registered, so the retire's own reclaim pass frees it.
+  EXPECT_EQ(destroyed.load(), 1);
+  EXPECT_EQ(domain.retired_pending(), 0u);
+}
+
+TEST(EpochDomainTest, ActiveReaderPinsRetiredObject) {
+  EpochDomain domain;
+  std::atomic<int> destroyed{0};
+  {
+    EpochDomain::ReaderGuard guard(&domain);
+    ASSERT_TRUE(guard.engaged());
+    EXPECT_GE(guard.slot(), 0);
+    EXPECT_LT(guard.slot(), EpochDomain::kNumSlots);
+    EXPECT_EQ(domain.active_readers(), 1);
+
+    domain.Retire(MakeTracked(&destroyed));
+    // The guard announced an epoch <= the retire tag: must stay parked.
+    EXPECT_EQ(destroyed.load(), 0);
+    EXPECT_EQ(domain.retired_pending(), 1u);
+    EXPECT_EQ(domain.Reclaim(), 0u);
+  }
+  // Reader gone: the next sweep frees it.
+  EXPECT_EQ(domain.Reclaim(), 1u);
+  EXPECT_EQ(destroyed.load(), 1);
+  EXPECT_EQ(domain.retired_pending(), 0u);
+}
+
+TEST(EpochDomainTest, EpochAdvancesOncePerRetire) {
+  EpochDomain domain;
+  std::atomic<int> destroyed{0};
+  const uint64_t before = domain.epoch();
+  domain.Retire(MakeTracked(&destroyed));
+  domain.Retire(MakeTracked(&destroyed));
+  EXPECT_EQ(domain.epoch(), before + 2);
+}
+
+TEST(EpochDomainTest, GuardsNestAndClaimDistinctSlots) {
+  EpochDomain domain;
+  EpochDomain::ReaderGuard outer(&domain);
+  EpochDomain::ReaderGuard inner(&domain);
+  ASSERT_TRUE(outer.engaged());
+  ASSERT_TRUE(inner.engaged());
+  EXPECT_NE(outer.slot(), inner.slot());
+  EXPECT_EQ(domain.active_readers(), 2);
+}
+
+TEST(EpochDomainTest, SlotExhaustionDisengagesGracefully) {
+  EpochDomain domain;
+  std::vector<std::unique_ptr<EpochDomain::ReaderGuard>> guards;
+  guards.reserve(EpochDomain::kNumSlots);
+  for (int i = 0; i < EpochDomain::kNumSlots; ++i) {
+    guards.push_back(std::make_unique<EpochDomain::ReaderGuard>(&domain));
+    ASSERT_TRUE(guards.back()->engaged()) << "slot " << i;
+  }
+  // Every slot taken: the next reader must degrade, not crash or spin.
+  EpochDomain::ReaderGuard overflow(&domain);
+  EXPECT_FALSE(overflow.engaged());
+  EXPECT_EQ(overflow.slot(), -1);
+  guards.clear();
+  EXPECT_EQ(domain.active_readers(), 0);
+  // Slots freed: registration works again.
+  EpochDomain::ReaderGuard again(&domain);
+  EXPECT_TRUE(again.engaged());
+}
+
+TEST(EpochDomainDeathTest, DestroyingDomainWithLiveReaderDies) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        auto* domain = new EpochDomain;
+        EpochDomain::ReaderGuard leak(domain);
+        delete domain;  // reader still registered: caller bug
+      },
+      "");
+}
+
+// Readers continuously enter/exit while the main thread retires objects.
+// Counted destructors prove (a) nothing leaks and (b) nothing is freed
+// while a reader could still see it — TSAN watches (b)'s memory ordering.
+TEST(EpochDomainTest, ConcurrentReadersAndRetirerReclaimEverything) {
+  EpochDomain domain;
+  std::atomic<int> destroyed{0};
+  std::atomic<bool> stop{false};
+  constexpr int kReaders = 4;
+  constexpr int kRetired = 2000;
+
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        EpochDomain::ReaderGuard guard(&domain);
+        // Hold briefly so retires overlap live registrations.
+        std::atomic_thread_fence(std::memory_order_seq_cst);
+      }
+    });
+  }
+  for (int i = 0; i < kRetired; ++i) {
+    domain.Retire(MakeTracked(&destroyed));
+  }
+  stop.store(true, std::memory_order_release);
+  for (std::thread& t : readers) t.join();
+
+  domain.Reclaim();
+  EXPECT_EQ(destroyed.load(), kRetired);
+  EXPECT_EQ(domain.retired_pending(), 0u);
+  EXPECT_EQ(domain.active_readers(), 0);
+}
+
+}  // namespace
+}  // namespace contender

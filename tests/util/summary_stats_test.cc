@@ -168,6 +168,66 @@ TEST(SampleStatsTest, QuantilesAreExactOverRetainedSamples) {
   EXPECT_DOUBLE_EQ(s.percentile(100.0), 100.0);
 }
 
+TEST(SampleStatsTest, MergeFoldsShardsIntoCombinedDistribution) {
+  // Three per-thread shards merged as the bench's thread sweep does.
+  SampleStats merged, combined;
+  SampleStats shards[3];
+  Rng rng(21);
+  for (int s = 0; s < 3; ++s) {
+    for (int i = 0; i < 40; ++i) {
+      const double x = rng.Normal(5.0 + s, 1.5);
+      shards[s].Add(x);
+      combined.Add(x);
+    }
+  }
+  for (const SampleStats& shard : shards) merged.Merge(shard);
+  EXPECT_EQ(merged.count(), combined.count());
+  EXPECT_DOUBLE_EQ(merged.p50(), combined.p50());
+  EXPECT_DOUBLE_EQ(merged.p99(), combined.p99());
+  EXPECT_EQ(merged.min(), combined.min());
+  EXPECT_EQ(merged.max(), combined.max());
+}
+
+TEST(SampleStatsTest, MergingEmptyShardIsExactNoOp) {
+  // A thread that served zero requests contributes an empty shard; the
+  // merge must not drag the combined quantiles toward NaN or zero.
+  SampleStats merged;
+  merged.Add(1.0);
+  merged.Add(9.0);
+  const double p99_before = merged.p99();
+  const double mean_before = merged.mean();
+
+  SampleStats empty_shard;
+  merged.Merge(empty_shard);
+  EXPECT_EQ(merged.count(), 2u);
+  EXPECT_EQ(merged.p99(), p99_before);
+  EXPECT_EQ(merged.mean(), mean_before);
+
+  // Merging INTO an empty accumulator adopts the other side wholesale.
+  SampleStats adopted;
+  adopted.Merge(merged);
+  EXPECT_EQ(adopted.count(), 2u);
+  EXPECT_EQ(adopted.p99(), p99_before);
+
+  // Only an all-empty merge stays empty — and then the quantiles are the
+  // deliberate NaN poison, not a fabricated number.
+  SampleStats all_empty;
+  all_empty.Merge(empty_shard);
+  EXPECT_TRUE(all_empty.empty());
+  EXPECT_TRUE(std::isnan(all_empty.p99()));
+}
+
+TEST(SampleStatsTest, MergeAfterCachedSortStaysCorrect) {
+  SampleStats a, b;
+  a.Add(4.0);
+  a.Add(1.0);
+  EXPECT_DOUBLE_EQ(a.p50(), 2.5);  // forces a's cached sort
+  b.Add(10.0);
+  a.Merge(b);  // must invalidate the cache
+  EXPECT_DOUBLE_EQ(a.percentile(100.0), 10.0);
+  EXPECT_EQ(a.count(), 3u);
+}
+
 TEST(SampleStatsTest, AddAfterQuantileInvalidatesCachedOrder) {
   SampleStats s;
   s.Add(10.0);

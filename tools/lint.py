@@ -23,6 +23,16 @@ Rules enforced (each maps to an invariant documented in DESIGN.md):
                       is seeded-deterministic, and tests can inject a
                       FakeClock. bench/ and tests/ drive wall-clock
                       scenarios and are exempt.
+  R6 read-path-mutex  No std::mutex/lock_guard/unique_lock (or any other
+                      blocking-lock vocabulary) in the serving read-path
+                      files (src/serve/service.* and
+                      src/serve/snapshot_holder.*). The read path is
+                      lock-free by design (DESIGN.md §12): readers go
+                      seqlock + epoch guard, and the ONLY sanctioned lock
+                      is the writer seam inside SnapshotHolder::Publish /
+                      shared(), whose lines carry the explicit
+                      `// contender-lint: writer-seam` marker. A new lock
+                      anywhere else reintroduces reader serialization.
 
 Usage:
   tools/lint.py [--root DIR]   lint the repository (non-zero exit on findings)
@@ -40,7 +50,7 @@ import sys
 import tempfile
 
 RULES = ("naked-random", "cout-in-src", "raw-dimension", "unregistered-test",
-         "naked-sleep")
+         "naked-sleep", "read-path-mutex")
 
 NAKED_RANDOM_RE = re.compile(r"(?<![\w:])(?:std::)?rand\s*\(\s*\)|std::random_device")
 COUT_RE = re.compile(r"std::c(?:out|err)\b")
@@ -57,6 +67,19 @@ RETRY_LOOP_RE = re.compile(
     r"\b(?:for|while)\s*\([^)]*\b(?:retry|retries|attempts?)\b")
 SUPPRESS_RE = re.compile(r"//\s*contender-lint:\s*disable=([\w,-]+)")
 LINE_COMMENT_RE = re.compile(r"//.*$")
+# The serving read-path files that must stay free of blocking locks; the
+# sole exception is the writer seam, marked line-by-line.
+READ_PATH_FILES = (
+    os.path.join("src", "serve", "service.h"),
+    os.path.join("src", "serve", "service.cc"),
+    os.path.join("src", "serve", "snapshot_holder.h"),
+    os.path.join("src", "serve", "snapshot_holder.cc"),
+)
+READ_PATH_MUTEX_RE = re.compile(
+    r"std::(?:mutex|timed_mutex|recursive_mutex|recursive_timed_mutex|"
+    r"shared_mutex|shared_timed_mutex|lock_guard|unique_lock|shared_lock|"
+    r"scoped_lock|condition_variable)\b")
+WRITER_SEAM_RE = re.compile(r"//\s*contender-lint:\s*writer-seam")
 
 
 class Finding:
@@ -175,12 +198,33 @@ def check_naked_sleep(root):
     return findings
 
 
+def check_read_path_mutex(root):
+    findings = []
+    for rel in READ_PATH_FILES:
+        path = os.path.join(root, rel)
+        if not os.path.isfile(path):
+            continue
+        with open(path, encoding="utf-8", errors="replace") as f:
+            for i, line in enumerate(f, 1):
+                # The writer-seam marker is the sanctioned opt-in; the
+                # generic disable= suppression also works but the seam
+                # marker is preferred (greppable as a single vocabulary).
+                if WRITER_SEAM_RE.search(line):
+                    continue
+                if suppressed(line, "read-path-mutex"):
+                    continue
+                if READ_PATH_MUTEX_RE.search(code_of(line)):
+                    findings.append(Finding("read-path-mutex", rel, i, line))
+    return findings
+
+
 CHECKS = {
     "naked-random": check_naked_random,
     "cout-in-src": check_cout_in_src,
     "raw-dimension": check_raw_dimension,
     "unregistered-test": check_unregistered_tests,
     "naked-sleep": check_naked_sleep,
+    "read-path-mutex": check_read_path_mutex,
 }
 
 
@@ -245,6 +289,24 @@ def self_test():
               "void SystemClock::Sleep() {\n"
               "  std::this_thread::sleep_for(std::chrono::seconds(1));\n"
               "}\n")
+        # The serving read path must stay lock-free: a naked lock in
+        # service.cc fires, while the marked writer seam inside
+        # snapshot_holder.cc (and lock vocabulary in comments) stays
+        # exempt. sleep_for in these files is already covered by R5, so
+        # keep the fixture to lock vocabulary only.
+        write("src/serve/service.cc",
+              "#include <mutex>\n"
+              "std::mutex cache_mutex;\n"
+              "void Predict() {\n"
+              "  const std::lock_guard<std::mutex> lock(cache_mutex);\n"
+              "}\n")
+        write("src/serve/snapshot_holder.cc",
+              "// a std::mutex mentioned in a comment is fine\n"
+              "std::mutex writer_mutex_;  // contender-lint: writer-seam\n"
+              "void Publish() {\n"
+              "  const std::lock_guard<std::mutex> lock(writer_mutex_);"
+              "  // contender-lint: writer-seam\n"
+              "}\n")
         write("tests/core/orphan_test.cc", "// never registered\n")
         write("tests/CMakeLists.txt",
               "contender_test(other_test core/other_test.cc)\n")
@@ -267,6 +329,7 @@ def self_test():
                               "src/serve/bad_serve.h"],
             "unregistered-test": ["tests/core/orphan_test.cc"],
             "naked-sleep": ["src/serve/bad_sleep.cc"],
+            "read-path-mutex": ["src/serve/service.cc"],
         }
         for rule, paths in expect.items():
             for path in paths:
@@ -281,6 +344,11 @@ def self_test():
                 failures.append(f"false positive on registered test: {f}")
             if f.path == os.path.join("src", "util", "retry.cc"):
                 failures.append(f"naked-sleep fired on exempt retry.cc: {f}")
+            if (f.rule == "read-path-mutex"
+                    and f.path == os.path.join("src", "serve",
+                                               "snapshot_holder.cc")):
+                failures.append(
+                    f"read-path-mutex fired on marked writer seam: {f}")
 
     if failures:
         for msg in failures:
