@@ -53,14 +53,19 @@ units::Seconds PredictInMixUncached(const ContenderPredictor& predictor,
 MixOracle::MixOracle(const ContenderPredictor* predictor)
     : MixOracle(predictor, Options()) {}
 
+size_t MixOracle::ShardCapacity(const Options& options) {
+  CONTENDER_CHECK(options.num_shards >= 1)
+      << "MixOracle: num_shards must be >= 1";
+  return std::max<size_t>(
+      1, options.capacity / static_cast<size_t>(options.num_shards));
+}
+
 MixOracle::MixOracle(const ContenderPredictor* predictor,
                      const Options& options)
-    : predictor_(predictor), options_(options) {
+    : predictor_(predictor),
+      options_(options),
+      shard_capacity_(ShardCapacity(options)) {
   CONTENDER_CHECK(predictor_ != nullptr);
-  CONTENDER_CHECK(options_.num_shards >= 1)
-      << "MixOracle: num_shards must be >= 1";
-  shard_capacity_ = std::max<size_t>(
-      1, options_.capacity / static_cast<size_t>(options_.num_shards));
   shards_.reserve(static_cast<size_t>(options_.num_shards));
   for (int i = 0; i < options_.num_shards; ++i) {
     shards_.push_back(std::make_unique<Shard>());
@@ -107,7 +112,7 @@ units::Seconds MixOracle::PredictInMix(
   const int stripe = static_cast<int>(key % shards_.size());
   if (options_.enable_cache) {
     Shard& shard = ShardFor(key);
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    MutexLock lock(&shard.mutex);
     auto it = shard.index.find(key);
     if (it != shard.index.end()) {
       shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
@@ -124,7 +129,7 @@ units::Seconds MixOracle::PredictInMix(
 
   if (options_.enable_cache) {
     Shard& shard = ShardFor(key);
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    MutexLock lock(&shard.mutex);
     auto it = shard.index.find(key);
     if (it == shard.index.end()) {
       shard.lru.emplace_front(key, value);
@@ -149,7 +154,7 @@ uint64_t MixOracle::degradations() const { return degradations_.Total(); }
 size_t MixOracle::size() const {
   size_t total = 0;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mutex);
+    MutexLock lock(&shard->mutex);
     total += shard->lru.size();
   }
   return total;

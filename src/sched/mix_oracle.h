@@ -18,14 +18,15 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "core/predictor.h"
 #include "util/cacheline.h"
+#include "util/mutex.h"
 #include "util/sharded_counter.h"
+#include "util/thread_annotations.h"
 #include "util/units.h"
 
 namespace contender::sched {
@@ -125,20 +126,26 @@ class MixOracle {
   /// mutex. A key maps to exactly one shard, so two probes contend only
   /// when their keys collide modulo the shard count.
   struct alignas(kCacheLineSize) Shard {
-    mutable std::mutex mutex;
-    mutable LruList lru;  // front = most recently used
-    mutable std::unordered_map<uint64_t, LruList::iterator> index;
+    mutable Mutex mutex;
+    mutable LruList lru GUARDED_BY(mutex);  // front = most recently used
+    mutable std::unordered_map<uint64_t, LruList::iterator> index
+        GUARDED_BY(mutex);
   };
 
   Shard& ShardFor(uint64_t key) const {
     return *shards_[key % shards_.size()];
   }
 
-  const ContenderPredictor* predictor_;
-  Options options_;
-  size_t shard_capacity_ = 0;
+  /// Validates options.num_shards and derives the per-shard LRU budget.
+  static size_t ShardCapacity(const Options& options);
 
-  std::vector<std::unique_ptr<Shard>> shards_;
+  const ContenderPredictor* const predictor_;
+  const Options options_;
+  const size_t shard_capacity_;
+
+  /// Built once in the constructor, immutable afterwards (only the
+  /// pointees' guarded interiors mutate).
+  std::vector<std::unique_ptr<Shard>> shards_;  // contender-lint: lock-free
   /// Striped (cache-line-padded) counters: probes bump the stripe of the
   /// shard they touched, so counting never adds cross-shard contention.
   mutable ShardedCounter hits_;

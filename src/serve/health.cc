@@ -96,7 +96,7 @@ HealthTracker::HealthTracker(int num_templates, const BreakerOptions& options)
 }
 
 void HealthTracker::Record(int template_index, double abs_residual) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   CONTENDER_CHECK(template_index >= 0 &&
                   static_cast<size_t>(template_index) < breakers_.size())
       << "HealthTracker: unknown template index " << template_index;
@@ -122,19 +122,19 @@ bool HealthTracker::Degraded(int template_index) const {
 }
 
 uint64_t HealthTracker::trips() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   uint64_t total = 0;
   for (const CircuitBreaker& b : breakers_) total += b.trips();
   return total;
 }
 
 uint64_t HealthTracker::records() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return records_;
 }
 
 std::vector<int> HealthTracker::OpenTemplates() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   std::vector<int> open;
   for (size_t i = 0; i < breakers_.size(); ++i) {
     if (breakers_[i].state() == BreakerState::kOpen) {
@@ -145,7 +145,7 @@ std::vector<int> HealthTracker::OpenTemplates() const {
 }
 
 int HealthTracker::num_templates() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return static_cast<int>(breakers_.size());
 }
 

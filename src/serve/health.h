@@ -43,10 +43,11 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <vector>
 
 #include "sched/mix_oracle.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace contender::serve {
 
@@ -136,12 +137,14 @@ class HealthTracker final : public sched::TemplateHealth {
  private:
   /// Serializes the breaker state machines (the ingest-side write path);
   /// state() never takes it.
-  mutable std::mutex mutex_;
-  std::vector<CircuitBreaker> breakers_;
+  mutable Mutex mutex_;
+  std::vector<CircuitBreaker> breakers_ GUARDED_BY(mutex_);
   /// Per-template breaker state mirrored for lock-free readers; written
-  /// under mutex_ after each Record, read with acquire by state().
-  std::vector<std::atomic<uint8_t>> published_;
-  uint64_t records_ = 0;
+  /// under mutex_ after each Record, read with acquire by state(). The
+  /// vector itself is sized once in the constructor; only the atomic
+  /// elements mutate.
+  std::vector<std::atomic<uint8_t>> published_;  // contender-lint: lock-free
+  uint64_t records_ GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace contender::serve

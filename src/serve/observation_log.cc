@@ -133,7 +133,7 @@ StatusOr<IngestResult> ObservationLog::IngestInShard(
   }
   {
     Shard& home = *shards_[static_cast<size_t>(result.shard)];
-    std::lock_guard<std::mutex> lock(home.mutex);
+    MutexLock lock(&home.mutex);
     home.records.push_back(
         {observation, std::abs(result.continuum_residual)});
   }
@@ -157,7 +157,7 @@ ObservationBatch ObservationLog::Drain() {
   for (auto& shard : shards_) {
     std::vector<PendingRecord> taken;
     {
-      std::lock_guard<std::mutex> lock(shard->mutex);
+      MutexLock lock(&shard->mutex);
       taken = std::move(shard->records);
       shard->records.clear();
     }
@@ -173,7 +173,7 @@ ObservationBatch ObservationLog::Drain() {
 }
 
 void ObservationLog::Quarantine(std::vector<MixObservation> observations) {
-  std::lock_guard<std::mutex> lock(dead_letter_mutex_);
+  MutexLock lock(&dead_letter_mutex_);
   quarantined_ += observations.size();
   for (MixObservation& obs : observations) {
     if (dead_letter_.size() >= options_.dead_letter_capacity) {
@@ -185,7 +185,7 @@ void ObservationLog::Quarantine(std::vector<MixObservation> observations) {
 }
 
 std::vector<MixObservation> ObservationLog::TakeDeadLetter() {
-  std::lock_guard<std::mutex> lock(dead_letter_mutex_);
+  MutexLock lock(&dead_letter_mutex_);
   std::vector<MixObservation> taken = std::move(dead_letter_);
   dead_letter_.clear();
   return taken;
@@ -200,7 +200,7 @@ double ObservationLog::pending_mean_abs_residual() const {
   // trigger — get exactly the mean Drain would report).
   SummaryStats replay;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mutex);
+    MutexLock lock(&shard->mutex);
     for (const PendingRecord& record : shard->records) {
       replay.Add(record.abs_residual);
     }
@@ -221,17 +221,17 @@ uint64_t ObservationLog::overflow_dropped() const {
 }
 
 uint64_t ObservationLog::quarantined() const {
-  std::lock_guard<std::mutex> lock(dead_letter_mutex_);
+  MutexLock lock(&dead_letter_mutex_);
   return quarantined_;
 }
 
 size_t ObservationLog::dead_letter_pending() const {
-  std::lock_guard<std::mutex> lock(dead_letter_mutex_);
+  MutexLock lock(&dead_letter_mutex_);
   return dead_letter_.size();
 }
 
 uint64_t ObservationLog::dead_letter_dropped() const {
-  std::lock_guard<std::mutex> lock(dead_letter_mutex_);
+  MutexLock lock(&dead_letter_mutex_);
   return dead_letter_dropped_;
 }
 

@@ -34,14 +34,15 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "core/template_profile.h"
 #include "serve/service.h"
 #include "util/cacheline.h"
+#include "util/mutex.h"
 #include "util/statusor.h"
 #include "util/summary_stats.h"
+#include "util/thread_annotations.h"
 
 namespace contender::serve {
 
@@ -139,27 +140,29 @@ class ObservationLog {
   };
   /// Padded so producers on different shards never share a line.
   struct alignas(kCacheLineSize) Shard {
-    mutable std::mutex mutex;
-    std::vector<PendingRecord> records;
+    mutable Mutex mutex;
+    std::vector<PendingRecord> records GUARDED_BY(mutex);
   };
 
   /// The calling thread's stable shard index.
   [[nodiscard]] int ThreadShard() const;
 
-  const PredictionService* service_;
-  Options options_;
+  const PredictionService* const service_;
+  const Options options_;
 
-  std::vector<std::unique_ptr<Shard>> shards_;
+  /// Built once in the constructor, immutable afterwards (only the
+  /// pointees' guarded interiors mutate).
+  std::vector<std::unique_ptr<Shard>> shards_;  // contender-lint: lock-free
   /// Capacity gate: total records currently buffered across shards.
   std::atomic<size_t> total_pending_{0};
   std::atomic<uint64_t> ingested_{0};
   std::atomic<uint64_t> rejected_{0};
   std::atomic<uint64_t> overflow_dropped_{0};
 
-  mutable std::mutex dead_letter_mutex_;
-  std::vector<MixObservation> dead_letter_;
-  uint64_t quarantined_ = 0;
-  uint64_t dead_letter_dropped_ = 0;
+  mutable Mutex dead_letter_mutex_;
+  std::vector<MixObservation> dead_letter_ GUARDED_BY(dead_letter_mutex_);
+  uint64_t quarantined_ GUARDED_BY(dead_letter_mutex_) = 0;
+  uint64_t dead_letter_dropped_ GUARDED_BY(dead_letter_mutex_) = 0;
 };
 
 }  // namespace contender::serve

@@ -30,17 +30,17 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "core/template_profile.h"
 #include "serve/observation_log.h"
 #include "serve/service.h"
+#include "util/mutex.h"
 #include "util/retry.h"
 #include "util/statusor.h"
+#include "util/thread_annotations.h"
 
 namespace contender::serve {
 
@@ -121,20 +121,21 @@ class RefitController {
   [[nodiscard]] size_t training_set_size() const;
 
  private:
-  PredictionService* service_;
-  ObservationLog* log_;
-  RefitOptions options_;
+  PredictionService* const service_;
+  ObservationLog* const log_;
+  const RefitOptions options_;
 
-  mutable std::mutex step_mutex_;  // serializes Step(); guards observations_
-  std::vector<MixObservation> observations_;  // base + drained batches
-  uint64_t triggered_steps_ = 0;  // guarded by step_mutex_
+  mutable Mutex step_mutex_;  // serializes Step()
+  /// Cumulative training set: base + successfully refit batches.
+  std::vector<MixObservation> observations_ GUARDED_BY(step_mutex_);
+  uint64_t triggered_steps_ GUARDED_BY(step_mutex_) = 0;
   std::atomic<uint64_t> refits_{0};
   std::atomic<uint64_t> failed_steps_{0};
 
-  std::mutex background_mutex_;
-  std::condition_variable background_wake_;
-  std::thread background_;
-  bool stop_requested_ = false;
+  Mutex background_mutex_;
+  CondVar background_wake_;
+  std::thread background_ GUARDED_BY(background_mutex_);
+  bool stop_requested_ GUARDED_BY(background_mutex_) = false;
 };
 
 }  // namespace contender::serve

@@ -36,7 +36,7 @@ SnapshotHolder::View::View(const SnapshotHolder* holder)
 }
 
 std::shared_ptr<const ModelSnapshot> SnapshotHolder::shared() const {
-  const std::lock_guard<std::mutex> lock(writer_mutex_);  // contender-lint: writer-seam
+  const MutexLock lock(&writer_mutex_);  // contender-lint: writer-seam
   return current_;
 }
 
@@ -45,7 +45,7 @@ void SnapshotHolder::Publish(std::shared_ptr<const ModelSnapshot> next) {
       << "SnapshotHolder: cannot publish a null snapshot";
   std::shared_ptr<const ModelSnapshot> displaced;
   {
-    const std::lock_guard<std::mutex> lock(writer_mutex_);  // contender-lint: writer-seam
+    const MutexLock lock(&writer_mutex_);  // contender-lint: writer-seam
     ref_.Write({next.get(), next->version()});
     displaced = std::move(current_);
     current_ = std::move(next);

@@ -29,11 +29,12 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 
 #include "serve/model_snapshot.h"
 #include "util/epoch.h"
+#include "util/mutex.h"
 #include "util/seqlock.h"
+#include "util/thread_annotations.h"
 
 namespace contender::serve {
 
@@ -109,10 +110,11 @@ class SnapshotHolder {
   /// pathological writer churn and the view degrades to shared().
   static constexpr int kReadSpins = 128;
 
-  Seqlock<Ref> ref_;
-  mutable EpochDomain epochs_;
-  mutable std::mutex writer_mutex_;  // contender-lint: writer-seam
-  std::shared_ptr<const ModelSnapshot> current_;
+  /// Read path: seqlock + epoch domain only, never a lock.
+  Seqlock<Ref> ref_;                // contender-lint: lock-free
+  mutable EpochDomain epochs_;      // contender-lint: lock-free
+  mutable Mutex writer_mutex_;  // contender-lint: writer-seam
+  std::shared_ptr<const ModelSnapshot> current_ GUARDED_BY(writer_mutex_);
 };
 
 }  // namespace contender::serve

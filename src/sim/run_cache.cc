@@ -82,7 +82,7 @@ RunCache::RunCache(size_t capacity)
     : capacity_(capacity == 0 ? 1 : capacity) {}
 
 std::optional<RunCache::Entry> RunCache::Lookup(uint64_t key) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   auto it = index_.find(key);
   if (it == index_.end()) {
     ++misses_;
@@ -94,7 +94,7 @@ std::optional<RunCache::Entry> RunCache::Lookup(uint64_t key) {
 }
 
 void RunCache::Insert(uint64_t key, Entry entry) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   auto it = index_.find(key);
   if (it != index_.end()) {
     it->second->second = std::move(entry);
@@ -110,7 +110,7 @@ void RunCache::Insert(uint64_t key, Entry entry) {
 }
 
 void RunCache::Clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   lru_.clear();
   index_.clear();
   hits_ = 0;
@@ -118,17 +118,17 @@ void RunCache::Clear() {
 }
 
 size_t RunCache::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return lru_.size();
 }
 
 uint64_t RunCache::hits() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return hits_;
 }
 
 uint64_t RunCache::misses() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return misses_;
 }
 

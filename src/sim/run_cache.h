@@ -19,10 +19,9 @@
 #include <utility>
 #include <vector>
 
-#include <mutex>
-
 #include "sim/config.h"
 #include "sim/query_spec.h"
+#include "util/mutex.h"
 
 namespace contender::sim {
 
@@ -90,12 +89,12 @@ class RunCache {
  private:
   using LruList = std::list<std::pair<uint64_t, Entry>>;
 
-  mutable std::mutex mutex_;
-  size_t capacity_;
-  LruList lru_;  // front = most recently used
-  std::unordered_map<uint64_t, LruList::iterator> index_;
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
+  mutable Mutex mutex_;
+  const size_t capacity_;
+  LruList lru_ GUARDED_BY(mutex_);  // front = most recently used
+  std::unordered_map<uint64_t, LruList::iterator> index_ GUARDED_BY(mutex_);
+  uint64_t hits_ GUARDED_BY(mutex_) = 0;
+  uint64_t misses_ GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace contender::sim

@@ -33,7 +33,7 @@ EpochDomain::~EpochDomain() {
         << "EpochDomain destroyed with reader registered in slot " << i;
   }
   // No readers left: every retired object is trivially safe to drop.
-  std::lock_guard<std::mutex> lock(writer_mutex_);
+  MutexLock lock(&writer_mutex_);
   retired_.clear();
 }
 
@@ -73,7 +73,7 @@ EpochDomain::ReaderGuard::~ReaderGuard() {
 
 void EpochDomain::Retire(std::shared_ptr<const void> object) {
   {
-    std::lock_guard<std::mutex> lock(writer_mutex_);
+    MutexLock lock(&writer_mutex_);
     retired_.push_back(
         {std::move(object), epoch_.load(std::memory_order_relaxed)});
   }
@@ -91,7 +91,7 @@ size_t EpochDomain::Reclaim() {
     const uint64_t announced = slots_[i]->load(std::memory_order_seq_cst);
     if (announced != 0) min_announced = std::min(min_announced, announced);
   }
-  std::lock_guard<std::mutex> lock(writer_mutex_);
+  MutexLock lock(&writer_mutex_);
   const size_t before = retired_.size();
   retired_.erase(
       std::remove_if(retired_.begin(), retired_.end(),
@@ -103,7 +103,7 @@ size_t EpochDomain::Reclaim() {
 }
 
 size_t EpochDomain::retired_pending() const {
-  std::lock_guard<std::mutex> lock(writer_mutex_);
+  MutexLock lock(&writer_mutex_);
   return retired_.size();
 }
 

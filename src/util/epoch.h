@@ -28,10 +28,11 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "util/cacheline.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace contender {
 
@@ -97,16 +98,17 @@ class EpochDomain {
   friend class ReaderGuard;
 
   /// Slot value 0 = free; otherwise the announced epoch (epochs start
-  /// at 1, so 0 is unambiguous).
-  CachePadded<std::atomic<uint64_t>> slots_[kNumSlots];
+  /// at 1, so 0 is unambiguous). Reader-side; never locked.
+  CachePadded<std::atomic<uint64_t>> slots_[kNumSlots];  // contender-lint: lock-free
   std::atomic<uint64_t> epoch_{1};
 
   struct Retired {
     std::shared_ptr<const void> object;
     uint64_t tag = 0;  // epoch the object was current in when retired
   };
-  mutable std::mutex writer_mutex_;  // guards retired_ (writer seam only)
-  std::vector<Retired> retired_;
+  /// Writer seam only; readers never touch retired_.
+  mutable Mutex writer_mutex_;
+  std::vector<Retired> retired_ GUARDED_BY(writer_mutex_);
 };
 
 }  // namespace contender

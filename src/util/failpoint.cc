@@ -49,10 +49,11 @@ const char* FailPointModeName(FailPointMode mode) {
   return "unknown";
 }
 
-FailPoint::FailPoint(std::string name) : name_(std::move(name)) {}
+FailPoint::FailPoint(std::string name, uint64_t site_seed)
+    : name_(std::move(name)), seed_(site_seed) {}
 
 bool FailPoint::EvaluateArmed() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   const auto mode = static_cast<FailPointMode>(
       mode_.load(std::memory_order_relaxed));
   if (mode == FailPointMode::kOff) return false;  // raced with Disarm
@@ -84,13 +85,20 @@ bool FailPoint::EvaluateArmed() {
 }
 
 uint64_t FailPoint::hits() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return hits_;
 }
 
 uint64_t FailPoint::fires() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return fires_;
+}
+
+void FailPoint::Reseed(uint64_t root_seed) {
+  MutexLock lock(&mutex_);
+  seed_ = DeriveSiteSeed(root_seed, name_);
+  hits_ = 0;
+  fires_ = 0;
 }
 
 FailPointRegistry& FailPointRegistry::Global() {
@@ -99,6 +107,8 @@ FailPointRegistry& FailPointRegistry::Global() {
 }
 
 FailPointRegistry::FailPointRegistry() {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read once inside the Global()
+  // function-local static's initialization, before any worker spawns.
   if (const char* env = std::getenv("CONTENDER_CHAOS_SEED")) {
     root_seed_ = std::strtoull(env, nullptr, 0);
   }
@@ -112,20 +122,21 @@ FailPoint* FailPointRegistry::Find(const std::string& name) {
 }
 
 FailPoint& FailPointRegistry::Site(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   if (FailPoint* existing = Find(name)) return *existing;
-  sites_.push_back(std::unique_ptr<FailPoint>(new FailPoint(name)));
-  FailPoint& site = *sites_.back();
-  std::lock_guard<std::mutex> site_lock(site.mutex_);
-  site.seed_ = DeriveSiteSeed(root_seed_, name);
-  return site;
+  // The seed is derived here so the site constructor is complete before
+  // publication and no site lock is ever taken under the registry lock
+  // (the tree's lock order stays nesting-free; DESIGN.md §13).
+  sites_.push_back(std::unique_ptr<FailPoint>(
+      new FailPoint(name, DeriveSiteSeed(root_seed_, name))));
+  return *sites_.back();
 }
 
 void FailPoint::Arm(uint64_t root_seed, FailPointMode mode,
                     double probability, uint64_t nth) {
   // Reset counters, re-derive the seed, then publish the mode last so a
   // concurrent ShouldFail sees consistent state.
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   probability_ = probability;
   nth_ = nth;
   hits_ = 0;
@@ -152,7 +163,7 @@ void FailPointRegistry::ArmOnce(const std::string& name) {
 }
 
 void FailPointRegistry::Disarm(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   if (FailPoint* site = Find(name)) {
     site->mode_.store(static_cast<int>(FailPointMode::kOff),
                       std::memory_order_release);
@@ -160,7 +171,7 @@ void FailPointRegistry::Disarm(const std::string& name) {
 }
 
 void FailPointRegistry::DisarmAll() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   for (const auto& site : sites_) {
     site->mode_.store(static_cast<int>(FailPointMode::kOff),
                       std::memory_order_release);
@@ -168,18 +179,22 @@ void FailPointRegistry::DisarmAll() {
 }
 
 void FailPointRegistry::SetRootSeed(uint64_t seed) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  root_seed_ = seed;
-  for (const auto& site : sites_) {
-    std::lock_guard<std::mutex> site_lock(site->mutex_);
-    site->seed_ = DeriveSiteSeed(root_seed_, site->name());
-    site->hits_ = 0;
-    site->fires_ = 0;
+  // Snapshot the live sites under the registry lock, then reseed each
+  // with only its own lock taken: site locks never nest under the
+  // registry lock. Sites registered concurrently (after the snapshot)
+  // already derive their seed from the new root inside Site().
+  std::vector<FailPoint*> sites;
+  {
+    MutexLock lock(&mutex_);
+    root_seed_ = seed;
+    sites.reserve(sites_.size());
+    for (const auto& site : sites_) sites.push_back(site.get());
   }
+  for (FailPoint* site : sites) site->Reseed(seed);
 }
 
 uint64_t FailPointRegistry::root_seed() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return root_seed_;
 }
 
@@ -187,7 +202,7 @@ std::vector<std::string> FailPointRegistry::SiteNames(
     const std::string& prefix) const {
   std::vector<std::string> names;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     for (const auto& site : sites_) {
       if (site->name().rfind(prefix, 0) == 0) names.push_back(site->name());
     }

@@ -30,9 +30,11 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace contender {
 
@@ -69,22 +71,28 @@ class FailPoint {
 
  private:
   friend class FailPointRegistry;
-  explicit FailPoint(std::string name);
+  FailPoint(std::string name, uint64_t site_seed);
 
-  bool EvaluateArmed();
+  bool EvaluateArmed() EXCLUDES(mutex_);
   void Arm(uint64_t root_seed, FailPointMode mode, double probability,
-           uint64_t nth);
+           uint64_t nth) EXCLUDES(mutex_);
+  /// Re-derives seed_ from `root_seed` and zeroes the counters. The
+  /// registry calls this with only the site lock taken (never while
+  /// holding its own lock — the tree's lock order has no nesting edges;
+  /// see DESIGN.md §13).
+  void Reseed(uint64_t root_seed) EXCLUDES(mutex_);
 
   const std::string name_;
   /// FailPointMode as int; the disarmed fast path reads only this.
   std::atomic<int> mode_{0};
 
-  mutable std::mutex mutex_;  // guards everything below
-  double probability_ = 0.0;
-  uint64_t nth_ = 0;
-  uint64_t seed_ = 0;  // derived from (registry root seed, name_)
-  uint64_t hits_ = 0;
-  uint64_t fires_ = 0;
+  mutable Mutex mutex_;
+  double probability_ GUARDED_BY(mutex_) = 0.0;
+  uint64_t nth_ GUARDED_BY(mutex_) = 0;
+  /// Derived from (registry root seed, name_).
+  uint64_t seed_ GUARDED_BY(mutex_) = 0;
+  uint64_t hits_ GUARDED_BY(mutex_) = 0;
+  uint64_t fires_ GUARDED_BY(mutex_) = 0;
 };
 
 /// Process-wide registry of fail-point sites. All members are thread-safe.
@@ -120,11 +128,14 @@ class FailPointRegistry {
  private:
   FailPointRegistry();  // seeds from CONTENDER_CHAOS_SEED when present
 
-  FailPoint* Find(const std::string& name);
+  FailPoint* Find(const std::string& name) REQUIRES(mutex_);
 
-  mutable std::mutex mutex_;
-  uint64_t root_seed_ = 0;
-  std::vector<std::unique_ptr<FailPoint>> sites_;
+  mutable Mutex mutex_;
+  uint64_t root_seed_ GUARDED_BY(mutex_) = 0;
+  /// Sites are append-only and never destroyed; the vector (not the
+  /// pointees) is guarded. Site locks are taken only after mutex_ is
+  /// released — the lock order has no nesting edges (DESIGN.md §13).
+  std::vector<std::unique_ptr<FailPoint>> sites_ GUARDED_BY(mutex_);
 };
 
 /// Registers (at static-initialization time when used at namespace scope)

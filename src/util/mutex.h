@@ -1,0 +1,182 @@
+// The repo's ONLY sanctioned blocking-synchronization vocabulary:
+// annotated Mutex / MutexLock / CondVar wrappers over the std
+// primitives, visible to Clang Thread Safety Analysis
+// (util/thread_annotations.h). tools/lint.py rule R7 bans the raw
+// std::mutex family everywhere under src/ except this file, so every
+// lock in the tree carries TSA capability semantics: GUARDED_BY fields
+// are compiler-checked, REQUIRES contracts are compiler-checked, and a
+// forgotten unlock is a build break under the clang-tsa CI job.
+//
+// Await: condition waits are NOT spelled as bare wait loops over a
+// std::condition_variable. `mu.Await(pred)` (caller holds mu) blocks
+// until pred() — evaluated with mu held — returns true. Wakeups need no
+// explicit signaling: Mutex::Unlock notifies Await-waiters whenever any
+// are registered, so "change guarded state under the lock, drop the
+// lock" is the complete publication protocol (the shape
+// absl::Mutex::Await pioneered). CondVar remains for call sites that
+// want explicitly targeted NotifyOne/NotifyAll signaling; its Wait
+// takes the Mutex* so the REQUIRES contract is visible to the analysis.
+//
+// Mixing discipline: use Await *or* a CondVar per mutex, not both for
+// cross-dependent predicates — each side's pre-sleep unlock bypasses
+// the other's notification channel (both do a courtesy wake of Await
+// waiters before sleeping, but a CondVar waiter can only be woken by
+// its own Notify). Every module in this tree uses one style per mutex.
+//
+// Cost: Unlock reads one int (guarded, uncontended) and notifies only
+// when a waiter is actually registered; the wrappers otherwise compile
+// to the raw std calls. tests/util/thread_annotations_test.cc pins
+// behavioral parity with the raw primitives under TSan.
+
+#ifndef CONTENDER_UTIL_MUTEX_H_
+#define CONTENDER_UTIL_MUTEX_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <utility>
+
+#include "util/thread_annotations.h"
+
+namespace contender {
+
+class CondVar;
+
+/// An exclusive lock with TSA capability semantics. Non-reentrant.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  ~Mutex() = default;
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  /// Blocks until the lock is held. Prefer MutexLock scoping.
+  void Lock() ACQUIRE() { mu_.lock(); }
+
+  /// Releases the lock; wakes Await-waiters when any are registered, so
+  /// publishing guarded state is just "mutate under the lock, unlock".
+  void Unlock() RELEASE() {
+    const bool wake = await_waiters_ > 0;
+    mu_.unlock();
+    if (wake) await_cv_.notify_all();
+  }
+
+  /// Acquires without blocking; true iff the lock is now held.
+  bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// Tells the analysis (and the reader) the lock is held here. No-op
+  /// at runtime; use where a REQUIRES contract crosses an indirection
+  /// the analysis cannot follow.
+  void AssertHeld() const ASSERT_CAPABILITY(this) {}
+
+  /// Blocks until `pred()` — evaluated with this mutex held — returns
+  /// true. The lock is released while waiting and re-held when Await
+  /// returns (and whenever pred runs). Spurious wakeups are absorbed.
+  /// The predicate lambda runs under the lock but the analysis cannot
+  /// see that through the template indirection, so condition lambdas
+  /// over guarded state carry NO_THREAD_SAFETY_ANALYSIS (budgeted,
+  /// lint rule R8).
+  template <typename Pred>
+  void Await(Pred pred) REQUIRES(this) {
+    // Courtesy wake: our pre-sleep unlock (inside cv wait) bypasses
+    // Unlock's notify, so publish any state this thread changed first.
+    if (await_waiters_ > 0) await_cv_.notify_all();
+    std::unique_lock<std::mutex> waiter(mu_, std::adopt_lock);
+    ++await_waiters_;
+    await_cv_.wait(waiter, [&pred] { return pred(); });
+    --await_waiters_;
+    waiter.release();  // the caller still holds the mutex
+  }
+
+ private:
+  friend class CondVar;
+
+  /// Pre-sleep courtesy from CondVar waiters (their internal unlock
+  /// also bypasses Unlock's notify path).
+  void WakeAwaitWaiters() REQUIRES(this) {
+    if (await_waiters_ > 0) await_cv_.notify_all();
+  }
+
+  std::mutex mu_;
+  /// Await-waiters registered on await_cv_. Only read/written with mu_
+  /// held (including inside the wait loop, which re-holds mu_ whenever
+  /// it evaluates the predicate).
+  int await_waiters_ GUARDED_BY(this) = 0;
+  std::condition_variable await_cv_;
+};
+
+/// RAII lock scope: acquires in the constructor, releases in the
+/// destructor. The TSA scoped-capability annotations make the held
+/// region visible to the analysis.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() RELEASE() { mu_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* const mu_;
+};
+
+/// A condition variable for explicitly signaled waits. Every Wait takes
+/// the Mutex* it rides on, so the caller-holds-the-lock contract is a
+/// compiler-checked REQUIRES instead of a comment.
+class CondVar {
+ public:
+  CondVar() = default;
+
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Releases `mu`, waits for a notification (or a spurious wakeup),
+  /// and re-acquires `mu` before returning.
+  void Wait(Mutex* mu) REQUIRES(mu) {
+    mu->WakeAwaitWaiters();
+    std::unique_lock<std::mutex> waiter(mu->mu_, std::adopt_lock);
+    cv_.wait(waiter);
+    waiter.release();
+  }
+
+  /// Waits until `pred()` — evaluated with `mu` held — returns true.
+  template <typename Pred>
+  void Wait(Mutex* mu, Pred pred) REQUIRES(mu) {
+    while (!pred()) Wait(mu);
+  }
+
+  /// Waits up to `timeout` for a notification; false on timeout.
+  template <typename Rep, typename Period>
+  bool WaitFor(Mutex* mu, std::chrono::duration<Rep, Period> timeout)
+      REQUIRES(mu) {
+    mu->WakeAwaitWaiters();
+    std::unique_lock<std::mutex> waiter(mu->mu_, std::adopt_lock);
+    const std::cv_status status = cv_.wait_for(waiter, timeout);
+    waiter.release();
+    return status == std::cv_status::no_timeout;
+  }
+
+  /// Waits up to `timeout` for `pred()` (evaluated with `mu` held) to
+  /// turn true; returns the final pred() value, exactly like
+  /// std::condition_variable::wait_for's predicate overload.
+  template <typename Pred, typename Rep, typename Period>
+  bool WaitFor(Mutex* mu, std::chrono::duration<Rep, Period> timeout,
+               Pred pred) REQUIRES(mu) {
+    mu->WakeAwaitWaiters();
+    std::unique_lock<std::mutex> waiter(mu->mu_, std::adopt_lock);
+    const bool result = cv_.wait_for(waiter, timeout, std::move(pred));
+    waiter.release();
+    return result;
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace contender
+
+#endif  // CONTENDER_UTIL_MUTEX_H_

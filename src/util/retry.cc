@@ -37,23 +37,23 @@ Clock* Clock::System() {
 FakeClock::FakeClock(units::Seconds start) : now_(start) {}
 
 units::Seconds FakeClock::Now() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return now_;
 }
 
 void FakeClock::Sleep(units::Seconds duration) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   now_ += duration;
   sleeps_.push_back(duration);
 }
 
 void FakeClock::Advance(units::Seconds duration) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   now_ += duration;
 }
 
 std::vector<units::Seconds> FakeClock::sleeps() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return sleeps_;
 }
 

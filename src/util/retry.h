@@ -17,10 +17,11 @@
 #define CONTENDER_UTIL_RETRY_H_
 
 #include <functional>
-#include <mutex>
 #include <vector>
 
+#include "util/mutex.h"
 #include "util/random.h"
+#include "util/thread_annotations.h"
 #include "util/status.h"
 #include "util/units.h"
 
@@ -58,9 +59,9 @@ class FakeClock final : public Clock {
   [[nodiscard]] std::vector<units::Seconds> sleeps() const;
 
  private:
-  mutable std::mutex mutex_;
-  units::Seconds now_;
-  std::vector<units::Seconds> sleeps_;
+  mutable Mutex mutex_;
+  units::Seconds now_ GUARDED_BY(mutex_);
+  std::vector<units::Seconds> sleeps_ GUARDED_BY(mutex_);
 };
 
 /// Retry policy: attempt/backoff/deadline budgets.

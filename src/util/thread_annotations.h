@@ -1,0 +1,114 @@
+// Portable macros for Clang Thread Safety Analysis (TSA).
+//
+// TSA is a compile-time checker (-Wthread-safety) that proves, per
+// translation unit, that every access to a lock-guarded field happens
+// with the right lock held, that acquire/release pairs balance on every
+// path, and (under -Wthread-safety-beta) that locks are taken in the
+// declared ACQUIRED_BEFORE order. The annotations attach the proof
+// obligations to declarations:
+//
+//   class CAPABILITY("mutex") Mutex { ... };     the lockable type
+//   Mutex mu_;
+//   int hits_ GUARDED_BY(mu_);                   field needs mu_ held
+//   void Tick() REQUIRES(mu_);                   caller must hold mu_
+//   void Refresh() EXCLUDES(mu_);                caller must NOT hold mu_
+//
+// Under any compiler without the analysis (GCC builds this tree daily)
+// every macro expands to nothing, so the annotations are free: same
+// ABI, same codegen, zero dependencies. The Clang CI job
+// (.github/workflows/ci.yml, `clang-tsa`) builds with
+// -Wthread-safety -Werror, which turns a locking-discipline violation
+// into a build break; tests/util/tsa_violations.cc pins the classes of
+// violation the analysis must keep rejecting.
+//
+// The macro set and spellings follow the Clang documentation's
+// reference mutex.h so the vocabulary stays greppable against upstream
+// docs. Use NO_THREAD_SAFETY_ANALYSIS only where the analysis cannot
+// see the truth (e.g. a predicate lambda Mutex::Await runs with the
+// lock held); every such site must be budgeted in tools/lint.py's
+// suppression allowlist with a one-line justification (rule R8).
+
+#ifndef CONTENDER_UTIL_THREAD_ANNOTATIONS_H_
+#define CONTENDER_UTIL_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__)
+#define CONTENDER_THREAD_ANNOTATION__(x) __attribute__((x))
+#else
+#define CONTENDER_THREAD_ANNOTATION__(x)  // no-op off Clang
+#endif
+
+/// Marks a class as a lockable type ("mutex", "role", ...).
+#define CAPABILITY(x) CONTENDER_THREAD_ANNOTATION__(capability(x))
+
+/// Marks an RAII class whose constructor acquires and destructor
+/// releases a capability (e.g. MutexLock).
+#define SCOPED_CAPABILITY CONTENDER_THREAD_ANNOTATION__(scoped_lockable)
+
+/// The annotated field may only be accessed while holding the given
+/// capability.
+#define GUARDED_BY(x) CONTENDER_THREAD_ANNOTATION__(guarded_by(x))
+
+/// The annotated pointer may be dereferenced only while holding the
+/// given capability (the pointer itself is unguarded).
+#define PT_GUARDED_BY(x) CONTENDER_THREAD_ANNOTATION__(pt_guarded_by(x))
+
+/// Declares the global lock order: this capability must be acquired
+/// before / after the listed ones. Ordering violations are diagnosed
+/// under -Wthread-safety-beta (the harness compiles its lock-order
+/// fixtures with that flag; see DESIGN.md §13 for the full order).
+#define ACQUIRED_BEFORE(...) \
+  CONTENDER_THREAD_ANNOTATION__(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) \
+  CONTENDER_THREAD_ANNOTATION__(acquired_after(__VA_ARGS__))
+
+/// The annotated function may only be called while holding the listed
+/// capabilities (exclusively / shared).
+#define REQUIRES(...) \
+  CONTENDER_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  CONTENDER_THREAD_ANNOTATION__(requires_shared_capability(__VA_ARGS__))
+
+/// The annotated function acquires the listed capabilities and does not
+/// release them (empty list = `this` for members of a capability class).
+#define ACQUIRE(...) \
+  CONTENDER_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  CONTENDER_THREAD_ANNOTATION__(acquire_shared_capability(__VA_ARGS__))
+
+/// The annotated function releases the listed capabilities (empty list
+/// = `this`, or whatever a scoped capability holds).
+#define RELEASE(...) \
+  CONTENDER_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  CONTENDER_THREAD_ANNOTATION__(release_shared_capability(__VA_ARGS__))
+#define RELEASE_GENERIC(...) \
+  CONTENDER_THREAD_ANNOTATION__(release_generic_capability(__VA_ARGS__))
+
+/// The annotated function acquires the capability iff it returns the
+/// given value (e.g. TRY_ACQUIRE(true) on a bool TryLock()).
+#define TRY_ACQUIRE(...) \
+  CONTENDER_THREAD_ANNOTATION__(try_acquire_capability(__VA_ARGS__))
+#define TRY_ACQUIRE_SHARED(...) \
+  CONTENDER_THREAD_ANNOTATION__(try_acquire_shared_capability(__VA_ARGS__))
+
+/// The annotated function may only be called while NOT holding the
+/// listed capabilities (anti-deadlock: the function acquires them).
+#define EXCLUDES(...) \
+  CONTENDER_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+
+/// Runtime assertion that the calling thread holds the capability;
+/// informs the analysis without acquiring anything.
+#define ASSERT_CAPABILITY(x) \
+  CONTENDER_THREAD_ANNOTATION__(assert_capability(x))
+#define ASSERT_SHARED_CAPABILITY(x) \
+  CONTENDER_THREAD_ANNOTATION__(assert_shared_capability(x))
+
+/// The annotated function returns a reference to the given capability.
+#define RETURN_CAPABILITY(x) CONTENDER_THREAD_ANNOTATION__(lock_returned(x))
+
+/// Turns the analysis off for one function (or lambda). Budgeted: every
+/// use must appear in tools/lint.py's suppression allowlist (rule R8).
+#define NO_THREAD_SAFETY_ANALYSIS \
+  CONTENDER_THREAD_ANNOTATION__(no_thread_safety_analysis)
+
+#endif  // CONTENDER_UTIL_THREAD_ANNOTATIONS_H_

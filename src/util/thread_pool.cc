@@ -26,15 +26,15 @@ ThreadPool::ThreadPool(int num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    // Unlock wakes every Await-blocked worker; no explicit broadcast.
+    MutexLock lock(&mutex_);
     stopping_ = true;
   }
-  wake_.notify_all();
   for (std::thread& worker : workers_) worker.join();
 }
 
 size_t ThreadPool::QueueDepth() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return queue_.size();
 }
 
@@ -47,8 +47,12 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      MutexLock lock(&mutex_);
+      // Await runs the predicate with mutex_ held, but TSA can't see
+      // through the template indirection (R8-budgeted suppression).
+      mutex_.Await([this]() NO_THREAD_SAFETY_ANALYSIS {
+        return stopping_ || !queue_.empty();
+      });
       if (queue_.empty()) return;  // stopping_ set and queue drained
       task = std::move(queue_.front());
       queue_.pop();

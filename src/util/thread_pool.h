@@ -12,16 +12,17 @@
 #ifndef CONTENDER_UTIL_THREAD_POOL_H_
 #define CONTENDER_UTIL_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <type_traits>
 #include <utility>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace contender {
 
@@ -59,10 +60,10 @@ class ThreadPool {
       return future;
     }
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      // Unlock wakes the Await in WorkerLoop — no explicit signal needed.
+      MutexLock lock(&mutex_);
       queue_.push([task] { (*task)(); });
     }
-    wake_.notify_one();
     return future;
   }
 
@@ -77,11 +78,12 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
-  mutable std::mutex mutex_;
-  std::condition_variable wake_;
-  std::queue<std::function<void()>> queue_;
-  bool stopping_ = false;
-  std::vector<std::thread> workers_;
+  mutable Mutex mutex_;
+  std::queue<std::function<void()>> queue_ GUARDED_BY(mutex_);
+  bool stopping_ GUARDED_BY(mutex_) = false;
+  /// Written only by the constructor before any concurrency; the worker
+  /// threads never touch it and the destructor joins after stopping_.
+  std::vector<std::thread> workers_;  // contender-lint: lock-free
 };
 
 }  // namespace contender

@@ -1,0 +1,132 @@
+// Negative-compile fixtures for Clang Thread Safety Analysis.
+//
+// Each TSA_VIOLATION_* block contains exactly one locking-discipline bug
+// that -Wthread-safety (-beta for lock ordering) MUST reject; the ctest
+// entries in tests/CMakeLists.txt compile this file once per macro with
+// -Werror and WILL_FAIL, so the analysis regressing (accepting a
+// violation class it used to reject) turns into a test failure. With no
+// violation macro defined, the file is the positive control: correct
+// wrapper usage over the same shapes that must stay accepted — and it is
+// also built into every GCC test run (as an object library) so the
+// fixtures themselves cannot bit-rot on a host without Clang.
+//
+// The violation classes (the negative half of the tentpole's acceptance
+// bar, one per satellite-listed class plus REQUIRES):
+//   TSA_VIOLATION_UNGUARDED_READ      GUARDED_BY field read lock-free
+//   TSA_VIOLATION_MISSING_RELEASE     Lock() with a return path that
+//                                     never unlocks
+//   TSA_VIOLATION_LOCK_ORDER          acquisition violating the declared
+//                                     ACQUIRED_AFTER order (beta check)
+//   TSA_VIOLATION_REENTRANT_ACQUIRE   locking a non-reentrant Mutex twice
+//   TSA_VIOLATION_REQUIRES_UNHELD     calling a REQUIRES function without
+//                                     the lock
+
+#include <cstdint>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+// External linkage on purpose: under GCC the annotations vanish and an
+// anonymous namespace would trip -Wunused-function in the control build.
+namespace contender::tsa_fixture {
+
+/// The guarded-state shape every migrated class reduces to.
+class Counter {
+ public:
+  void Increment() {
+    MutexLock lock(&mutex_);
+    ++value_;
+  }
+
+  int64_t Read() const {
+    MutexLock lock(&mutex_);
+    return value_;
+  }
+
+  void IncrementLocked() REQUIRES(mutex_) { ++value_; }
+
+  Mutex* mutex() RETURN_CAPABILITY(mutex_) { return &mutex_; }
+
+ private:
+  friend int64_t ReadUnguarded(const Counter& counter);
+  mutable Mutex mutex_;
+  int64_t value_ GUARDED_BY(mutex_) = 0;
+};
+
+/// The declared order: `first` before `second` (the ACQUIRED_AFTER edge
+/// is on the later lock, per the Clang docs' recommended spelling).
+inline Mutex order_first;
+inline Mutex order_second ACQUIRED_AFTER(order_first);
+inline int order_guarded GUARDED_BY(order_second) = 0;
+
+#if defined(TSA_VIOLATION_UNGUARDED_READ)
+
+int64_t ReadUnguarded(const Counter& counter) {
+  return counter.value_;  // BUG: mutex_ not held
+}
+
+#elif defined(TSA_VIOLATION_MISSING_RELEASE)
+
+int64_t ReadLeakingLock(Counter& counter) {
+  counter.mutex()->Lock();
+  return 0;  // BUG: returns with mutex_ still held
+}
+
+#elif defined(TSA_VIOLATION_LOCK_ORDER)
+
+void AcquireInverted() {
+  order_second.Lock();
+  order_first.Lock();  // BUG: inverts the declared ACQUIRED_AFTER order
+  order_first.Unlock();
+  order_second.Unlock();
+}
+
+#elif defined(TSA_VIOLATION_REENTRANT_ACQUIRE)
+
+void AcquireTwice() {
+  order_first.Lock();
+  order_first.Lock();  // BUG: Mutex is non-reentrant, already held
+  order_first.Unlock();
+  order_first.Unlock();
+}
+
+#elif defined(TSA_VIOLATION_REQUIRES_UNHELD)
+
+void IncrementWithout(Counter& counter) {
+  counter.IncrementLocked();  // BUG: REQUIRES(mutex_) but nothing held
+}
+
+#else
+
+// Positive control: the same shapes spelled correctly must keep
+// compiling (a harness that rejects everything proves nothing).
+int64_t IncrementAndRead(Counter& counter) {
+  counter.Increment();
+  {
+    MutexLock lock(counter.mutex());
+    counter.IncrementLocked();
+  }
+  return counter.Read();
+}
+
+int ReadInDeclaredOrder() {
+  order_first.Lock();
+  order_second.Lock();
+  const int value = order_guarded;
+  order_second.Unlock();
+  order_first.Unlock();
+  return value;
+}
+
+bool TryLockBranches(Counter& counter) {
+  if (counter.mutex()->TryLock()) {
+    counter.IncrementLocked();
+    counter.mutex()->Unlock();
+    return true;
+  }
+  return false;
+}
+
+#endif
+
+}  // namespace contender::tsa_fixture

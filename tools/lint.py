@@ -1,38 +1,13 @@
 #!/usr/bin/env python3
 """Repo-specific lint rules for Contender.
 
-Rules enforced (each maps to an invariant documented in DESIGN.md):
-
-  R1 naked-random     No rand()/std::random_device outside src/util/random.*.
-                      All stochastic behavior must flow through util/random's
-                      seeded Rng so simulations stay reproducible.
-  R2 cout-in-src      No std::cout/std::cerr in src/ (library code must use
-                      util/logging or take an ostream&). bench/, examples/
-                      and tests/ are CLIs and may print.
-  R3 raw-dimension    No raw `double` parameter whose name contains
-                      `latency` or `fraction` in a public header under src/.
-                      Those quantities have dedicated types in util/units.h.
-  R4 unregistered-test  Every tests/**/*_test.cc must be registered in a
-                      CMakeLists.txt, or it silently never runs.
-  R5 naked-sleep      No sleep_for/sleep_until/usleep/nanosleep and no
-                      ad-hoc retry loops (a for/while spelled over
-                      retry/attempt counters) in src/ outside
-                      src/util/retry.*. Library code that waits or retries
-                      must go through util/retry's Clock and
-                      RetryWithBackoff so deadlines are budgeted, backoff
-                      is seeded-deterministic, and tests can inject a
-                      FakeClock. bench/ and tests/ drive wall-clock
-                      scenarios and are exempt.
-  R6 read-path-mutex  No std::mutex/lock_guard/unique_lock (or any other
-                      blocking-lock vocabulary) in the serving read-path
-                      files (src/serve/service.* and
-                      src/serve/snapshot_holder.*). The read path is
-                      lock-free by design (DESIGN.md §12): readers go
-                      seqlock + epoch guard, and the ONLY sanctioned lock
-                      is the writer seam inside SnapshotHolder::Publish /
-                      shared(), whose lines carry the explicit
-                      `// contender-lint: writer-seam` marker. A new lock
-                      anywhere else reintroduces reader serialization.
+Every rule lives in the RULES table below — one entry carries the rule's
+name, its documentation, its check function, AND its --self-test fixtures
+and expectations. The rule list printed by --help, the checks run by a
+normal lint pass, and the coverage demanded by --self-test are all derived
+from that single table, so a new rule cannot ship undocumented or
+untested: --self-test fails outright if any rule lacks a seeded fixture
+that makes it fire.
 
 Usage:
   tools/lint.py [--root DIR]   lint the repository (non-zero exit on findings)
@@ -40,7 +15,11 @@ Usage:
                                every rule fires (non-zero exit on a miss)
 
 Suppression: append `// contender-lint: disable=<rule>` to the offending
-line. Keep suppressions rare and justified.
+line. Suppressions are themselves budgeted: rule suppression-budget counts
+every `disable=` comment, every `NO_THREAD_SAFETY_ANALYSIS`, and every
+`// contender-lint: lock-free` marker against the SUPPRESSION_BUDGET
+allowlist in this script — a new suppression without an allowlist entry
+(and its one-line justification) fails lint.
 """
 
 import argparse
@@ -49,10 +28,8 @@ import re
 import sys
 import tempfile
 
-RULES = ("naked-random", "cout-in-src", "raw-dimension", "unregistered-test",
-         "naked-sleep", "read-path-mutex")
-
-NAKED_RANDOM_RE = re.compile(r"(?<![\w:])(?:std::)?rand\s*\(\s*\)|std::random_device")
+NAKED_RANDOM_RE = re.compile(
+    r"(?<![\w:])(?:std::)?rand\s*\(\s*\)|std::random_device")
 COUT_RE = re.compile(r"std::c(?:out|err)\b")
 # Parameters only: a parameter ends in `,` or `)` (possibly after a
 # default value). Struct fields end in `;` and are exempt — measurement
@@ -75,11 +52,79 @@ READ_PATH_FILES = (
     os.path.join("src", "serve", "snapshot_holder.h"),
     os.path.join("src", "serve", "snapshot_holder.cc"),
 )
-READ_PATH_MUTEX_RE = re.compile(
+# Blocking-lock vocabulary: the std primitives AND the repo's annotated
+# wrappers (util/mutex.h) — a wrapper lock serializes readers exactly as
+# hard as a raw one.
+BLOCKING_LOCK_RE = re.compile(
     r"std::(?:mutex|timed_mutex|recursive_mutex|recursive_timed_mutex|"
     r"shared_mutex|shared_timed_mutex|lock_guard|unique_lock|shared_lock|"
-    r"scoped_lock|condition_variable)\b")
+    r"scoped_lock|condition_variable|condition_variable_any)\b"
+    r"|\b(?:Mutex|MutexLock|CondVar)\b")
+# The raw std::mutex family only (rule raw-lock pass 1): these must not
+# appear anywhere in src/ outside util/mutex.h — every lock goes through
+# the annotated wrappers so Clang TSA can check it.
+RAW_LOCK_RE = re.compile(
+    r"std::(?:mutex|timed_mutex|recursive_mutex|recursive_timed_mutex|"
+    r"shared_mutex|shared_timed_mutex|lock_guard|unique_lock|shared_lock|"
+    r"scoped_lock|condition_variable|condition_variable_any)\b"
+    r"|#\s*include\s*<(?:mutex|condition_variable|shared_mutex)>")
 WRITER_SEAM_RE = re.compile(r"//\s*contender-lint:\s*writer-seam")
+LOCK_FREE_RE = re.compile(r"//\s*contender-lint:\s*lock-free")
+NTSA_RE = re.compile(r"\bNO_THREAD_SAFETY_ANALYSIS\b")
+# The one file allowed to touch the std primitives (it wraps them).
+MUTEX_WRAPPER_FILE = os.path.join("src", "util", "mutex.h")
+ANNOTATIONS_FILE = os.path.join("src", "util", "thread_annotations.h")
+
+# Suppression budget (rule suppression-budget): every TSA/lint suppression
+# in src/ must appear here with an exact expected count and a one-line
+# justification. Adding a suppression without extending this table (and
+# defending the entry in review) fails lint; a stale entry whose
+# suppression disappeared fails too, so the table tracks reality.
+# Kinds: a rule name (for `disable=<rule>` comments),
+# "no-thread-safety-analysis" (NO_THREAD_SAFETY_ANALYSIS attributes), or
+# "lock-free" (`// contender-lint: lock-free` guard-completeness markers).
+SUPPRESSION_BUDGET = {
+    os.path.join("src", "util", "thread_pool.cc"): {
+        "no-thread-safety-analysis":
+            (1, "WorkerLoop's Await predicate runs with mutex_ held; TSA "
+                "cannot see through the template indirection"),
+    },
+    os.path.join("src", "serve", "refit_controller.cc"): {
+        "no-thread-safety-analysis":
+            (1, "background WaitFor predicate runs with background_mutex_ "
+                "held; TSA cannot see through the template indirection"),
+    },
+    os.path.join("src", "util", "thread_pool.h"): {
+        "lock-free":
+            (1, "workers_ is written only by the constructor and joined "
+                "after stopping_; workers never touch it"),
+    },
+    os.path.join("src", "util", "epoch.h"): {
+        "lock-free":
+            (1, "reader announcement slots are cache-padded atomics — the "
+                "lock-free read side by design"),
+    },
+    os.path.join("src", "sched", "mix_oracle.h"): {
+        "lock-free":
+            (1, "shards_ vector is built in the constructor and immutable "
+                "after; only guarded shard interiors mutate"),
+    },
+    os.path.join("src", "serve", "observation_log.h"): {
+        "lock-free":
+            (1, "shards_ vector is built in the constructor and immutable "
+                "after; only guarded shard interiors mutate"),
+    },
+    os.path.join("src", "serve", "health.h"): {
+        "lock-free":
+            (1, "published_ is sized once and holds atomics written under "
+                "mutex_, read lock-free by state()"),
+    },
+    os.path.join("src", "serve", "snapshot_holder.h"): {
+        "lock-free":
+            (2, "ref_ (seqlock) and epochs_ (epoch domain) ARE the "
+                "lock-free read path (DESIGN.md §12)"),
+    },
+}
 
 
 class Finding:
@@ -115,18 +160,22 @@ def code_of(line):
     return LINE_COMMENT_RE.sub("", line)
 
 
+def read_lines(path):
+    with open(path, encoding="utf-8", errors="replace") as f:
+        return f.readlines()
+
+
 def check_naked_random(root):
     findings = []
     for path in iter_source_files(root, ("src", "tests", "bench", "examples")):
         rel = os.path.relpath(path, root)
         if rel.startswith(os.path.join("src", "util", "random")):
             continue
-        with open(path, encoding="utf-8", errors="replace") as f:
-            for i, line in enumerate(f, 1):
-                if suppressed(line, "naked-random"):
-                    continue
-                if NAKED_RANDOM_RE.search(code_of(line)):
-                    findings.append(Finding("naked-random", rel, i, line))
+        for i, line in enumerate(read_lines(path), 1):
+            if suppressed(line, "naked-random"):
+                continue
+            if NAKED_RANDOM_RE.search(code_of(line)):
+                findings.append(Finding("naked-random", rel, i, line))
     return findings
 
 
@@ -138,12 +187,11 @@ def check_cout_in_src(root):
         # write somewhere real.
         if rel.startswith(os.path.join("src", "util", "logging")):
             continue
-        with open(path, encoding="utf-8", errors="replace") as f:
-            for i, line in enumerate(f, 1):
-                if suppressed(line, "cout-in-src"):
-                    continue
-                if COUT_RE.search(code_of(line)):
-                    findings.append(Finding("cout-in-src", rel, i, line))
+        for i, line in enumerate(read_lines(path), 1):
+            if suppressed(line, "cout-in-src"):
+                continue
+            if COUT_RE.search(code_of(line)):
+                findings.append(Finding("cout-in-src", rel, i, line))
     return findings
 
 
@@ -151,12 +199,11 @@ def check_raw_dimension(root):
     findings = []
     for path in iter_source_files(root, ("src",), exts=(".h",)):
         rel = os.path.relpath(path, root)
-        with open(path, encoding="utf-8", errors="replace") as f:
-            for i, line in enumerate(f, 1):
-                if suppressed(line, "raw-dimension"):
-                    continue
-                if RAW_DIMENSION_RE.search(code_of(line)):
-                    findings.append(Finding("raw-dimension", rel, i, line))
+        for i, line in enumerate(read_lines(path), 1):
+            if suppressed(line, "raw-dimension"):
+                continue
+            if RAW_DIMENSION_RE.search(code_of(line)):
+                findings.append(Finding("raw-dimension", rel, i, line))
     return findings
 
 
@@ -188,13 +235,12 @@ def check_naked_sleep(root):
         # util/retry IS the sanctioned sleep/retry implementation.
         if rel.startswith(os.path.join("src", "util", "retry")):
             continue
-        with open(path, encoding="utf-8", errors="replace") as f:
-            for i, line in enumerate(f, 1):
-                if suppressed(line, "naked-sleep"):
-                    continue
-                code = code_of(line)
-                if NAKED_SLEEP_RE.search(code) or RETRY_LOOP_RE.search(code):
-                    findings.append(Finding("naked-sleep", rel, i, line))
+        for i, line in enumerate(read_lines(path), 1):
+            if suppressed(line, "naked-sleep"):
+                continue
+            code = code_of(line)
+            if NAKED_SLEEP_RE.search(code) or RETRY_LOOP_RE.search(code):
+                findings.append(Finding("naked-sleep", rel, i, line))
     return findings
 
 
@@ -204,152 +250,529 @@ def check_read_path_mutex(root):
         path = os.path.join(root, rel)
         if not os.path.isfile(path):
             continue
-        with open(path, encoding="utf-8", errors="replace") as f:
-            for i, line in enumerate(f, 1):
-                # The writer-seam marker is the sanctioned opt-in; the
-                # generic disable= suppression also works but the seam
-                # marker is preferred (greppable as a single vocabulary).
-                if WRITER_SEAM_RE.search(line):
-                    continue
-                if suppressed(line, "read-path-mutex"):
-                    continue
-                if READ_PATH_MUTEX_RE.search(code_of(line)):
-                    findings.append(Finding("read-path-mutex", rel, i, line))
+        for i, line in enumerate(read_lines(path), 1):
+            # The writer-seam marker is the sanctioned opt-in; the
+            # generic disable= suppression also works but the seam
+            # marker is preferred (greppable as a single vocabulary).
+            if WRITER_SEAM_RE.search(line):
+                continue
+            if suppressed(line, "read-path-mutex"):
+                continue
+            if BLOCKING_LOCK_RE.search(code_of(line)):
+                findings.append(Finding("read-path-mutex", rel, i, line))
     return findings
 
 
-CHECKS = {
-    "naked-random": check_naked_random,
-    "cout-in-src": check_cout_in_src,
-    "raw-dimension": check_raw_dimension,
-    "unregistered-test": check_unregistered_tests,
-    "naked-sleep": check_naked_sleep,
-    "read-path-mutex": check_read_path_mutex,
-}
+# ---------------------------------------------------------------------------
+# raw-lock pass 2: guard completeness.
+
+_CLASS_HEAD_RE = re.compile(r"\b(?<!enum\s)(?:class|struct)\b[^;{}]*\{")
+_ATTR_RE = re.compile(
+    r"\b(?:GUARDED_BY|PT_GUARDED_BY|ACQUIRED_BEFORE|ACQUIRED_AFTER|alignas)"
+    r"\s*\([^()]*\)")
+_GUARD_ATTR_RE = re.compile(r"\b(?:GUARDED_BY|PT_GUARDED_BY)\s*\(")
+_ACCESS_LABEL_RE = re.compile(r"\b(?:public|private|protected)\s*:")
+_SKIP_FIRST_TOKENS = ("using", "typedef", "friend", "static", "enum",
+                      "class", "struct", "template")
+# Types that synchronize themselves: a field of one of these needs no
+# GUARDED_BY (the wrappers/atomics/lock-free primitives carry their own
+# contracts).
+_SELF_SYNC_RE = re.compile(
+    r"\b(?:std::atomic|ShardedCounter|CachePadded|Seqlock|EpochDomain|"
+    r"Mutex|CondVar)\b")
+_OWNS_MUTEX_RE = re.compile(r"\bMutex\s+\w+")
+_TEMPLATE_ARGS_RE = re.compile(r"<[^<>]*>")
+
+
+def _strip_comments_and_strings(lines):
+    """Comment/string-stripped copies of `lines` (same line count)."""
+    out = []
+    in_block = False
+    for line in lines:
+        result = []
+        i = 0
+        while i < len(line):
+            if in_block:
+                end = line.find("*/", i)
+                if end < 0:
+                    i = len(line)
+                else:
+                    in_block = False
+                    i = end + 2
+                continue
+            ch = line[i]
+            if ch == '"':
+                j = i + 1
+                while j < len(line) and line[j] != '"':
+                    j += 2 if line[j] == "\\" else 1
+                i = j + 1
+                continue
+            if line.startswith("//", i):
+                break
+            if line.startswith("/*", i):
+                in_block = True
+                i += 2
+                continue
+            result.append(ch)
+            i += 1
+        out.append("".join(result))
+    return out
+
+
+def _class_bodies(cleaned_lines):
+    """Yields (immediate_chunks,) for every class/struct body, where
+    immediate_chunks is a list of (line_no, char) covering only the body's
+    own depth (nested braces elided to their delimiters)."""
+    chars = []
+    for line_no, line in enumerate(cleaned_lines, 1):
+        for ch in line:
+            chars.append((line_no, ch))
+        chars.append((line_no, "\n"))
+    text = "".join(ch for _, ch in chars)
+    for m in _CLASS_HEAD_RE.finditer(text):
+        open_idx = m.end() - 1
+        depth = 0
+        close_idx = None
+        for j in range(open_idx, len(text)):
+            if text[j] == "{":
+                depth += 1
+            elif text[j] == "}":
+                depth -= 1
+                if depth == 0:
+                    close_idx = j
+                    break
+        if close_idx is None:
+            continue
+        depth = 0
+        immediate = []
+        for j in range(open_idx + 1, close_idx):
+            ch = text[j]
+            if ch == "{":
+                depth += 1
+                immediate.append((chars[j][0], "{"))
+            elif ch == "}":
+                depth -= 1
+                immediate.append((chars[j][0], "}"))
+            elif depth == 0:
+                immediate.append((chars[j][0], ch))
+        yield immediate
+
+
+def _statements(immediate):
+    """Splits a class body's immediate chunks into `;`-terminated
+    statements, each a (first_line, last_line, text) tuple."""
+    statements = []
+    current = []
+    for line_no, ch in immediate:
+        current.append((line_no, ch))
+        if ch == ";":
+            text = "".join(c for _, c in current)
+            statements.append((current[0][0], current[-1][0], text))
+            current = []
+    return statements
+
+
+def _guard_completeness(rel, raw_lines, findings):
+    """raw-lock pass 2: inside any class that owns a Mutex, every mutable
+    field must be GUARDED_BY a capability, a self-synchronizing type, or
+    explicitly marked `// contender-lint: lock-free`."""
+    cleaned = _strip_comments_and_strings(raw_lines)
+    for immediate in _class_bodies(cleaned):
+        statements = _statements(immediate)
+        if not any(_OWNS_MUTEX_RE.search(text) for _, _, text in statements):
+            continue
+        for first, last, text in statements:
+            stmt = _ACCESS_LABEL_RE.sub(" ", text)
+            stmt = " ".join(stmt.split())
+            if not stmt or stmt in (";",):
+                continue
+            had_guard = _GUARD_ATTR_RE.search(stmt) is not None
+            stmt_no_attrs = _ATTR_RE.sub(" ", stmt)
+            first_token = stmt_no_attrs.split()[0] if stmt_no_attrs.split() \
+                else ""
+            first_token = first_token.split("<")[0]
+            if first_token in _SKIP_FIRST_TOKENS:
+                continue
+            if "(" in stmt_no_attrs:
+                continue  # function/constructor declaration
+            if had_guard:
+                continue
+            if _SELF_SYNC_RE.search(stmt_no_attrs):
+                continue
+            lines_of_stmt = raw_lines[first - 1:last]
+            if any(LOCK_FREE_RE.search(l) for l in lines_of_stmt):
+                continue
+            if any(suppressed(l, "raw-lock") for l in lines_of_stmt):
+                continue
+            no_templates = stmt_no_attrs
+            while _TEMPLATE_ARGS_RE.search(no_templates):
+                no_templates = _TEMPLATE_ARGS_RE.sub(" ", no_templates)
+            if re.search(r"\bconst\b", no_templates):
+                continue
+            findings.append(Finding(
+                "raw-lock", rel, first,
+                f"mutable field in a Mutex-owning class lacks GUARDED_BY, "
+                f"a self-synchronizing type, or a "
+                f"`// contender-lint: lock-free` marker: {stmt}"))
+
+
+def check_raw_lock(root):
+    findings = []
+    for path in iter_source_files(root, ("src",)):
+        rel = os.path.relpath(path, root)
+        if rel == MUTEX_WRAPPER_FILE:
+            continue  # the wrapper itself is the sanctioned use
+        raw_lines = read_lines(path)
+        # Pass 1: no raw std::mutex-family vocabulary anywhere in src/.
+        for i, line in enumerate(raw_lines, 1):
+            if suppressed(line, "raw-lock"):
+                continue
+            if RAW_LOCK_RE.search(code_of(line)):
+                findings.append(Finding("raw-lock", rel, i, line))
+        # Pass 2: guard completeness (headers carry the declarations).
+        if rel.endswith(".h") and rel != ANNOTATIONS_FILE:
+            _guard_completeness(rel, raw_lines, findings)
+    return findings
+
+
+def check_suppression_budget(root, budget=None):
+    """Counts every suppression vocabulary occurrence in src/ against the
+    allowlist: unbudgeted suppressions fail, and so do stale allowlist
+    entries whose suppressions no longer exist."""
+    if budget is None:
+        budget = SUPPRESSION_BUDGET
+    findings = []
+    counts = {}  # (rel, kind) -> [count, first_line]
+    for path in iter_source_files(root, ("src",)):
+        rel = os.path.relpath(path, root)
+        if rel == ANNOTATIONS_FILE:
+            continue  # defines NO_THREAD_SAFETY_ANALYSIS
+        for i, line in enumerate(read_lines(path), 1):
+            for m in SUPPRESS_RE.finditer(line):
+                for rule in m.group(1).split(","):
+                    key = (rel, rule)
+                    counts.setdefault(key, [0, i])[0] += 1
+            if NTSA_RE.search(code_of(line)):
+                key = (rel, "no-thread-safety-analysis")
+                counts.setdefault(key, [0, i])[0] += 1
+            if LOCK_FREE_RE.search(line):
+                key = (rel, "lock-free")
+                counts.setdefault(key, [0, i])[0] += 1
+    for (rel, kind), (count, first_line) in sorted(counts.items()):
+        allowed = budget.get(rel, {}).get(kind)
+        if allowed is None:
+            findings.append(Finding(
+                "suppression-budget", rel, first_line,
+                f"suppression `{kind}` (x{count}) has no SUPPRESSION_BUDGET "
+                f"allowlist entry in tools/lint.py — add one with a "
+                f"justification or remove the suppression"))
+        elif count > allowed[0]:
+            findings.append(Finding(
+                "suppression-budget", rel, first_line,
+                f"suppression `{kind}` appears {count}x, over its budget of "
+                f"{allowed[0]} — extend the allowlist entry or remove the "
+                f"new suppression"))
+    for rel, kinds in sorted(budget.items()):
+        for kind, (allowed, _) in sorted(kinds.items()):
+            if allowed > 0 and (rel, kind) not in counts:
+                if os.path.isfile(os.path.join(root, rel)) or \
+                        not os.path.isdir(os.path.join(root, "src")):
+                    findings.append(Finding(
+                        "suppression-budget", rel, 1,
+                        f"stale allowlist entry: no `{kind}` suppression "
+                        f"remains in this file — delete the entry"))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# The rule table: the single source of truth for documentation, checks,
+# and self-test coverage. Each entry:
+#   name        rule id (used in disable= suppressions)
+#   doc         what the rule enforces and why
+#   check       callable(root) -> [Finding]
+#   fixtures    {relpath: content} seeded into the self-test tree
+#   expect_fire paths the rule MUST report
+#   expect_quiet paths the rule MUST NOT report
+#   self_test_kwargs extra kwargs for the check under --self-test
+
+class Rule:
+    def __init__(self, name, doc, check, fixtures, expect_fire, expect_quiet,
+                 self_test_kwargs=None):
+        self.name = name
+        self.doc = doc
+        self.check = check
+        self.fixtures = fixtures
+        self.expect_fire = expect_fire
+        self.expect_quiet = expect_quiet
+        self.self_test_kwargs = self_test_kwargs or {}
+
+
+RULES = (
+    Rule(
+        "naked-random",
+        "No rand()/std::random_device outside src/util/random.*. All "
+        "stochastic behavior must flow through util/random's seeded Rng so "
+        "simulations stay reproducible.",
+        check_naked_random,
+        {
+            "src/core/bad_random.cc":
+                "int Roll() { return rand() % 6; }\n"
+                "std::random_device rd;\n",
+            # serve/ is the concurrent serving layer: wall-clock randomness
+            # would break deterministic replay of ingest/refit sequences.
+            "src/serve/bad_serve_random.cc":
+                "std::random_device entropy;\n"
+                "int Jitter() { return rand() % 3; }\n",
+            # Suppressions and comment-only mentions must NOT fire.
+            "src/core/ok.cc":
+                "// std::cout in a comment is fine\n"
+                "int x = rand();  // contender-lint: disable=naked-random\n",
+        },
+        ["src/core/bad_random.cc", "src/serve/bad_serve_random.cc"],
+        ["src/core/ok.cc"],
+    ),
+    Rule(
+        "cout-in-src",
+        "No std::cout/std::cerr in src/ (library code must use util/logging "
+        "or take an ostream&). bench/, examples/ and tests/ are CLIs and "
+        "may print.",
+        check_cout_in_src,
+        {
+            "src/core/bad_print.cc":
+                '#include <iostream>\nvoid P() { std::cout << "x"; }\n',
+        },
+        ["src/core/bad_print.cc"],
+        ["src/core/ok.cc"],
+    ),
+    Rule(
+        "raw-dimension",
+        "No raw `double` parameter whose name contains `latency` or "
+        "`fraction` in a public header under src/. Those quantities have "
+        "dedicated types in util/units.h.",
+        check_raw_dimension,
+        {
+            "src/core/bad_units.h":
+                "void Predict(double spoiler_latency, double io_fraction);\n",
+            # sched/ headers sit at the policy/oracle seam where raw
+            # doubles are most tempting (scores, slacks); the rule must
+            # cover them too, including defaulted parameters.
+            "src/sched/bad_sched.h":
+                "void Admit(double predicted_latency = 0.0,\n"
+                "           int slot);\n",
+            "src/serve/bad_serve.h":
+                "void Ingest(double observed_latency,\n"
+                "            double drift_fraction = 0.0);\n",
+        },
+        ["src/core/bad_units.h", "src/sched/bad_sched.h",
+         "src/serve/bad_serve.h"],
+        [],
+    ),
+    Rule(
+        "unregistered-test",
+        "Every tests/**/*_test.cc must be registered in a CMakeLists.txt, "
+        "or it silently never runs.",
+        check_unregistered_tests,
+        {
+            "tests/core/orphan_test.cc": "// never registered\n",
+            "tests/CMakeLists.txt":
+                "contender_test(other_test core/other_test.cc)\n",
+            "tests/core/other_test.cc": "// registered\n",
+        },
+        ["tests/core/orphan_test.cc"],
+        ["tests/core/other_test.cc"],
+    ),
+    Rule(
+        "naked-sleep",
+        "No sleep_for/sleep_until/usleep/nanosleep and no ad-hoc retry "
+        "loops (a for/while spelled over retry/attempt counters) in src/ "
+        "outside src/util/retry.*. Library code that waits or retries must "
+        "go through util/retry's Clock and RetryWithBackoff so deadlines "
+        "are budgeted, backoff is seeded-deterministic, and tests can "
+        "inject a FakeClock. bench/ and tests/ drive wall-clock scenarios "
+        "and are exempt.",
+        check_naked_sleep,
+        {
+            "src/serve/bad_sleep.cc":
+                "void Wait() {\n"
+                "  std::this_thread::sleep_for(std::chrono::seconds(1));\n"
+                "}\n"
+                "void Retry() {\n"
+                "  for (int attempt = 0; attempt < 3; ++attempt) {}\n"
+                "  while (retries < kMax) { ++retries; }\n"
+                "  usleep(100);\n"
+                "}\n",
+            # The sanctioned implementation must stay exempt.
+            "src/util/retry.cc":
+                "void SystemClock::Sleep() {\n"
+                "  std::this_thread::sleep_for(std::chrono::seconds(1));\n"
+                "}\n",
+        },
+        ["src/serve/bad_sleep.cc"],
+        ["src/util/retry.cc"],
+    ),
+    Rule(
+        "read-path-mutex",
+        "No blocking-lock vocabulary — the std::mutex family OR the "
+        "annotated Mutex/MutexLock/CondVar wrappers — in the serving "
+        "read-path files (src/serve/service.* and "
+        "src/serve/snapshot_holder.*). The read path is lock-free by "
+        "design (DESIGN.md §12): readers go seqlock + epoch guard, and the "
+        "ONLY sanctioned lock is the writer seam inside "
+        "SnapshotHolder::Publish / shared(), whose lines carry the "
+        "explicit `// contender-lint: writer-seam` marker. A new lock "
+        "anywhere else reintroduces reader serialization.",
+        check_read_path_mutex,
+        {
+            # A naked lock in service.cc fires — wrapper vocabulary too.
+            "src/serve/service.cc":
+                '#include "util/mutex.h"\n'
+                "Mutex cache_mutex;\n"
+                "void Predict() {\n"
+                "  const MutexLock lock(&cache_mutex);\n"
+                "}\n",
+            # The marked writer seam (and lock vocabulary in comments)
+            # stays exempt.
+            "src/serve/snapshot_holder.cc":
+                "// a std::mutex mentioned in a comment is fine\n"
+                "Mutex writer_mutex_;  // contender-lint: writer-seam\n"
+                "void Publish() {\n"
+                "  const MutexLock lock(&writer_mutex_);"
+                "  // contender-lint: writer-seam\n"
+                "}\n",
+        },
+        ["src/serve/service.cc"],
+        ["src/serve/snapshot_holder.cc"],
+    ),
+    Rule(
+        "raw-lock",
+        "Pass 1: no raw std::mutex/std::lock_guard/std::unique_lock/"
+        "std::condition_variable (or any std blocking-lock vocabulary, "
+        "including their #includes) anywhere in src/ outside "
+        "src/util/mutex.h — every lock goes through the annotated "
+        "Mutex/MutexLock/CondVar wrappers so Clang Thread Safety Analysis "
+        "(-Wthread-safety, the clang-tsa CI job) can prove guard coverage "
+        "and lock ordering. Pass 2 (guard completeness): inside any class "
+        "that owns a Mutex, every mutable field must carry GUARDED_BY/"
+        "PT_GUARDED_BY, be a self-synchronizing type (std::atomic, "
+        "ShardedCounter, CachePadded, Seqlock, EpochDomain, Mutex, "
+        "CondVar), be const, or carry an explicit `// contender-lint: "
+        "lock-free` marker (budgeted by suppression-budget).",
+        check_raw_lock,
+        {
+            "src/core/bad_lock.cc":
+                "#include <mutex>\n"
+                "std::mutex m;\n"
+                "void F() { std::lock_guard<std::mutex> lock(m); }\n",
+            # The wrapper itself is the one sanctioned user of the raw
+            # primitives.
+            "src/util/mutex.h":
+                "#include <mutex>\n"
+                "class Mutex { std::mutex mu_; };\n",
+            # Guard completeness: an unguarded mutable field in a
+            # Mutex-owning class fires ...
+            "src/core/bad_guard.h":
+                "class Leaky {\n"
+                " private:\n"
+                "  Mutex mutex_;\n"
+                "  int unguarded_count_ = 0;\n"
+                "};\n",
+            # ... while all three sanctioned outcomes stay quiet:
+            # GUARDED_BY, a self-synchronizing (atomic) type, and the
+            # explicit lock-free marker — plus const immutables.
+            "src/core/good_guard.h":
+                "class Disciplined {\n"
+                " private:\n"
+                "  mutable Mutex mutex_;\n"
+                "  long guarded_value_ GUARDED_BY(mutex_) = 0;\n"
+                "  std::atomic<int> atomic_value_{0};\n"
+                "  std::vector<int> frozen_after_ctor_;"
+                "  // contender-lint: lock-free\n"
+                "  const int immutable_ = 2;\n"
+                "  void Tick() REQUIRES(mutex_);\n"
+                "};\n",
+        },
+        ["src/core/bad_lock.cc", "src/core/bad_guard.h"],
+        ["src/util/mutex.h", "src/core/good_guard.h"],
+    ),
+    Rule(
+        "suppression-budget",
+        "Every suppression in src/ — `// contender-lint: disable=<rule>`, "
+        "`NO_THREAD_SAFETY_ANALYSIS`, and `// contender-lint: lock-free` "
+        "markers — is counted against the SUPPRESSION_BUDGET allowlist at "
+        "the top of this script. A new suppression without an allowlist "
+        "entry (with its one-line justification) fails lint; so does a "
+        "stale entry whose suppression no longer exists.",
+        check_suppression_budget,
+        {
+            # An unbudgeted disable= and an unbudgeted
+            # NO_THREAD_SAFETY_ANALYSIS both fire ...
+            "src/core/bad_suppress.cc":
+                "int y = 0;  // contender-lint: disable=cout-in-src\n",
+            "src/core/bad_ntsa.cc":
+                "void Sneaky() NO_THREAD_SAFETY_ANALYSIS {}\n",
+            # ... while budgeted ones (see self_test_kwargs) stay quiet.
+            "src/core/ok_ntsa.cc":
+                "void Budgeted() NO_THREAD_SAFETY_ANALYSIS {}\n",
+        },
+        ["src/core/bad_suppress.cc", "src/core/bad_ntsa.cc"],
+        ["src/core/ok.cc", "src/core/ok_ntsa.cc", "src/core/good_guard.h"],
+        self_test_kwargs={"budget": {
+            os.path.join("src", "core", "ok.cc"):
+                {"naked-random": (1, "self-test fixture")},
+            os.path.join("src", "core", "ok_ntsa.cc"):
+                {"no-thread-safety-analysis": (1, "self-test fixture")},
+            os.path.join("src", "core", "good_guard.h"):
+                {"lock-free": (1, "self-test fixture")},
+        }},
+    ),
+)
 
 
 def lint(root):
     findings = []
-    for check in CHECKS.values():
-        findings.extend(check(root))
+    for rule in RULES:
+        findings.extend(rule.check(root))
     return findings
 
 
 def self_test():
-    """Seeds one violation per rule into a scratch tree and verifies the
-    linter reports each; also verifies the suppression comment works."""
+    """Seeds each rule's fixtures into a scratch tree and verifies the rule
+    fires exactly where its table entry says — failing outright if any rule
+    has no fixture or no expected firing path (coverage cannot silently
+    lapse when a rule is added)."""
     failures = []
+    for rule in RULES:
+        if not rule.fixtures or not rule.expect_fire:
+            failures.append(
+                f"rule {rule.name} has no self-test fixture/expectation in "
+                f"the RULES table — every rule must seed a violation")
     with tempfile.TemporaryDirectory(prefix="contender-lint-") as root:
-        os.makedirs(os.path.join(root, "src", "core"))
-        os.makedirs(os.path.join(root, "tests", "core"))
-
-        def write(rel, text):
-            path = os.path.join(root, rel)
-            os.makedirs(os.path.dirname(path), exist_ok=True)
-            with open(path, "w", encoding="utf-8") as f:
-                f.write(text)
-
-        write("src/core/bad_random.cc",
-              "int Roll() { return rand() % 6; }\n"
-              "std::random_device rd;\n")
-        write("src/core/bad_print.cc",
-              '#include <iostream>\nvoid P() { std::cout << "x"; }\n')
-        write("src/core/bad_units.h",
-              "void Predict(double spoiler_latency, double io_fraction);\n")
-        # sched/ headers sit at the policy/oracle seam where raw doubles
-        # are most tempting (scores, slacks); the rule must cover them too,
-        # including defaulted parameters.
-        write("src/sched/bad_sched.h",
-              "void Admit(double predicted_latency = 0.0,\n"
-              "           int slot);\n")
-        # serve/ is the concurrent serving layer: wall-clock randomness
-        # would break deterministic replay of ingest/refit sequences, and
-        # observed latencies crossing its API must use units::Seconds.
-        # Seed both violation kinds there to prove the walk reaches it.
-        write("src/serve/bad_serve_random.cc",
-              "std::random_device entropy;\n"
-              "int Jitter() { return rand() % 3; }\n")
-        write("src/serve/bad_serve.h",
-              "void Ingest(double observed_latency,\n"
-              "            double drift_fraction = 0.0);\n")
-        # serve/ is also where wall-clock waits and hand-rolled retry
-        # loops would silently break deterministic replay — seed both
-        # naked-sleep violation kinds there.
-        write("src/serve/bad_sleep.cc",
-              "void Wait() {\n"
-              "  std::this_thread::sleep_for(std::chrono::seconds(1));\n"
-              "}\n"
-              "void Retry() {\n"
-              "  for (int attempt = 0; attempt < 3; ++attempt) {}\n"
-              "  while (retries < kMax) { ++retries; }\n"
-              "  usleep(100);\n"
-              "}\n")
-        # The sanctioned implementation must stay exempt.
-        write("src/util/retry.cc",
-              "void SystemClock::Sleep() {\n"
-              "  std::this_thread::sleep_for(std::chrono::seconds(1));\n"
-              "}\n")
-        # The serving read path must stay lock-free: a naked lock in
-        # service.cc fires, while the marked writer seam inside
-        # snapshot_holder.cc (and lock vocabulary in comments) stays
-        # exempt. sleep_for in these files is already covered by R5, so
-        # keep the fixture to lock vocabulary only.
-        write("src/serve/service.cc",
-              "#include <mutex>\n"
-              "std::mutex cache_mutex;\n"
-              "void Predict() {\n"
-              "  const std::lock_guard<std::mutex> lock(cache_mutex);\n"
-              "}\n")
-        write("src/serve/snapshot_holder.cc",
-              "// a std::mutex mentioned in a comment is fine\n"
-              "std::mutex writer_mutex_;  // contender-lint: writer-seam\n"
-              "void Publish() {\n"
-              "  const std::lock_guard<std::mutex> lock(writer_mutex_);"
-              "  // contender-lint: writer-seam\n"
-              "}\n")
-        write("tests/core/orphan_test.cc", "// never registered\n")
-        write("tests/CMakeLists.txt",
-              "contender_test(other_test core/other_test.cc)\n")
-        write("tests/core/other_test.cc", "// registered\n")
-        # Suppressions and comment-only mentions must NOT fire.
-        write("src/core/ok.cc",
-              "// std::cout in a comment is fine\n"
-              "int x = rand();  // contender-lint: disable=naked-random\n")
-
-        found = {f.rule: [] for f in lint(root)}
-        for f in lint(root):
-            found.setdefault(f.rule, []).append(f)
-
-        expect = {
-            "naked-random": ["src/core/bad_random.cc",
-                             "src/serve/bad_serve_random.cc"],
-            "cout-in-src": ["src/core/bad_print.cc"],
-            "raw-dimension": ["src/core/bad_units.h",
-                              "src/sched/bad_sched.h",
-                              "src/serve/bad_serve.h"],
-            "unregistered-test": ["tests/core/orphan_test.cc"],
-            "naked-sleep": ["src/serve/bad_sleep.cc"],
-            "read-path-mutex": ["src/serve/service.cc"],
-        }
-        for rule, paths in expect.items():
-            for path in paths:
-                hits = [f for f in found.get(rule, []) if f.path == path]
-                if not hits:
-                    failures.append(
-                        f"rule {rule} did not fire on seeded {path}")
-        for f in sum(found.values(), []):
-            if f.path == "src/core/ok.cc":
-                failures.append(f"false positive on suppressed/comment: {f}")
-            if f.path == "tests/core/other_test.cc":
-                failures.append(f"false positive on registered test: {f}")
-            if f.path == os.path.join("src", "util", "retry.cc"):
-                failures.append(f"naked-sleep fired on exempt retry.cc: {f}")
-            if (f.rule == "read-path-mutex"
-                    and f.path == os.path.join("src", "serve",
-                                               "snapshot_holder.cc")):
+        # One shared tree: fixtures may interact (e.g. suppression-budget
+        # sees every other rule's suppressions), which mirrors reality.
+        for rule in RULES:
+            for rel, text in rule.fixtures.items():
+                path = os.path.join(root, rel)
+                os.makedirs(os.path.dirname(path), exist_ok=True)
+                with open(path, "w", encoding="utf-8") as f:
+                    f.write(text)
+        for rule in RULES:
+            findings = rule.check(root, **rule.self_test_kwargs)
+            fired_paths = {f.path.replace(os.sep, "/") for f in findings}
+            wrong_rule = [f for f in findings if f.rule != rule.name]
+            if wrong_rule:
                 failures.append(
-                    f"read-path-mutex fired on marked writer seam: {f}")
-
+                    f"check for {rule.name} reported a different rule id: "
+                    f"{wrong_rule[0]}")
+            for rel in rule.expect_fire:
+                if rel not in fired_paths:
+                    failures.append(
+                        f"rule {rule.name} did not fire on seeded {rel}")
+            for rel in rule.expect_quiet:
+                if rel in fired_paths:
+                    hit = next(f for f in findings
+                               if f.path.replace(os.sep, "/") == rel)
+                    failures.append(
+                        f"rule {rule.name} false positive on {rel}: {hit}")
     if failures:
         for msg in failures:
             print(f"lint --self-test FAILED: {msg}", file=sys.stderr)
@@ -359,8 +782,21 @@ def self_test():
     return 0
 
 
+def rules_epilog():
+    lines = ["rules:"]
+    for rule in RULES:
+        lines.append(f"  {rule.name}")
+        doc = rule.doc
+        while doc:
+            lines.append(f"      {doc[:68].strip()}")
+            doc = doc[68:]
+    return "\n".join(lines)
+
+
 def main():
-    parser = argparse.ArgumentParser(description=__doc__)
+    parser = argparse.ArgumentParser(
+        description=__doc__, epilog=rules_epilog(),
+        formatter_class=argparse.RawDescriptionHelpFormatter)
     parser.add_argument("--root",
                         default=os.path.dirname(os.path.dirname(
                             os.path.abspath(__file__))))
