@@ -1,0 +1,51 @@
+#include "fleet/node.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace contender::fleet {
+
+Node::Node(const Workload* workload, const sim::SimConfig& config,
+           const ContenderPredictor* predictor, const NodeOptions& options,
+           const sched::TemplateHealth* health)
+    : options_(options), simulator_(workload, config) {
+  sched::MixOracle::Options oracle_options = options.oracle_options;
+  oracle_options.health = health;
+  oracle_ =
+      std::make_unique<sched::MixOracle>(predictor, oracle_options);
+  policy_ = sched::MakePolicy(options.policy);
+}
+
+StatusOr<NodeResult> Node::Run(
+    const std::vector<sched::Request>& assigned) {
+  NodeResult result;
+  result.node_id = options_.node_id;
+
+  // Dense local ids in (effective arrival, fleet id) order: the executed
+  // stream is a pure function of the placement, independent of the order
+  // the fleet layer accumulated assignments in.
+  std::vector<sched::Request> local = assigned;
+  std::stable_sort(local.begin(), local.end(),
+                   [](const sched::Request& a, const sched::Request& b) {
+                     if (a.arrival_time != b.arrival_time) {
+                       return a.arrival_time < b.arrival_time;
+                     }
+                     return a.request_id < b.request_id;
+                   });
+  result.global_ids.reserve(local.size());
+  for (size_t i = 0; i < local.size(); ++i) {
+    result.global_ids.push_back(local[i].request_id);
+    local[i].request_id = static_cast<int>(i);
+  }
+
+  sched::ScheduleOptions schedule_options;
+  schedule_options.target_mpl = options_.target_mpl;
+  schedule_options.seed = options_.seed;
+  CONTENDER_ASSIGN_OR_RETURN(
+      result.schedule,
+      simulator_.Run(local, policy_.get(), oracle_.get(),
+                     schedule_options));
+  return result;
+}
+
+}  // namespace contender::fleet

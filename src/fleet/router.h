@@ -1,0 +1,198 @@
+// Fleet-level placement: which node gets each arriving request.
+//
+// The router is the fleet's belief holder. It never sees ground-truth
+// execution — it maintains a *predicted* per-node state machine (running
+// mixes and FIFO backlogs advanced on predicted completions, the same
+// L(c|M) estimates the single-node policies admit on) and routes against
+// that belief, exactly as a real front-end routes on load reports rather
+// than on the future. Placement decisions are therefore a pure function
+// of (options, oracle, arrival stream, chaos seed) and bit-exactly
+// reproducible; the execution pass later realizes each node's stream on
+// the real sim::Engine.
+//
+// Policies:
+//   kRoundRobin       cyclic over healthy nodes; the placement baseline.
+//   kLeastLoaded      fewest outstanding (predicted running + backlog).
+//   kContentionAware  minimize predicted wait + L(c|M)/L_iso slowdown of
+//                     the candidate inside the node's predicted running
+//                     mix. When the request's template (or a node's whole
+//                     predicted mix) has an open circuit breaker, the
+//                     score descends the PR 5 degradation ladder: the
+//                     untrusted in-mix prediction is replaced by the
+//                     measured isolated latency (tier 2), so routing
+//                     degrades to least-predicted-wait instead of
+//                     scheduling on garbage. Such decisions are counted in
+//                     stats().degraded_routes.
+//
+// Drain/failover: BeginDrain (explicit, or fired by the seeded
+// "fleet.node.drain" fail point — one evaluation per Route call, so chaos
+// replays are bit-exact from the root seed alone) marks a node draining:
+// it finishes its predicted-running queries but accepts nothing new, and
+// every request still in its predicted backlog is immediately re-routed
+// through the active policy among the remaining healthy nodes (counted in
+// stats().failovers). The last healthy node can never drain.
+//
+// Tenancy: an optional per-tenant quota caps outstanding (predicted
+// unfinished) requests fleet-wide; a request over quota is rejected at
+// the door and never reaches a node.
+//
+// Thread-compat: a Router is externally synchronized by design — the
+// routing pass is a sequential scan of the arrival stream (Route calls
+// must have non-decreasing arrival times). All cross-thread work happens
+// downstream in the execution pass, where nodes are independent.
+
+#ifndef CONTENDER_FLEET_ROUTER_H_
+#define CONTENDER_FLEET_ROUTER_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "sched/mix_oracle.h"
+#include "sched/request.h"
+#include "util/statusor.h"
+#include "util/units.h"
+
+namespace contender::fleet {
+
+enum class RoutePolicy {
+  kRoundRobin,
+  kLeastLoaded,
+  kContentionAware,
+};
+
+[[nodiscard]] const std::string& RoutePolicyName(RoutePolicy policy);
+[[nodiscard]] const std::vector<RoutePolicy>& AllRoutePolicies();
+
+struct RouterOptions {
+  int num_nodes = 4;
+  /// Per-node MPL budget the predicted state machines admit against
+  /// (must match the MPL the execution pass runs nodes at).
+  int target_mpl = 3;
+  RoutePolicy policy = RoutePolicy::kContentionAware;
+  /// Max outstanding (predicted unfinished) requests per tenant across
+  /// the whole fleet; 0 = unlimited.
+  int tenant_quota = 0;
+};
+
+/// Where one request ended up after the routing pass.
+struct Assignment {
+  /// Final node, or -1 when rejected.
+  int node = -1;
+  /// When the request became available on its final node: the original
+  /// arrival, or the drain instant for failed-over requests.
+  units::Seconds effective_arrival;
+  bool rejected = false;
+  /// True when a drain moved the request off its first node.
+  bool failed_over = false;
+  /// True when the placement score descended the degradation ladder.
+  bool degraded = false;
+};
+
+/// One drain occurrence (explicit or chaos-fired).
+struct DrainEvent {
+  int node = -1;
+  units::Seconds time;
+  /// Backlog requests re-routed off the node by this drain.
+  int failovers = 0;
+};
+
+struct RouterStats {
+  uint64_t routed = 0;
+  uint64_t rejected = 0;
+  uint64_t failovers = 0;
+  uint64_t degraded_routes = 0;
+  std::vector<DrainEvent> drains;
+};
+
+class Router {
+ public:
+  /// `oracle` supplies predicted in-mix latencies (and the template-health
+  /// signal for the degradation ladder) and must outlive the router.
+  Router(const sched::MixOracle* oracle, const RouterOptions& options);
+
+  /// Routes one request. Calls must be made in arrival order
+  /// (non-decreasing arrival_time); each call first advances the predicted
+  /// node states to the arrival instant, applies any chaos-fired drain,
+  /// then places (or rejects) the request. Returns the chosen node, or -1
+  /// for a quota rejection. The final placement (which a later drain may
+  /// still change) is read back through assignments().
+  StatusOr<int> Route(const sched::Request& request);
+
+  /// Marks `node` draining as of `now` and fails its predicted backlog
+  /// over to the remaining healthy nodes. No-op when already draining;
+  /// InvalidArgument for an unknown node; FailedPrecondition when it
+  /// would drain the last healthy node.
+  Status BeginDrain(int node, units::Seconds now);
+
+  [[nodiscard]] bool draining(int node) const;
+  /// Outstanding (predicted running + backlog) on a node.
+  [[nodiscard]] int Outstanding(int node) const;
+
+  /// Final assignment per request id seen by Route (dense ids required).
+  [[nodiscard]] const std::vector<Assignment>& assignments() const {
+    return assignments_;
+  }
+  [[nodiscard]] const RouterStats& stats() const { return stats_; }
+  [[nodiscard]] const RouterOptions& options() const { return options_; }
+
+ private:
+  /// One predicted-unfinished query on a node.
+  struct PredictedQuery {
+    units::Seconds completion;
+    int template_index = -1;
+    int tenant_id = 0;
+    int request_id = -1;
+  };
+
+  /// The router's belief about one node.
+  struct NodeState {
+    std::vector<PredictedQuery> running;  // size <= target_mpl
+    std::deque<sched::Request> backlog;   // FIFO, predicted-waiting
+    bool draining = false;
+  };
+
+  /// Advances one node's predicted state to `now`: pops predicted
+  /// completions and promotes backlog head(s) into freed slots.
+  void Advance(NodeState* node, units::Seconds now);
+
+  /// Places `request` on `node` at `now`: into a free slot (predicted
+  /// completion = now + predicted in-mix latency) or the backlog.
+  void Place(NodeState* node, const sched::Request& request,
+             units::Seconds now);
+
+  /// Predicted seconds until `node` can start one more request, given its
+  /// current backlog depth (0 when a slot is free).
+  [[nodiscard]] double PredictedWait(const NodeState& node,
+                                     units::Seconds now) const;
+
+  /// Healthy = not draining.
+  [[nodiscard]] std::vector<int> HealthyNodes() const;
+
+  /// The policy: picks among `candidates` (non-empty, healthy) for
+  /// `request` at `now`; sets `*degraded` when the score descended the
+  /// ladder.
+  [[nodiscard]] int PickNode(const std::vector<int>& candidates,
+                             const sched::Request& request,
+                             units::Seconds now, bool* degraded);
+
+  [[nodiscard]] int OutstandingForTenant(int tenant_id) const;
+
+  const sched::MixOracle* const oracle_;
+  const RouterOptions options_;
+  std::vector<NodeState> nodes_;
+  std::vector<Assignment> assignments_;
+  RouterStats stats_;
+  /// Round-robin cursor (counts placements, not nodes, so draining nodes
+  /// are skipped without skew).
+  uint64_t round_robin_next_ = 0;
+  /// Next chaos-drain victim (rotates over nodes).
+  int next_chaos_drain_ = 0;
+  /// Clock of the routing pass (Route enforces monotonicity against it).
+  units::Seconds last_arrival_;
+};
+
+}  // namespace contender::fleet
+
+#endif  // CONTENDER_FLEET_ROUTER_H_

@@ -6,6 +6,38 @@
 
 namespace contender::sched {
 
+void TenantScheduleStats::Add(units::Seconds wait, units::Seconds resp,
+                              bool has_deadline, bool missed_deadline) {
+  ++requests;
+  queue_wait.Add(wait.value());
+  response.Add(resp.value());
+  if (has_deadline) {
+    ++deadline_requests;
+    if (missed_deadline) ++deadline_misses;
+  }
+}
+
+void TenantScheduleStats::Merge(const TenantScheduleStats& other) {
+  requests += other.requests;
+  deadline_requests += other.deadline_requests;
+  deadline_misses += other.deadline_misses;
+  queue_wait.Merge(other.queue_wait);
+  response.Merge(other.response);
+}
+
+double TenantScheduleStats::sla_miss_rate() const {
+  if (deadline_requests == 0) return 0.0;
+  return static_cast<double>(deadline_misses) /
+         static_cast<double>(deadline_requests);
+}
+
+void MergeTenantStats(std::map<int, TenantScheduleStats>* into,
+                      const std::map<int, TenantScheduleStats>& from) {
+  for (const auto& [tenant, stats] : from) {
+    (*into)[tenant].Merge(stats);
+  }
+}
+
 ScheduleMetrics ComputeScheduleMetrics(const ScheduleResult& result) {
   ScheduleMetrics m;
   m.requests = result.outcomes.size();
@@ -18,6 +50,9 @@ ScheduleMetrics ComputeScheduleMetrics(const ScheduleResult& result) {
   for (const RequestOutcome& out : result.outcomes) {
     waits.Add(out.queue_wait.value());
     responses.Add(out.response_time.value());
+    m.per_tenant[out.request.tenant_id].Add(
+        out.queue_wait, out.response_time, out.request.deadline.has_value(),
+        out.missed_deadline);
     if (out.request.deadline.has_value()) {
       ++m.deadline_requests;
       if (out.missed_deadline) ++m.deadline_misses;

@@ -1,16 +1,48 @@
 // Schedule-quality metrics over one ScheduleResult: makespan, response
-// percentiles, queue waits, SLA violations, and how good the predictions
-// behind each admission decision turned out to be.
+// percentiles, queue waits, SLA violations, per-tenant breakdowns, and how
+// good the predictions behind each admission decision turned out to be.
 
 #ifndef CONTENDER_SCHED_METRICS_H_
 #define CONTENDER_SCHED_METRICS_H_
 
 #include <cstddef>
+#include <map>
 
 #include "sched/simulator.h"
+#include "util/summary_stats.h"
 #include "util/units.h"
 
 namespace contender::sched {
+
+/// Keyed accumulation of one tenant's (or any other key's) schedule
+/// quality: exact quantiles via the retained-sample SampleStats plus the
+/// deadline tallies. Merge folds another accumulator of the same key —
+/// the per-node/per-shard aggregation path the fleet layer uses, so fleet
+/// metrics reuse these percentiles instead of reimplementing them.
+struct TenantScheduleStats {
+  size_t requests = 0;
+  size_t deadline_requests = 0;
+  size_t deadline_misses = 0;
+  /// admit - arrival, seconds.
+  SampleStats queue_wait;
+  /// arrival -> completion, seconds.
+  SampleStats response;
+
+  /// Folds one completed request into the accumulator.
+  void Add(units::Seconds wait, units::Seconds resp, bool has_deadline,
+           bool missed_deadline);
+  /// Folds another accumulator (same key) into this one; exact — merged
+  /// quantiles equal the quantiles of the concatenated samples.
+  void Merge(const TenantScheduleStats& other);
+
+  /// Misses over deadline-carrying requests; 0 when none carried one.
+  [[nodiscard]] double sla_miss_rate() const;
+};
+
+/// Per-key map merge: every key of `from` is merged into `into`
+/// (inserting absent keys), so per-node maps fold associatively.
+void MergeTenantStats(std::map<int, TenantScheduleStats>* into,
+                      const std::map<int, TenantScheduleStats>& from);
 
 struct ScheduleMetrics {
   size_t requests = 0;
@@ -37,6 +69,10 @@ struct ScheduleMetrics {
   /// prediction recorded at each admission, against the realized execution
   /// latency.
   double mean_prediction_error = 0.0;
+
+  /// Keyed by Request::tenant_id. Single-tenant streams produce exactly
+  /// one entry (tenant 0) whose aggregates match the top-level fields.
+  std::map<int, TenantScheduleStats> per_tenant;
 };
 
 /// Aggregates a completed run. All outcomes must be completed (the

@@ -20,6 +20,12 @@ struct Request {
   int request_id = -1;
   /// Workload template index (position, not paper id).
   int template_index = -1;
+  /// Issuing tenant. Single-tenant streams leave the default; the fleet
+  /// layer stamps it so per-tenant metrics and blame attribution can key
+  /// on it. Policies never read it — placement is tenant-blind, only
+  /// accounting (and admission quotas, enforced upstream by the fleet
+  /// router) see tenants.
+  int tenant_id = 0;
   /// When the request becomes admissible.
   units::Seconds arrival_time;
   /// Absolute SLA deadline for completion; nullopt = best-effort.

@@ -1,0 +1,133 @@
+#include "fleet/blame.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "fleet/node.h"
+#include "test_support.h"
+
+namespace contender::fleet {
+namespace {
+
+using contender::testing::DefaultConfig;
+using contender::testing::PaperWorkload;
+using contender::testing::SharedPredictor;
+
+sched::Request MakeRequest(int id, int template_index, double arrival) {
+  sched::Request r;
+  r.request_id = id;
+  r.template_index = template_index;
+  r.arrival_time = units::Seconds(arrival);
+  return r;
+}
+
+/// Runs one node over `assigned` and attributes blame.
+std::vector<QueryBlame> RunAndBlame(
+    const std::vector<sched::Request>& assigned, int target_mpl = 3) {
+  NodeOptions options;
+  options.target_mpl = target_mpl;
+  Node node(&PaperWorkload(), DefaultConfig(), &SharedPredictor(), options);
+  auto result = node.Run(assigned);
+  CONTENDER_CHECK(result.ok()) << result.status();
+  return ComputeNodeBlame(*result, node.oracle());
+}
+
+TEST(BlameTest, SharesSumToExcessExactly) {
+  // A burst of mutually-contending queries at t = 0: MPL 3 forces
+  // co-residency, so excess exists and must decompose conservatively.
+  std::vector<sched::Request> assigned;
+  for (int i = 0; i < 9; ++i) {
+    assigned.push_back(MakeRequest(/*id=*/100 + i, /*template=*/i % 4,
+                                   /*arrival=*/0.0));
+  }
+  auto blames = RunAndBlame(assigned);
+  ASSERT_EQ(blames.size(), assigned.size());
+
+  bool any_shares = false;
+  for (const QueryBlame& blame : blames) {
+    EXPECT_GE(blame.excess.value(), 0.0);
+    EXPECT_DOUBLE_EQ(
+        blame.excess.value(),
+        std::max(0.0, (blame.execution_latency - blame.isolated_latency)
+                          .value()));
+    double attributed = 0.0;
+    for (const BlameShare& share : blame.shares) {
+      EXPECT_GT(share.seconds.value(), 0.0);
+      EXPECT_NE(share.culprit_request, blame.request_id);
+      EXPECT_GE(share.culprit_request, 100);
+      EXPECT_LT(share.culprit_request, 109);
+      EXPECT_GE(share.culprit_template, 0);
+      attributed += share.seconds.value();
+      any_shares = true;
+    }
+    // The invariant: self blame absorbs exactly the unattributed excess.
+    EXPECT_DOUBLE_EQ(blame.self_blame.value() + attributed,
+                     blame.excess.value());
+    EXPECT_GE(blame.self_blame.value(), -1e-9);
+  }
+  EXPECT_TRUE(any_shares) << "no co-residency in a 9-query MPL-3 burst";
+}
+
+TEST(BlameTest, LoneQueryKeepsAllExcessAsSelfBlame) {
+  auto blames = RunAndBlame({MakeRequest(0, 2, 0.0)});
+  ASSERT_EQ(blames.size(), 1u);
+  EXPECT_TRUE(blames[0].shares.empty());
+  EXPECT_DOUBLE_EQ(blames[0].self_blame.value(), blames[0].excess.value());
+}
+
+TEST(BlameTest, DisjointQueriesBlameNobody) {
+  // Arrivals far apart: no execution overlap, so even if a query runs
+  // over its isolated estimate the excess stays self-attributed.
+  std::vector<sched::Request> assigned;
+  for (int i = 0; i < 3; ++i) {
+    assigned.push_back(MakeRequest(i, i, 1e5 * i));
+  }
+  auto blames = RunAndBlame(assigned);
+  for (const QueryBlame& blame : blames) {
+    EXPECT_TRUE(blame.shares.empty());
+    EXPECT_DOUBLE_EQ(blame.self_blame.value(), blame.excess.value());
+  }
+}
+
+TEST(BlameTest, BlameIsDeterministic) {
+  std::vector<sched::Request> assigned;
+  for (int i = 0; i < 8; ++i) {
+    assigned.push_back(MakeRequest(i, i % 5, 0.25 * i));
+  }
+  auto first = RunAndBlame(assigned);
+  auto second = RunAndBlame(assigned);
+  ASSERT_EQ(first.size(), second.size());
+  for (size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].request_id, second[i].request_id);
+    EXPECT_EQ(first[i].excess, second[i].excess);
+    EXPECT_EQ(first[i].self_blame, second[i].self_blame);
+    ASSERT_EQ(first[i].shares.size(), second[i].shares.size());
+    for (size_t j = 0; j < first[i].shares.size(); ++j) {
+      EXPECT_EQ(first[i].shares[j].culprit_request,
+                second[i].shares[j].culprit_request);
+      EXPECT_EQ(first[i].shares[j].seconds, second[i].shares[j].seconds);
+    }
+  }
+}
+
+TEST(BlameTest, CarriesTenantAndTemplateIdentity) {
+  std::vector<sched::Request> assigned;
+  for (int i = 0; i < 4; ++i) {
+    sched::Request r = MakeRequest(i, i % 2, 0.0);
+    r.tenant_id = i % 2 == 0 ? 7 : 9;
+    assigned.push_back(r);
+  }
+  auto blames = RunAndBlame(assigned);
+  for (const QueryBlame& blame : blames) {
+    EXPECT_TRUE(blame.tenant_id == 7 || blame.tenant_id == 9);
+    for (const BlameShare& share : blame.shares) {
+      EXPECT_TRUE(share.culprit_tenant == 7 || share.culprit_tenant == 9);
+      EXPECT_TRUE(share.culprit_template == 0 || share.culprit_template == 1);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace contender::fleet

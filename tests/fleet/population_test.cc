@@ -1,0 +1,187 @@
+#include "fleet/population.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "test_support.h"
+
+namespace contender::fleet {
+namespace {
+
+using contender::testing::SharedPredictor;
+
+std::vector<units::Seconds> ReferenceLatencies() {
+  std::vector<units::Seconds> reference;
+  for (const TemplateProfile& p : SharedPredictor().profiles()) {
+    reference.push_back(p.isolated_latency);
+  }
+  return reference;
+}
+
+bool SameStream(const Population& a, const Population& b) {
+  if (a.requests.size() != b.requests.size()) return false;
+  for (size_t i = 0; i < a.requests.size(); ++i) {
+    const sched::Request& x = a.requests[i];
+    const sched::Request& y = b.requests[i];
+    if (x.request_id != y.request_id || x.tenant_id != y.tenant_id ||
+        x.template_index != y.template_index ||
+        x.arrival_time != y.arrival_time || x.deadline != y.deadline) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(PopulationTest, SameSeedYieldsIdenticalStream) {
+  const auto reference = ReferenceLatencies();
+  PopulationOptions options;
+  options.num_tenants = 4;
+  options.num_requests = 64;
+  options.skew = 1.0;
+  options.templates_per_tenant = 8;
+  options.deadline_probability = 0.4;
+  auto a = GeneratePopulation(reference, options);
+  auto b = GeneratePopulation(reference, options);
+  ASSERT_TRUE(a.ok()) << a.status();
+  ASSERT_TRUE(b.ok()) << b.status();
+  EXPECT_TRUE(SameStream(*a, *b));
+
+  options.seed = 43;
+  auto c = GeneratePopulation(reference, options);
+  ASSERT_TRUE(c.ok()) << c.status();
+  EXPECT_FALSE(SameStream(*a, *c));
+}
+
+TEST(PopulationTest, IdsAreDenseAndArrivalsSorted) {
+  const auto reference = ReferenceLatencies();
+  PopulationOptions options;
+  options.num_requests = 50;
+  auto population = GeneratePopulation(reference, options);
+  ASSERT_TRUE(population.ok()) << population.status();
+  ASSERT_EQ(population->requests.size(), 50u);
+  units::Seconds last;
+  for (size_t i = 0; i < population->requests.size(); ++i) {
+    const sched::Request& r = population->requests[i];
+    EXPECT_EQ(r.request_id, static_cast<int>(i));
+    EXPECT_GE(r.arrival_time, last);
+    EXPECT_GE(r.tenant_id, 0);
+    EXPECT_LT(r.tenant_id, options.num_tenants);
+    last = r.arrival_time;
+  }
+}
+
+TEST(PopulationTest, ApportionmentIsExactAndSkewConcentrates) {
+  const auto reference = ReferenceLatencies();
+  PopulationOptions options;
+  options.num_tenants = 5;
+  options.num_requests = 97;  // not divisible: exercises the remainders
+  options.skew = 0.0;
+  auto uniform = GeneratePopulation(reference, options);
+  ASSERT_TRUE(uniform.ok()) << uniform.status();
+  int total = 0;
+  for (const TenantSpec& t : uniform->tenants) {
+    total += t.num_requests;
+    EXPECT_NEAR(t.rate_share, 0.2, 1e-12);
+    EXPECT_GE(t.num_requests, 19);  // floor(97/5) = 19
+  }
+  EXPECT_EQ(total, 97);
+
+  options.skew = 2.0;
+  auto skewed = GeneratePopulation(reference, options);
+  ASSERT_TRUE(skewed.ok()) << skewed.status();
+  total = 0;
+  for (const TenantSpec& t : skewed->tenants) total += t.num_requests;
+  EXPECT_EQ(total, 97);
+  EXPECT_GT(skewed->tenants.front().num_requests,
+            skewed->tenants.back().num_requests);
+  EXPECT_GT(skewed->tenants.front().rate_share,
+            skewed->tenants.back().rate_share);
+}
+
+TEST(PopulationTest, TenantsDrawOnlyFromTheirTemplateBlock) {
+  const auto reference = ReferenceLatencies();
+  PopulationOptions options;
+  options.num_tenants = 4;
+  options.num_requests = 80;
+  options.templates_per_tenant = 6;
+  auto population = GeneratePopulation(reference, options);
+  ASSERT_TRUE(population.ok()) << population.status();
+  for (const TenantSpec& t : population->tenants) {
+    EXPECT_EQ(t.templates.size(), 6u);
+  }
+  // Adjacent tenants overlap (rotating half-block windows).
+  const auto& t0 = population->tenants[0].templates;
+  const auto& t1 = population->tenants[1].templates;
+  bool overlap = false;
+  for (int x : t0) overlap |= std::count(t1.begin(), t1.end(), x) > 0;
+  EXPECT_TRUE(overlap);
+  EXPECT_NE(t0, t1);
+  for (const sched::Request& r : population->requests) {
+    const auto& allowed =
+        population->tenants[static_cast<size_t>(r.tenant_id)].templates;
+    EXPECT_TRUE(std::count(allowed.begin(), allowed.end(),
+                           r.template_index) > 0)
+        << "tenant " << r.tenant_id << " drew template "
+        << r.template_index;
+  }
+}
+
+TEST(PopulationTest, DeadlinesSitInsideTheSlackBand) {
+  const auto reference = ReferenceLatencies();
+  PopulationOptions options;
+  options.num_requests = 120;
+  options.deadline_probability = 1.0;
+  options.min_slack = 2.0;
+  options.max_slack = 4.0;
+  auto population = GeneratePopulation(reference, options);
+  ASSERT_TRUE(population.ok()) << population.status();
+  for (const sched::Request& r : population->requests) {
+    ASSERT_TRUE(r.deadline.has_value());
+    const double ref =
+        reference[static_cast<size_t>(r.template_index)].value();
+    const double slack =
+        (*r.deadline - r.arrival_time).value() / ref;
+    EXPECT_GE(slack, 2.0 - 1e-9);
+    EXPECT_LT(slack, 4.0);
+  }
+}
+
+TEST(PopulationTest, RejectsInvalidOptions) {
+  const auto reference = ReferenceLatencies();
+  EXPECT_FALSE(GeneratePopulation({}, PopulationOptions{}).ok());
+
+  PopulationOptions bad;
+  bad.num_tenants = 0;
+  EXPECT_FALSE(GeneratePopulation(reference, bad).ok());
+
+  bad = PopulationOptions{};
+  bad.num_requests = -1;
+  EXPECT_FALSE(GeneratePopulation(reference, bad).ok());
+
+  bad = PopulationOptions{};
+  bad.mean_interarrival = units::Seconds(0.0);
+  EXPECT_FALSE(GeneratePopulation(reference, bad).ok());
+
+  bad = PopulationOptions{};
+  bad.skew = -0.5;
+  EXPECT_FALSE(GeneratePopulation(reference, bad).ok());
+
+  bad = PopulationOptions{};
+  bad.deadline_probability = 1.5;
+  EXPECT_FALSE(GeneratePopulation(reference, bad).ok());
+
+  bad = PopulationOptions{};
+  bad.min_slack = 5.0;
+  bad.max_slack = 2.0;
+  EXPECT_FALSE(GeneratePopulation(reference, bad).ok());
+
+  bad = PopulationOptions{};
+  bad.templates_per_tenant =
+      static_cast<int>(reference.size()) + 1;
+  EXPECT_FALSE(GeneratePopulation(reference, bad).ok());
+}
+
+}  // namespace
+}  // namespace contender::fleet

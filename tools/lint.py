@@ -523,12 +523,19 @@ RULES = (
             "src/serve/bad_serve_random.cc":
                 "std::random_device entropy;\n"
                 "int Jitter() { return rand() % 3; }\n",
+            # fleet/ routing and chaos drains must replay bit-exactly from
+            # one root seed: every draw goes through the derived Rng
+            # streams, never ambient entropy.
+            "src/fleet/bad_fleet_random.cc":
+                "std::random_device node_entropy;\n"
+                "int PickVictim() { return rand() % 4; }\n",
             # Suppressions and comment-only mentions must NOT fire.
             "src/core/ok.cc":
                 "// std::cout in a comment is fine\n"
                 "int x = rand();  // contender-lint: disable=naked-random\n",
         },
-        ["src/core/bad_random.cc", "src/serve/bad_serve_random.cc"],
+        ["src/core/bad_random.cc", "src/serve/bad_serve_random.cc",
+         "src/fleet/bad_fleet_random.cc"],
         ["src/core/ok.cc"],
     ),
     Rule(
@@ -562,9 +569,15 @@ RULES = (
             "src/serve/bad_serve.h":
                 "void Ingest(double observed_latency,\n"
                 "            double drift_fraction = 0.0);\n",
+            # fleet/ headers trade in predicted latencies constantly (router
+            # scores, blame shares); raw doubles there would let node and
+            # fleet clocks drift apart silently.
+            "src/fleet/bad_fleet.h":
+                "void Score(double predicted_latency,\n"
+                "           double blame_fraction = 0.0);\n",
         },
         ["src/core/bad_units.h", "src/sched/bad_sched.h",
-         "src/serve/bad_serve.h"],
+         "src/serve/bad_serve.h", "src/fleet/bad_fleet.h"],
         [],
     ),
     Rule(
@@ -690,9 +703,29 @@ RULES = (
                 "  const int immutable_ = 2;\n"
                 "  void Tick() REQUIRES(mutex_);\n"
                 "};\n",
+            # fleet/ nodes share nothing mutable by design (the execution
+            # pass is embarrassingly parallel); a raw lock or an unguarded
+            # Mutex-owning registry there is exactly the drift this rule
+            # exists to stop.
+            "src/fleet/bad_fleet_lock.h":
+                "#include <mutex>\n"
+                "class NodeRegistry {\n"
+                " private:\n"
+                "  Mutex mutex_;\n"
+                "  int outstanding_ = 0;\n"
+                "};\n",
+            "src/fleet/good_fleet_lock.h":
+                "class NodeStats {\n"
+                " private:\n"
+                "  mutable Mutex mutex_;\n"
+                "  int routed_ GUARDED_BY(mutex_) = 0;\n"
+                "  const int node_id_ = 0;\n"
+                "};\n",
         },
-        ["src/core/bad_lock.cc", "src/core/bad_guard.h"],
-        ["src/util/mutex.h", "src/core/good_guard.h"],
+        ["src/core/bad_lock.cc", "src/core/bad_guard.h",
+         "src/fleet/bad_fleet_lock.h"],
+        ["src/util/mutex.h", "src/core/good_guard.h",
+         "src/fleet/good_fleet_lock.h"],
     ),
     Rule(
         "suppression-budget",
