@@ -8,15 +8,22 @@
 //
 //   ./build/examples/fleet_demo [--seed=42] [--requests=64]
 //       [--tenants=4] [--skew=1.0] [--mpl=3] [--mean_interarrival=20]
+//       [--scenario=poisson-steady]
+//
+// --scenario selects any registered workload scenario (src/scenario/)
+// to drive the population; --scenario=list prints the registry.
 
 #include <cmath>
+#include <cstdlib>
 #include <iostream>
+#include <string>
 
 #include "core/predictor.h"
 #include "fleet/fleet_simulator.h"
 #include "fleet/metrics.h"
 #include "fleet/population.h"
 #include "fleet/router.h"
+#include "scenario/scenario.h"
 #include "util/flags.h"
 #include "util/logging.h"
 #include "util/table_printer.h"
@@ -25,8 +32,30 @@
 using namespace contender;
 using namespace contender::fleet;
 
+namespace {
+
+/// Resolves --scenario, printing the registry and exiting on "list" or an
+/// unknown name so the flag is self-documenting.
+const scenario::Scenario& ResolveScenario(const std::string& name) {
+  const scenario::Scenario* selected = scenario::FindScenario(name);
+  if (selected != nullptr) return *selected;
+  std::ostream& out = (name == "list") ? std::cout : std::cerr;
+  if (name != "list") {
+    out << "Unknown scenario '" << name << "'.\n";
+  }
+  out << "Registered scenarios:\n";
+  for (const scenario::Scenario* s : scenario::AllScenarios()) {
+    out << "  " << s->name() << " — " << s->description() << "\n";
+  }
+  std::exit(name == "list" ? 0 : 1);
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   Flags flags(argc, argv);
+  const scenario::Scenario& scenario_choice =
+      ResolveScenario(flags.GetString("scenario", "poisson-steady"));
   Workload workload = Workload::Paper();
   sim::SimConfig machine;
 
@@ -57,8 +86,11 @@ int main(int argc, char** argv) {
   population_options.templates_per_tenant = 10;
   population_options.deadline_probability = 0.6;
   population_options.seed = flags.Seed();
-  auto population = GeneratePopulation(reference, population_options);
+  auto population =
+      GeneratePopulation(reference, population_options, scenario_choice);
   CONTENDER_CHECK(population.ok()) << population.status();
+  std::cout << "Scenario: " << scenario_choice.name() << " — "
+            << scenario_choice.description() << "\n";
 
   // Drain node 1 when the stream is halfway in: its predicted backlog
   // fails over through the live policy and new work avoids it.

@@ -1,183 +1,56 @@
 #include "fleet/population.h"
 
-#include <algorithm>
-#include <cmath>
+#include <utility>
 
-#include "util/random.h"
+#include "scenario/scenario.h"
+#include "util/logging.h"
 
 namespace contender::fleet {
 
-namespace {
-
-/// Merged-stream order: arrival, then tenant, then the tenant-local draw
-/// index (encoded by generation order within a tenant) — fully
-/// deterministic even when two tenants draw the same instant.
-struct Draw {
-  sched::Request request;  // request_id unset until the final pass
-  int tenant_seq = 0;
-};
-
-bool DrawBefore(const Draw& a, const Draw& b) {
-  if (a.request.arrival_time != b.request.arrival_time) {
-    return a.request.arrival_time < b.request.arrival_time;
-  }
-  if (a.request.tenant_id != b.request.tenant_id) {
-    return a.request.tenant_id < b.request.tenant_id;
-  }
-  return a.tenant_seq < b.tenant_seq;
-}
-
-}  // namespace
+// The population generator is a thin adapter over the scenario library's
+// fleet mode: the Zipf share / largest-remainder / rotating-window tenant
+// planner, the per-tenant seed pre-derivation, and the deterministic
+// merge all live in scenario::Scenario::GenerateFleetTrace now, bit-exact
+// to the sampler that used to live here. The default shape is
+// PoissonSteady; fleet_demo --scenario routes any registered scenario
+// through the same fleet.
 
 StatusOr<Population> GeneratePopulation(
     const std::vector<units::Seconds>& reference_latencies,
     const PopulationOptions& options) {
-  if (reference_latencies.empty()) {
-    return Status::InvalidArgument(
-        "GeneratePopulation: need at least one template");
-  }
-  if (options.num_tenants < 1) {
-    return Status::InvalidArgument(
-        "GeneratePopulation: num_tenants must be >= 1");
-  }
-  if (options.num_requests < 0) {
-    return Status::InvalidArgument(
-        "GeneratePopulation: num_requests must be >= 0");
-  }
-  if (!(options.mean_interarrival.value() > 0.0)) {
-    return Status::InvalidArgument(
-        "GeneratePopulation: mean_interarrival must be positive");
-  }
-  if (!(options.skew >= 0.0)) {  // NaN also fails
-    return Status::InvalidArgument(
-        "GeneratePopulation: skew must be >= 0");
-  }
-  if (options.deadline_probability < 0.0 ||
-      options.deadline_probability > 1.0) {
-    return Status::InvalidArgument(
-        "GeneratePopulation: deadline_probability outside [0, 1]");
-  }
-  if (options.max_slack < options.min_slack) {
-    return Status::InvalidArgument(
-        "GeneratePopulation: max_slack below min_slack");
-  }
-  const int num_templates = static_cast<int>(reference_latencies.size());
-  if (options.templates_per_tenant < 0 ||
-      options.templates_per_tenant > num_templates) {
-    return Status::InvalidArgument(
-        "GeneratePopulation: templates_per_tenant outside [0, templates]");
-  }
+  const scenario::Scenario* poisson =
+      scenario::FindScenario(scenario::kPoissonSteadyName);
+  CONTENDER_CHECK(poisson != nullptr)
+      << "poisson-steady missing from the scenario registry";
+  return GeneratePopulation(reference_latencies, options, *poisson);
+}
+
+StatusOr<Population> GeneratePopulation(
+    const std::vector<units::Seconds>& reference_latencies,
+    const PopulationOptions& options,
+    const scenario::Scenario& scenario) {
+  scenario::ScenarioParams params;
+  params.num_requests = options.num_requests;
+  params.mean_interarrival = options.mean_interarrival;
+  params.deadline_probability = options.deadline_probability;
+  params.min_slack = options.min_slack;
+  params.max_slack = options.max_slack;
+  params.num_tenants = options.num_tenants;
+  params.skew = options.skew;
+  params.templates_per_tenant = options.templates_per_tenant;
+  params.seed = options.seed;
+  CONTENDER_ASSIGN_OR_RETURN(
+      scenario::ScenarioTrace trace,
+      scenario.GenerateFleetTrace(reference_latencies, params));
 
   Population population;
-  population.tenants.resize(static_cast<size_t>(options.num_tenants));
-
-  // Zipf-like rate shares: share(i) ∝ 1/(i+1)^skew.
-  double weight_sum = 0.0;
-  for (int i = 0; i < options.num_tenants; ++i) {
-    weight_sum += std::pow(static_cast<double>(i + 1), -options.skew);
-  }
-  // Request counts: largest-remainder apportionment of num_requests over
-  // the shares, so counts are exact, deterministic, and sum correctly.
-  std::vector<double> exact(static_cast<size_t>(options.num_tenants));
-  std::vector<int> counts(static_cast<size_t>(options.num_tenants));
-  int assigned = 0;
-  for (int i = 0; i < options.num_tenants; ++i) {
-    const double share =
-        std::pow(static_cast<double>(i + 1), -options.skew) / weight_sum;
-    exact[static_cast<size_t>(i)] = share * options.num_requests;
-    counts[static_cast<size_t>(i)] =
-        static_cast<int>(std::floor(exact[static_cast<size_t>(i)]));
-    assigned += counts[static_cast<size_t>(i)];
-    population.tenants[static_cast<size_t>(i)].tenant_id = i;
-    population.tenants[static_cast<size_t>(i)].rate_share = share;
-  }
-  // Distribute the remainder by descending fractional part (ties to the
-  // lower tenant id).
-  std::vector<int> order(static_cast<size_t>(options.num_tenants));
-  for (int i = 0; i < options.num_tenants; ++i) {
-    order[static_cast<size_t>(i)] = i;
-  }
-  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
-    const double fa = exact[static_cast<size_t>(a)] -
-                      std::floor(exact[static_cast<size_t>(a)]);
-    const double fb = exact[static_cast<size_t>(b)] -
-                      std::floor(exact[static_cast<size_t>(b)]);
-    return fa > fb;
-  });
-  for (int r = 0; r < options.num_requests - assigned; ++r) {
-    ++counts[static_cast<size_t>(
-        order[static_cast<size_t>(r % options.num_tenants)])];
-  }
-
-  // Per-tenant template windows: contiguous rotating blocks so adjacent
-  // tenants overlap (shared scans → contention → cross-tenant blame).
-  const int block = options.templates_per_tenant == 0
-                        ? num_templates
-                        : options.templates_per_tenant;
-  for (int i = 0; i < options.num_tenants; ++i) {
-    TenantSpec& spec = population.tenants[static_cast<size_t>(i)];
-    spec.num_requests = counts[static_cast<size_t>(i)];
-    const int start = options.templates_per_tenant == 0
-                          ? 0
-                          : (i * std::max(1, block / 2)) % num_templates;
-    for (int k = 0; k < block; ++k) {
-      spec.templates.push_back((start + k) % num_templates);
-    }
-    std::sort(spec.templates.begin(), spec.templates.end());
-    spec.templates.erase(
-        std::unique(spec.templates.begin(), spec.templates.end()),
-        spec.templates.end());
-  }
-
-  // Pre-derive every tenant's seed in tenant order, then draw each
-  // tenant's stream independently (PR 1 idiom: no interleaved Rng state).
-  Rng root(options.seed);
-  std::vector<uint64_t> tenant_seeds;
-  tenant_seeds.reserve(static_cast<size_t>(options.num_tenants));
-  for (int i = 0; i < options.num_tenants; ++i) {
-    tenant_seeds.push_back(root.Next());
-  }
-
-  std::vector<Draw> draws;
-  draws.reserve(static_cast<size_t>(options.num_requests));
-  for (int i = 0; i < options.num_tenants; ++i) {
-    const TenantSpec& spec = population.tenants[static_cast<size_t>(i)];
-    if (spec.num_requests == 0) continue;
-    Rng rng(tenant_seeds[static_cast<size_t>(i)]);
-    // The tenant's mean gap: the merged stream has the requested aggregate
-    // mean gap when every tenant contributes at its rate share.
-    const units::Seconds tenant_gap =
-        options.mean_interarrival * (1.0 / spec.rate_share);
-    units::Seconds clock;
-    for (int k = 0; k < spec.num_requests; ++k) {
-      Draw d;
-      d.tenant_seq = k;
-      d.request.tenant_id = i;
-      d.request.template_index = spec.templates[static_cast<size_t>(
-          rng.UniformInt(static_cast<uint64_t>(spec.templates.size())))];
-      // Exponential gaps; every tenant's first request gets a gap too, so
-      // heavy tenants start earlier in expectation but not all at t = 0.
-      clock += tenant_gap * (-std::log1p(-rng.Uniform01()));
-      d.request.arrival_time = clock;
-      if (options.deadline_probability > 0.0 &&
-          rng.Uniform01() < options.deadline_probability) {
-        const double slack =
-            rng.Uniform(options.min_slack, options.max_slack);
-        d.request.deadline =
-            d.request.arrival_time +
-            reference_latencies[static_cast<size_t>(
-                d.request.template_index)] *
-                slack;
-      }
-      draws.push_back(std::move(d));
-    }
-  }
-  std::stable_sort(draws.begin(), draws.end(), DrawBefore);
-
-  population.requests.reserve(draws.size());
-  for (size_t id = 0; id < draws.size(); ++id) {
-    draws[id].request.request_id = static_cast<int>(id);
-    population.requests.push_back(draws[id].request);
+  population.requests = std::move(trace.requests);
+  population.tenants.reserve(trace.tenants.size());
+  for (scenario::TenantTraffic& tenant : trace.tenants) {
+    population.tenants.push_back(TenantSpec{tenant.tenant_id,
+                                            tenant.rate_share,
+                                            tenant.num_requests,
+                                            std::move(tenant.templates)});
   }
   return population;
 }

@@ -14,6 +14,7 @@
 
 #include <vector>
 
+#include "scenario/scenario.h"
 #include "sched/request.h"
 #include "util/statusor.h"
 #include "util/units.h"
@@ -70,6 +71,16 @@ struct Population {
 StatusOr<Population> GeneratePopulation(
     const std::vector<units::Seconds>& reference_latencies,
     const PopulationOptions& options);
+
+/// As above, but drives the tenants through `scenario` instead of the
+/// default PoissonSteady shape — every tenant keeps its Zipf rate share,
+/// request count, template window, and pre-derived seed; the scenario
+/// decides when requests land and which window templates they draw
+/// (fleet_demo's --scenario flag routes through this overload).
+StatusOr<Population> GeneratePopulation(
+    const std::vector<units::Seconds>& reference_latencies,
+    const PopulationOptions& options,
+    const scenario::Scenario& scenario);
 
 }  // namespace contender::fleet
 

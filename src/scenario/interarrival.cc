@@ -1,0 +1,24 @@
+#include "scenario/interarrival.h"
+
+#include <cmath>
+
+namespace contender::scenario {
+
+units::Seconds ExponentialGap(Rng* rng, units::Seconds mean) {
+  const double u = rng->Uniform01();
+  return mean * (-std::log1p(-u));
+}
+
+std::optional<units::Seconds> MaybeDeadline(Rng* rng, double probability,
+                                            double min_slack,
+                                            double max_slack,
+                                            units::Seconds arrival,
+                                            units::Seconds reference_latency) {
+  if (probability > 0.0 && rng->Uniform01() < probability) {
+    const double slack = rng->Uniform(min_slack, max_slack);
+    return arrival + reference_latency * slack;
+  }
+  return std::nullopt;
+}
+
+}  // namespace contender::scenario

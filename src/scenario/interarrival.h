@@ -1,0 +1,41 @@
+// The single seeded source of arrival-stream sampling primitives. Both
+// sched::GenerateArrivals and fleet::GeneratePopulation used to carry a
+// private copy of the inverse-transform exponential gap and the Bernoulli
+// deadline draw; those now live here and every scenario (and both legacy
+// entry points, via PoissonSteady) samples through these two functions.
+// Draw order is part of the contract: callers that replicate the legacy
+// streams must draw template → gap → deadline, and each helper consumes a
+// fixed number of Rng draws (gap: one Uniform01; deadline: one Uniform01,
+// plus one Uniform(min, max) only when the Bernoulli fires).
+
+#ifndef CONTENDER_SCENARIO_INTERARRIVAL_H_
+#define CONTENDER_SCENARIO_INTERARRIVAL_H_
+
+#include <optional>
+
+#include "util/random.h"
+#include "util/units.h"
+
+namespace contender::scenario {
+
+/// One exponential interarrival gap with the given mean, via inverse
+/// transform: mean * (-log1p(-u)) with u = rng->Uniform01(). Bit-exact to
+/// the sampling formerly duplicated in sched/request.cc and
+/// fleet/population.cc.
+units::Seconds ExponentialGap(Rng* rng, units::Seconds mean);
+
+/// Bernoulli SLA deadline: when `probability` > 0, draws one Uniform01;
+/// if it lands below `probability`, draws slack uniform in
+/// [min_slack, max_slack) and returns arrival + slack * reference_latency.
+/// Otherwise (including probability == 0, which consumes no draws at all)
+/// returns nullopt. Matches the legacy per-request deadline pattern
+/// exactly, draw for draw.
+std::optional<units::Seconds> MaybeDeadline(Rng* rng, double probability,
+                                            double min_slack,
+                                            double max_slack,
+                                            units::Seconds arrival,
+                                            units::Seconds reference_latency);
+
+}  // namespace contender::scenario
+
+#endif  // CONTENDER_SCENARIO_INTERARRIVAL_H_

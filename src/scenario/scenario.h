@@ -1,0 +1,220 @@
+// Pluggable workload scenarios: named, seeded arrival-trace generators
+// that put non-Poisson traffic shapes through the same predictor /
+// scheduler / serve stack the homogeneous stream always used.
+//
+// A Scenario owns the per-tenant *shape* of the stream (when requests
+// land, which templates they draw) while the shared driver in the base
+// class owns everything that must stay identical across scenarios: option
+// validation, tenant planning (Zipf rate shares, largest-remainder request
+// apportionment, rotating template windows — bit-exact to the fleet
+// population generator), per-tenant seed pre-derivation from the root
+// seed, and the deterministic (arrival, tenant, draw-index) merge that
+// assigns dense request ids. Scenarios therefore cannot accidentally
+// break the tree's determinism discipline: all randomness a scenario
+// sees is the one per-tenant Rng the driver hands it, whose seed is a
+// pure function of (root seed, tenant order). No wall clock, no thread
+// identity, no fail points — a scenario trace is bit-identical at any
+// thread count and under an armed chaos harness.
+//
+// Scenarios self-register into ScenarioRegistry at static-initialization
+// time via CONTENDER_REGISTER_SCENARIO (the SMOL-style suite idiom), so
+// benches, tests, and the fleet demo enumerate them by name without a
+// central switch.
+
+#ifndef CONTENDER_SCENARIO_SCENARIO_H_
+#define CONTENDER_SCENARIO_SCENARIO_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sched/request.h"
+#include "util/mutex.h"
+#include "util/random.h"
+#include "util/statusor.h"
+#include "util/units.h"
+
+namespace contender::scenario {
+
+/// Knobs shared by every scenario. The single-node entry point
+/// (GenerateTrace) ignores the tenant fields and emits one merged stream
+/// with tenant_id 0; the fleet entry point (GenerateFleetTrace) plans
+/// `num_tenants` independent sources exactly like fleet::PopulationOptions
+/// always did. Scenario-specific shape knobs (burst ratios, skew
+/// exponents, storm sizes) are constructor parameters of the concrete
+/// scenarios, so registry defaults stay one-line reproducible.
+struct ScenarioParams {
+  /// Total requests across all tenants.
+  int num_requests = 32;
+  /// Mean interarrival gap of the merged stream (per-tenant gaps divide
+  /// this by the tenant's rate share). Non-stationary scenarios treat it
+  /// as the long-run average rate they modulate around.
+  units::Seconds mean_interarrival{20.0};
+  /// Per-request SLA deadline parameters, as in sched::ArrivalOptions.
+  double deadline_probability = 0.0;
+  double min_slack = 2.0;
+  double max_slack = 6.0;
+  /// Fleet mode only: tenant count, Zipf rate skew, and the rotating
+  /// template-window width (0 = whole workload), as in
+  /// fleet::PopulationOptions.
+  int num_tenants = 4;
+  double skew = 0.0;
+  int templates_per_tenant = 0;
+  uint64_t seed = 42;
+};
+
+/// One tenant of a fleet-mode trace, with its derived traffic parameters
+/// (mirrors fleet::TenantSpec so the fleet layer converts losslessly).
+struct TenantTraffic {
+  int tenant_id = 0;
+  double rate_share = 0.0;
+  int num_requests = 0;
+  std::vector<int> templates;
+};
+
+/// A generated trace: the merged request stream (dense ids in arrival
+/// order, tenant stamped), the tenant plan it was drawn from, and
+/// scenario-reported shape statistics (e.g. "mmpp.switches",
+/// "adhoc.novel_requests") for benches and sanity tests.
+struct ScenarioTrace {
+  std::vector<sched::Request> requests;
+  std::vector<TenantTraffic> tenants;
+  std::map<std::string, double> stats;
+};
+
+/// Order-sensitive FNV-1a digest over every (id, template, tenant,
+/// arrival, deadline) tuple of a trace. Two traces digest equal iff they
+/// are bit-identical; tests and bench_scenarios use it to assert
+/// thread-count invariance and chaos-replay identity cheaply.
+uint64_t TraceDigest(const std::vector<sched::Request>& requests);
+
+/// Interface + shared driver for workload scenarios. Concrete scenarios
+/// implement FillTenantStream (the per-tenant shape) and optionally
+/// override TenantRateSkew / ValidateExtra; everything else is fixed.
+/// Scenario objects are immutable after construction and safe to share
+/// across threads.
+class Scenario {
+ public:
+  virtual ~Scenario() = default;
+
+  Scenario(const Scenario&) = delete;
+  Scenario& operator=(const Scenario&) = delete;
+
+  /// Stable registry key, e.g. "poisson-steady".
+  [[nodiscard]] virtual const char* name() const = 0;
+  /// One-line human description for --scenario=list and the bench table.
+  [[nodiscard]] virtual const char* description() const = 0;
+
+  /// Single-node mode: one tenant spanning the whole workload at rate
+  /// share 1, seeded directly from params.seed with no derivation and no
+  /// gap before the first request — the contract sched::GenerateArrivals
+  /// has always exposed (first request at t = 0 under PoissonSteady).
+  [[nodiscard]] StatusOr<ScenarioTrace> GenerateTrace(
+      const std::vector<units::Seconds>& reference_latencies,
+      const ScenarioParams& params) const;
+
+  /// Fleet mode: num_tenants independent sources with Zipf rate shares,
+  /// largest-remainder request apportionment, rotating template windows,
+  /// per-tenant seeds pre-derived from the root seed in tenant order, and
+  /// a gap before every tenant's first request — the contract
+  /// fleet::GeneratePopulation has always exposed.
+  [[nodiscard]] StatusOr<ScenarioTrace> GenerateFleetTrace(
+      const std::vector<units::Seconds>& reference_latencies,
+      const ScenarioParams& params) const;
+
+ protected:
+  Scenario() = default;
+
+  /// The driver's per-tenant work order. Everything a scenario needs to
+  /// emit one tenant's sub-stream deterministically.
+  struct TenantPlan {
+    int tenant_id = 0;
+    double rate_share = 1.0;
+    int num_requests = 0;
+    /// Sorted unique template window the tenant draws from.
+    std::vector<int> templates;
+    /// This tenant's mean gap (merged mean / rate share).
+    units::Seconds mean_gap;
+    /// Fleet tenants gap before their first request; the single-node
+    /// stream starts at t = 0.
+    bool gap_before_first = true;
+  };
+
+  /// Emits plan.num_requests requests into `out` (template_index,
+  /// arrival_time, deadline only — the driver stamps tenant_id and
+  /// assigns request ids after the merge). All randomness must come from
+  /// `rng`; shape statistics accumulate into `stats` with operator+=.
+  virtual void FillTenantStream(
+      const std::vector<units::Seconds>& reference_latencies,
+      const ScenarioParams& params, const TenantPlan& plan, Rng* rng,
+      std::vector<sched::Request>* out,
+      std::map<std::string, double>* stats) const = 0;
+
+  /// Effective Zipf exponent over tenant rates in fleet mode. Default:
+  /// params.skew unchanged; HeavyTailTenants forces a heavy floor.
+  [[nodiscard]] virtual double TenantRateSkew(
+      const ScenarioParams& params) const;
+
+  /// Scenario-specific parameter validation, after the shared checks.
+  [[nodiscard]] virtual Status ValidateExtra(
+      const ScenarioParams& params) const;
+
+ private:
+  [[nodiscard]] StatusOr<ScenarioTrace> Generate(
+      const std::vector<units::Seconds>& reference_latencies,
+      const ScenarioParams& params, bool fleet_mode) const;
+};
+
+/// Process-wide scenario registry. Registration normally happens at
+/// static-initialization time through CONTENDER_REGISTER_SCENARIO; lookups
+/// are thread-safe and returned pointers live for the process lifetime.
+/// Instance() is defined in scenarios.cc next to the built-in
+/// registrations, so any use of the registry links the builtins in — a
+/// static-library build can never observe an empty registry.
+class ScenarioRegistry {
+ public:
+  static ScenarioRegistry& Instance();
+
+  /// Registers a scenario under scenario->name(). Duplicate names are a
+  /// programming error (CHECK).
+  void Register(std::unique_ptr<Scenario> scenario) EXCLUDES(mutex_);
+
+  /// Returns the scenario named `name`, or nullptr.
+  [[nodiscard]] const Scenario* Find(const std::string& name) const
+      EXCLUDES(mutex_);
+
+  /// Every registered scenario, sorted by name.
+  [[nodiscard]] std::vector<const Scenario*> All() const EXCLUDES(mutex_);
+
+ private:
+  ScenarioRegistry() = default;
+
+  mutable Mutex mutex_;
+  std::map<std::string, std::unique_ptr<Scenario>> scenarios_
+      GUARDED_BY(mutex_);
+};
+
+/// Registry name of the scenario every legacy entry point defaults to.
+inline constexpr char kPoissonSteadyName[] = "poisson-steady";
+
+/// Convenience lookups over ScenarioRegistry::Instance().
+const Scenario* FindScenario(const std::string& name);
+std::vector<const Scenario*> AllScenarios();
+
+/// Self-registration hook. Use at namespace scope in the defining .cc:
+///
+///   CONTENDER_REGISTER_SCENARIO(FlashCrowd)
+#define CONTENDER_REGISTER_SCENARIO(ClassName)                       \
+  namespace {                                                        \
+  const bool kRegistered##ClassName = [] {                           \
+    ::contender::scenario::ScenarioRegistry::Instance().Register(    \
+        std::make_unique<ClassName>());                              \
+    return true;                                                     \
+  }();                                                               \
+  }  // namespace
+
+}  // namespace contender::scenario
+
+#endif  // CONTENDER_SCENARIO_SCENARIO_H_

@@ -1,8 +1,9 @@
 #include "sched/request.h"
 
 #include <algorithm>
-#include <cmath>
+#include <utility>
 
+#include "scenario/scenario.h"
 #include "util/logging.h"
 
 namespace contender::sched {
@@ -23,58 +24,26 @@ bool QueueBefore(const Request& a, const Request& b) {
 StatusOr<std::vector<Request>> GenerateArrivals(
     const std::vector<units::Seconds>& reference_latencies,
     const ArrivalOptions& options) {
-  if (reference_latencies.empty()) {
-    return Status::InvalidArgument(
-        "GenerateArrivals: need at least one template");
-  }
-  if (options.num_requests < 0) {
-    return Status::InvalidArgument(
-        "GenerateArrivals: num_requests must be >= 0");
-  }
-  // A non-positive mean gap means an undefined or non-positive arrival
-  // rate (a zero gap silently collapsed the stream to one burst at t=0);
-  // NaN also fails this comparison.
-  if (!(options.mean_interarrival.value() > 0.0)) {
-    return Status::InvalidArgument(
-        "GenerateArrivals: mean_interarrival must be positive "
-        "(non-positive arrival rate)");
-  }
-  if (options.deadline_probability < 0.0 ||
-      options.deadline_probability > 1.0) {
-    return Status::InvalidArgument(
-        "GenerateArrivals: deadline_probability outside [0, 1]");
-  }
-  if (options.max_slack < options.min_slack) {
-    return Status::InvalidArgument(
-        "GenerateArrivals: max_slack below min_slack");
-  }
-
-  Rng rng(options.seed);
-  std::vector<Request> requests;
-  requests.reserve(static_cast<size_t>(options.num_requests));
-  units::Seconds clock;
-  for (int i = 0; i < options.num_requests; ++i) {
-    Request r;
-    r.request_id = i;
-    r.template_index = static_cast<int>(
-        rng.UniformInt(static_cast<uint64_t>(reference_latencies.size())));
-    // Exponential gap via inverse transform; the first request arrives at
-    // t = 0 so every run starts with work available.
-    if (i > 0) {
-      const double u = rng.Uniform01();
-      clock += options.mean_interarrival * (-std::log1p(-u));
-    }
-    r.arrival_time = clock;
-    if (options.deadline_probability > 0.0 &&
-        rng.Uniform01() < options.deadline_probability) {
-      const double slack = rng.Uniform(options.min_slack, options.max_slack);
-      r.deadline =
-          r.arrival_time +
-          reference_latencies[static_cast<size_t>(r.template_index)] * slack;
-    }
-    requests.push_back(r);
-  }
-  return requests;
+  // Delegates to the PoissonSteady scenario, the bit-exact successor of
+  // the sampler that used to live here (template → gap → deadline draw
+  // order, first request at t = 0). The scenario's single-node mode seeds
+  // its one tenant directly from options.seed, so the stream is identical
+  // draw for draw to every pre-scenario release.
+  const scenario::Scenario* poisson =
+      scenario::FindScenario(scenario::kPoissonSteadyName);
+  CONTENDER_CHECK(poisson != nullptr)
+      << "poisson-steady missing from the scenario registry";
+  scenario::ScenarioParams params;
+  params.num_requests = options.num_requests;
+  params.mean_interarrival = options.mean_interarrival;
+  params.deadline_probability = options.deadline_probability;
+  params.min_slack = options.min_slack;
+  params.max_slack = options.max_slack;
+  params.seed = options.seed;
+  CONTENDER_ASSIGN_OR_RETURN(scenario::ScenarioTrace trace,
+                             poisson->GenerateTrace(reference_latencies,
+                                                    params));
+  return std::move(trace.requests);
 }
 
 RequestQueue::RequestQueue(std::vector<Request> requests)

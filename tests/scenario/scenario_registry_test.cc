@@ -1,0 +1,158 @@
+// Registry contract: every built-in scenario is registered under a
+// stable, unique name with a description, lookups work, and — the
+// end-to-end guarantee — every registered scenario's trace round-trips
+// through ScheduleSimulator without a Status error, in both single-node
+// and fleet mode.
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "scenario/scenario.h"
+#include "scenario/scenarios.h"
+#include "sched/mix_oracle.h"
+#include "sched/policy.h"
+#include "sched/simulator.h"
+#include "test_support.h"
+#include "util/units.h"
+
+namespace contender {
+namespace {
+
+std::vector<units::Seconds> PaperReferences() {
+  std::vector<units::Seconds> refs;
+  for (const TemplateProfile& p : testing::SharedTrainingData().profiles) {
+    refs.push_back(p.isolated_latency);
+  }
+  return refs;
+}
+
+TEST(ScenarioRegistryTest, AllSixBuiltinsRegistered) {
+  const std::vector<const scenario::Scenario*> all =
+      scenario::AllScenarios();
+  ASSERT_GE(all.size(), 6u);
+  std::set<std::string> names;
+  for (const scenario::Scenario* s : all) {
+    ASSERT_NE(s, nullptr);
+    EXPECT_FALSE(std::string(s->name()).empty());
+    EXPECT_FALSE(std::string(s->description()).empty());
+    EXPECT_TRUE(names.insert(s->name()).second)
+        << "duplicate name " << s->name();
+  }
+  for (const char* expected :
+       {"poisson-steady", "diurnal-cycle", "flash-crowd",
+        "heavy-tail-tenants", "adhoc-novel", "mixed-refresh"}) {
+    EXPECT_TRUE(names.count(expected)) << "missing scenario " << expected;
+  }
+}
+
+TEST(ScenarioRegistryTest, AllIsSortedByName) {
+  const std::vector<const scenario::Scenario*> all =
+      scenario::AllScenarios();
+  for (size_t i = 1; i < all.size(); ++i) {
+    EXPECT_LT(std::string(all[i - 1]->name()), std::string(all[i]->name()));
+  }
+}
+
+TEST(ScenarioRegistryTest, FindByNameAndMissLookup) {
+  for (const scenario::Scenario* s : scenario::AllScenarios()) {
+    EXPECT_EQ(scenario::FindScenario(s->name()), s);
+  }
+  EXPECT_EQ(scenario::FindScenario("no-such-scenario"), nullptr);
+  EXPECT_NE(scenario::FindScenario(scenario::kPoissonSteadyName), nullptr);
+}
+
+TEST(ScenarioRegistryTest, EveryScenarioRoundTripsThroughTheSimulator) {
+  const std::vector<units::Seconds> refs = PaperReferences();
+  const sched::ScheduleSimulator simulator(&testing::PaperWorkload(),
+                                           testing::DefaultConfig());
+
+  scenario::ScenarioParams params;
+  params.num_requests = 20;
+  params.mean_interarrival = units::Seconds(25.0);
+  params.deadline_probability = 0.5;
+  params.seed = 42;
+
+  for (const scenario::Scenario* s : scenario::AllScenarios()) {
+    SCOPED_TRACE(s->name());
+    auto trace = s->GenerateTrace(refs, params);
+    ASSERT_TRUE(trace.ok()) << trace.status();
+    ASSERT_EQ(trace->requests.size(),
+              static_cast<size_t>(params.num_requests));
+    // Dense ids in arrival order, templates within the workload.
+    for (size_t i = 0; i < trace->requests.size(); ++i) {
+      EXPECT_EQ(trace->requests[i].request_id, static_cast<int>(i));
+      ASSERT_GE(trace->requests[i].template_index, 0);
+      ASSERT_LT(trace->requests[i].template_index,
+                static_cast<int>(refs.size()));
+      if (i > 0) {
+        EXPECT_GE(trace->requests[i].arrival_time.value(),
+                  trace->requests[i - 1].arrival_time.value());
+      }
+    }
+
+    sched::MixOracle oracle(&testing::SharedPredictor());
+    auto policy = sched::MakePolicy(sched::PolicyKind::kGreedyContention);
+    auto result = simulator.Run(trace->requests, policy.get(), &oracle,
+                                sched::ScheduleOptions{});
+    ASSERT_TRUE(result.ok()) << s->name() << ": " << result.status();
+    EXPECT_EQ(result->outcomes.size(), trace->requests.size());
+    for (const sched::RequestOutcome& outcome : result->outcomes) {
+      EXPECT_TRUE(outcome.completed);
+    }
+  }
+}
+
+TEST(ScenarioRegistryTest, EveryScenarioRoundTripsInFleetMode) {
+  const std::vector<units::Seconds> refs = PaperReferences();
+  scenario::ScenarioParams params;
+  params.num_requests = 40;
+  params.num_tenants = 4;
+  params.skew = 1.0;
+  params.templates_per_tenant = 10;
+  params.mean_interarrival = units::Seconds(10.0);
+  params.seed = 7;
+
+  for (const scenario::Scenario* s : scenario::AllScenarios()) {
+    SCOPED_TRACE(s->name());
+    auto trace = s->GenerateFleetTrace(refs, params);
+    ASSERT_TRUE(trace.ok()) << trace.status();
+    EXPECT_EQ(trace->requests.size(),
+              static_cast<size_t>(params.num_requests));
+    ASSERT_EQ(trace->tenants.size(), static_cast<size_t>(params.num_tenants));
+    int planned = 0;
+    for (const scenario::TenantTraffic& tenant : trace->tenants) {
+      planned += tenant.num_requests;
+      EXPECT_FALSE(tenant.templates.empty());
+    }
+    EXPECT_EQ(planned, params.num_requests);
+    // Tenant ids stamped and within range.
+    for (const sched::Request& r : trace->requests) {
+      EXPECT_GE(r.tenant_id, 0);
+      EXPECT_LT(r.tenant_id, params.num_tenants);
+    }
+  }
+}
+
+TEST(ScenarioRegistryTest, InvalidParamsRejectedByEveryScenario) {
+  const std::vector<units::Seconds> refs = PaperReferences();
+  for (const scenario::Scenario* s : scenario::AllScenarios()) {
+    SCOPED_TRACE(s->name());
+    scenario::ScenarioParams params;
+    params.num_requests = -1;
+    EXPECT_FALSE(s->GenerateTrace(refs, params).ok());
+    params = scenario::ScenarioParams{};
+    params.mean_interarrival = units::Seconds(-1.0);
+    EXPECT_FALSE(s->GenerateTrace(refs, params).ok());
+    params = scenario::ScenarioParams{};
+    EXPECT_FALSE(s->GenerateTrace({}, params).ok());
+    params = scenario::ScenarioParams{};
+    params.num_tenants = 0;
+    EXPECT_FALSE(s->GenerateFleetTrace(refs, params).ok());
+  }
+}
+
+}  // namespace
+}  // namespace contender

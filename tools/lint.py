@@ -228,6 +228,32 @@ def check_unregistered_tests(root):
     return findings
 
 
+SCENARIO_CLASS_RE = re.compile(
+    r"class\s+(\w+)\s*(?:final\s*)?:\s*public\s+(?:scenario::)?Scenario\b")
+SCENARIO_REGISTER_RE = re.compile(r"CONTENDER_REGISTER_SCENARIO\(\s*(\w+)\s*\)")
+
+
+def check_scenario_registered(root):
+    findings = []
+    registered = set()
+    for path in iter_source_files(root, (os.path.join("src", "scenario"),),
+                                  exts=(".cc",)):
+        for line in read_lines(path):
+            registered.update(SCENARIO_REGISTER_RE.findall(code_of(line)))
+    for path in iter_source_files(root, (os.path.join("src", "scenario"),)):
+        rel = os.path.relpath(path, root)
+        for i, line in enumerate(read_lines(path), 1):
+            if suppressed(line, "scenario-registered"):
+                continue
+            m = SCENARIO_CLASS_RE.search(code_of(line))
+            if m and m.group(1) not in registered:
+                findings.append(
+                    Finding("scenario-registered", rel, i,
+                            f"scenario class {m.group(1)} has no "
+                            "CONTENDER_REGISTER_SCENARIO entry"))
+    return findings
+
+
 def check_naked_sleep(root):
     findings = []
     for path in iter_source_files(root, ("src",)):
@@ -593,6 +619,39 @@ RULES = (
         },
         ["tests/core/orphan_test.cc"],
         ["tests/core/other_test.cc"],
+    ),
+    Rule(
+        "scenario-registered",
+        "Every `class X : public Scenario` under src/scenario/ must have a "
+        "CONTENDER_REGISTER_SCENARIO(X) entry in a src/scenario .cc, or "
+        "the scenario silently never appears in the registry (benches, "
+        "fleet_demo --scenario and the registry round-trip tests all "
+        "enumerate through it).",
+        check_scenario_registered,
+        {
+            "src/scenario/bad_scenario.h":
+                "class GhostScenario : public Scenario {\n"
+                " public:\n"
+                "  const char* name() const override { return \"ghost\"; }\n"
+                "};\n",
+            "src/scenario/good_scenario.h":
+                "class SteadyScenario final : public scenario::Scenario {\n"
+                " public:\n"
+                "  const char* name() const override "
+                "{ return \"steady\"; }\n"
+                "};\n",
+            "src/scenario/good_scenario.cc":
+                "CONTENDER_REGISTER_SCENARIO(SteadyScenario)\n",
+            # A deliberately unregistered helper base stays quiet only via
+            # an explicit suppression.
+            "src/scenario/suppressed_scenario.h":
+                "class TestOnlyScenario : public Scenario {"
+                "  // contender-lint: disable=scenario-registered\n"
+                "};\n",
+        },
+        ["src/scenario/bad_scenario.h"],
+        ["src/scenario/good_scenario.h",
+         "src/scenario/suppressed_scenario.h"],
     ),
     Rule(
         "naked-sleep",
