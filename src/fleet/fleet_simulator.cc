@@ -73,6 +73,7 @@ StatusOr<FleetResult> FleetSimulator::Run(const Population& population,
   router_options.target_mpl = options.target_mpl;
   router_options.policy = options.policy;
   router_options.tenant_quota = options.tenant_quota;
+  router_options.door = options.door;
   Router router(&routing_oracle, router_options);
 
   // Explicit drains interleave with the arrival scan by time (stable on
@@ -140,6 +141,7 @@ StatusOr<FleetResult> FleetSimulator::Run(const Population& population,
           node_options.policy = options.node_policy;
           node_options.seed = node_seeds[static_cast<size_t>(i)];
           node_options.oracle_options = options.oracle_options;
+          node_options.overload = options.node_overload;
           Node node(workload_, config_, predictor_, node_options, health_);
           NodeRun run;
           CONTENDER_ASSIGN_OR_RETURN(
@@ -151,6 +153,10 @@ StatusOr<FleetResult> FleetSimulator::Run(const Population& population,
           run.summary.oracle_hits = node.oracle().hits();
           run.summary.oracle_misses = node.oracle().misses();
           run.summary.oracle_degradations = node.oracle().degradations();
+          run.summary.queue_sheds = run.result.schedule.queue_sheds;
+          run.summary.final_admission_limit =
+              run.result.schedule.final_admission_limit;
+          run.summary.limit_decreases = run.result.schedule.limit_decreases;
           return run;
         }));
   }
@@ -158,12 +164,14 @@ StatusOr<FleetResult> FleetSimulator::Run(const Population& population,
   // ---- Assembly (sequential, node order). ------------------------------
   FleetResult fleet;
   fleet.router = router.stats();
+  fleet.door = router.door_stats();
   fleet.outcomes.resize(population.requests.size());
   for (size_t id = 0; id < population.requests.size(); ++id) {
     FleetQueryOutcome& out = fleet.outcomes[id];
     out.request = population.requests[id];
     out.node = assignments[id].node;
     out.rejected = assignments[id].rejected;
+    out.shed_reason = assignments[id].shed_reason;
     out.failed_over = assignments[id].failed_over;
     out.degraded_route = assignments[id].degraded;
   }
@@ -178,7 +186,13 @@ StatusOr<FleetResult> FleetSimulator::Run(const Population& population,
           run.result.schedule.outcomes[local];
       const int id = run.result.global_ids[local];
       FleetQueryOutcome& out = fleet.outcomes[static_cast<size_t>(id)];
-      CONTENDER_CHECK(!out.rejected && !out.completed);
+      CONTENDER_CHECK(!out.rejected && !out.completed && !out.shed);
+      if (outcome.shed) {
+        out.shed = true;
+        out.shed_reason = outcome.shed_reason;
+        out.queue_wait = outcome.queue_wait;
+        continue;
+      }
       out.completed = outcome.completed;
       out.admit_time = outcome.admit_time;
       out.execution_latency = outcome.execution_latency;
@@ -197,9 +211,10 @@ StatusOr<FleetResult> FleetSimulator::Run(const Population& population,
     fleet.nodes.push_back(run.summary);
   }
 
-  // Every routed request must have been realized by exactly one node.
+  // Every routed request must have been realized (or deliberately shed,
+  // with a stamped reason) by exactly one node.
   for (const FleetQueryOutcome& out : fleet.outcomes) {
-    CONTENDER_CHECK(out.rejected || out.completed);
+    CONTENDER_CHECK(out.rejected || out.completed || out.shed);
   }
   std::sort(fleet.blame.begin(), fleet.blame.end(),
             [](const QueryBlame& a, const QueryBlame& b) {

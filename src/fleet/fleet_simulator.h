@@ -65,6 +65,10 @@ struct FleetOptions {
   std::vector<ScheduledDrain> drains;
   /// Memo options for the router's and every node's MixOracle.
   sched::MixOracle::Options oracle_options;
+  /// Door-side overload control for the router (DESIGN.md §16).
+  overload::DoorOptions door;
+  /// Node-level overload control, forwarded into every node.
+  overload::NodeOverloadOptions node_overload;
 };
 
 /// One request's journey through the fleet. Latency fields are only
@@ -74,7 +78,13 @@ struct FleetQueryOutcome {
   sched::Request request;
   /// Final executing node; -1 when rejected.
   int node = -1;
+  /// Shed at the router door (never reached a node).
   bool rejected = false;
+  /// Shed by node-level overload control after admission to a node.
+  bool shed = false;
+  /// Why the drop happened (meaningful when `rejected` or `shed`; every
+  /// drop is stamped — lint rule R10).
+  overload::ShedReason shed_reason = overload::ShedReason::kQuota;
   bool failed_over = false;
   /// The placement decision descended the degradation ladder.
   bool degraded_route = false;
@@ -100,6 +110,11 @@ struct FleetNodeSummary {
   uint64_t oracle_hits = 0;
   uint64_t oracle_misses = 0;
   uint64_t oracle_degradations = 0;
+  /// Node overload control: requests CoDel-shed off the local queue and
+  /// the AIMD limiter's final state.
+  uint64_t queue_sheds = 0;
+  int final_admission_limit = 0;
+  uint64_t limit_decreases = 0;
 };
 
 struct FleetResult {
@@ -108,6 +123,9 @@ struct FleetResult {
   /// Last completion across all nodes.
   units::Seconds makespan;
   RouterStats router;
+  /// The router door's overload ledger (sheds by reason, recovery
+  /// entries, brownout transitions, chaos sheds).
+  overload::DoorStats door;
   /// Per-query blame decompositions, ordered by request id (rejected
   /// requests carry none).
   std::vector<QueryBlame> blame;

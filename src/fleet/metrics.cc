@@ -21,9 +21,20 @@ FleetMetrics ComputeFleetMetrics(const FleetResult& result) {
   size_t error_count = 0;
 
   for (const FleetQueryOutcome& out : result.outcomes) {
+    ++m.offered;
+    ++m.offered_by_tenant[out.request.tenant_id];
     if (out.rejected) {
       ++m.rejected;
       ++m.rejected_by_tenant[out.request.tenant_id];
+      ++m.shed_by_reason[out.shed_reason];
+      ++m.shed_by_tenant[out.request.tenant_id][out.shed_reason];
+      continue;
+    }
+    ++m.admitted;
+    if (out.shed) {
+      ++m.node_sheds;
+      ++m.shed_by_reason[out.shed_reason];
+      ++m.shed_by_tenant[out.request.tenant_id][out.shed_reason];
       continue;
     }
     if (!out.completed) continue;
@@ -35,6 +46,7 @@ FleetMetrics ComputeFleetMetrics(const FleetResult& result) {
       ++m.deadline_requests;
       if (out.missed_deadline) ++m.deadline_misses;
     }
+    if (!has_deadline || !out.missed_deadline) ++m.good_completions;
     m.per_tenant[out.request.tenant_id].Add(out.queue_wait,
                                             out.response_time, has_deadline,
                                             out.missed_deadline);
@@ -60,6 +72,11 @@ FleetMetrics ComputeFleetMetrics(const FleetResult& result) {
   }
   if (error_count > 0) {
     m.mean_prediction_error = error_sum / static_cast<double>(error_count);
+  }
+  m.shed_total = m.rejected + m.node_sheds;
+  if (m.makespan.value() > 0.0) {
+    m.goodput_per_s =
+        static_cast<double>(m.good_completions) / m.makespan.value();
   }
 
   // Blame rollups. Each QueryBlame is exactly conservative (self + shares

@@ -13,6 +13,7 @@
 #include <utility>
 
 #include "fleet/fleet_simulator.h"
+#include "overload/door_control.h"
 #include "sched/metrics.h"
 #include "util/units.h"
 
@@ -34,9 +35,23 @@ struct FleetMetrics {
   size_t requests = 0;
   size_t completed = 0;
   size_t rejected = 0;
+  /// Requests shed by node-level overload control after admission.
+  size_t node_sheds = 0;
   uint64_t failovers = 0;
   uint64_t degraded_routes = 0;
   size_t drains = 0;
+
+  /// The conservation ledger (DESIGN.md §16). Offered = every population
+  /// request; admitted = offered - door rejections; every admitted
+  /// request either completes or is node-shed, so
+  ///   offered == completed + shed_total  and
+  ///   admitted == completed + node_sheds
+  /// hold exactly (tested), fleet-wide and per tenant.
+  size_t offered = 0;
+  size_t admitted = 0;
+  size_t shed_total = 0;
+  /// Door + node sheds by stamped reason.
+  std::map<overload::ShedReason, size_t> shed_by_reason;
 
   /// Last completion across all nodes.
   units::Seconds makespan;
@@ -61,10 +76,22 @@ struct FleetMetrics {
   /// Mean relative error of the admission-time in-mix predictions.
   double mean_prediction_error = 0.0;
 
+  /// Completed requests that also met their deadline (or carried none) —
+  /// the work the fleet actually delivered on time.
+  size_t good_completions = 0;
+  /// good_completions / makespan: the number the overload bench optimizes.
+  double goodput_per_s = 0.0;
+
   /// Keyed by tenant id; exact percentiles via the retained-sample
   /// accumulators (identical machinery to the single-node per_tenant map).
   std::map<int, sched::TenantScheduleStats> per_tenant;
   std::map<int, size_t> rejected_by_tenant;
+  /// The per-tenant conservation ledger: offered requests and every drop
+  /// broken out by tenant and stamped ShedReason (door and node sheds
+  /// combined). For each tenant, offered_by_tenant == completed +
+  /// sum(shed_by_tenant[tenant]).
+  std::map<int, size_t> offered_by_tenant;
+  std::map<int, std::map<overload::ShedReason, size_t>> shed_by_tenant;
 
   /// Blame rollups. Conservation: for every tenant ledger, received + self
   /// sums (over all tenants) equal the total excess, and the matrix row

@@ -41,6 +41,7 @@ StatusOr<NodeResult> Node::Run(
   sched::ScheduleOptions schedule_options;
   schedule_options.target_mpl = options_.target_mpl;
   schedule_options.seed = options_.seed;
+  schedule_options.overload = options_.overload;
   CONTENDER_ASSIGN_OR_RETURN(
       result.schedule,
       simulator_.Run(local, policy_.get(), oracle_.get(),

@@ -32,6 +32,9 @@ struct NodeOptions {
   uint64_t seed = 42;
   /// The node's private prediction memo.
   sched::MixOracle::Options oracle_options;
+  /// Node-level overload control forwarded into the schedule loop
+  /// (adaptive AIMD limiter + queue-head CoDel). Off by default.
+  overload::NodeOverloadOptions overload;
 };
 
 /// The realized execution of one node's assigned sub-stream.

@@ -45,12 +45,18 @@ StatusOr<Population> GeneratePopulation(
 
   Population population;
   population.requests = std::move(trace.requests);
+  // Criticality tiers are stamped here — a pure function of tenant id —
+  // rather than in the scenario driver, so scenario traces (and their
+  // digests) stay byte-identical to the pre-overload sampler.
+  for (sched::Request& request : population.requests) {
+    request.criticality = overload::CriticalityForTenant(request.tenant_id);
+  }
   population.tenants.reserve(trace.tenants.size());
   for (scenario::TenantTraffic& tenant : trace.tenants) {
-    population.tenants.push_back(TenantSpec{tenant.tenant_id,
-                                            tenant.rate_share,
-                                            tenant.num_requests,
-                                            std::move(tenant.templates)});
+    TenantSpec spec{tenant.tenant_id, tenant.rate_share, tenant.num_requests,
+                    std::move(tenant.templates)};
+    spec.criticality = overload::CriticalityForTenant(tenant.tenant_id);
+    population.tenants.push_back(std::move(spec));
   }
   return population;
 }

@@ -14,6 +14,7 @@
 
 #include <vector>
 
+#include "overload/shed_reason.h"
 #include "scenario/scenario.h"
 #include "sched/request.h"
 #include "util/statusor.h"
@@ -30,6 +31,9 @@ struct TenantSpec {
   int num_requests = 0;
   /// Workload template indices this tenant draws from (uniformly).
   std::vector<int> templates;
+  /// Service tier for the overload brownout ladder (stamped on every
+  /// request of this tenant; see overload::CriticalityForTenant).
+  overload::Criticality criticality = overload::Criticality::kStandard;
 };
 
 struct PopulationOptions {

@@ -44,7 +44,7 @@ const std::vector<RoutePolicy>& AllRoutePolicies() {
 }
 
 Router::Router(const sched::MixOracle* oracle, const RouterOptions& options)
-    : oracle_(oracle), options_(options) {
+    : oracle_(oracle), options_(options), door_(options.door) {
   CONTENDER_CHECK(oracle_ != nullptr);
   CONTENDER_CHECK(options_.num_nodes >= 1);
   CONTENDER_CHECK(options_.target_mpl >= 1);
@@ -72,6 +72,7 @@ void Router::Advance(NodeState* node, units::Seconds now) {
     const units::Seconds freed = node->running[best].completion;
     node->running.erase(node->running.begin() +
                         static_cast<std::ptrdiff_t>(best));
+    ++predicted_completions_;
     if (!node->backlog.empty()) {
       const sched::Request next = node->backlog.front();
       node->backlog.pop_front();
@@ -148,6 +149,28 @@ int Router::OutstandingForTenant(int tenant_id) const {
     }
   }
   return outstanding;
+}
+
+units::Bytes Router::PredictedNodeBytes(const NodeState& node) const {
+  const std::vector<TemplateProfile>& profiles =
+      oracle_->predictor().profiles();
+  units::Bytes total{0.0};
+  for (const PredictedQuery& q : node.running) {
+    total += profiles[static_cast<size_t>(q.template_index)].working_set_bytes;
+  }
+  for (const sched::Request& r : node.backlog) {
+    total += profiles[static_cast<size_t>(r.template_index)].working_set_bytes;
+  }
+  return total;
+}
+
+units::Seconds Router::BestPredictedWait(const std::vector<int>& candidates,
+                                         units::Seconds now) const {
+  double best = std::numeric_limits<double>::infinity();
+  for (int n : candidates) {
+    best = std::min(best, PredictedWait(nodes_[static_cast<size_t>(n)], now));
+  }
+  return units::Seconds(candidates.empty() ? 0.0 : best);
 }
 
 int Router::Outstanding(int node) const {
@@ -242,16 +265,44 @@ StatusOr<int> Router::Route(const sched::Request& request) {
   Assignment assignment;
   assignment.effective_arrival = now;
 
-  if (options_.tenant_quota > 0 &&
-      OutstandingForTenant(request.tenant_id) >= options_.tenant_quota) {
+  // The door: every rejection — static quota included — flows through
+  // the overload controller and comes back stamped with its ShedReason.
+  const std::vector<int> healthy = HealthyNodes();
+  overload::DoorSample sample;
+  sample.now = now;
+  sample.queue_delay = BestPredictedWait(healthy, now);
+  sample.criticality = request.criticality;
+  sample.predicted_completions = predicted_completions_;
+  sample.quota_exceeded =
+      options_.tenant_quota > 0 &&
+      OutstandingForTenant(request.tenant_id) >= options_.tenant_quota;
+  if (options_.door.enabled &&
+      options_.door.node_memory_budget > units::Bytes(0.0)) {
+    const units::Bytes footprint =
+        oracle_->predictor()
+            .profiles()[static_cast<size_t>(request.template_index)]
+            .working_set_bytes;
+    bool any_headroom = false;
+    for (int n : healthy) {
+      if (PredictedNodeBytes(nodes_[static_cast<size_t>(n)]) + footprint <=
+          options_.door.node_memory_budget) {
+        any_headroom = true;
+        break;
+      }
+    }
+    sample.memory_exceeded = !any_headroom;
+  }
+  if (const std::optional<overload::ShedReason> reason =
+          door_.Decide(sample)) {
     assignment.rejected = true;
+    assignment.shed_reason = *reason;
     assignments_.push_back(assignment);
     ++stats_.rejected;
+    ++stats_.rejected_by_reason[*reason];
     return -1;
   }
 
   bool degraded = false;
-  const std::vector<int> healthy = HealthyNodes();
   const int pick = PickNode(healthy, request, now, &degraded);
   Place(&nodes_[static_cast<size_t>(pick)], request, now);
   assignment.node = pick;

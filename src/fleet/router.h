@@ -46,9 +46,11 @@
 
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <string>
 #include <vector>
 
+#include "overload/door_control.h"
 #include "sched/mix_oracle.h"
 #include "sched/request.h"
 #include "util/statusor.h"
@@ -74,6 +76,12 @@ struct RouterOptions {
   /// Max outstanding (predicted unfinished) requests per tenant across
   /// the whole fleet; 0 = unlimited.
   int tenant_quota = 0;
+  /// Door-side overload control (DESIGN.md §16): CoDel on predicted wait,
+  /// the criticality brownout ladder, the metastability detector, and the
+  /// predicted-working-set memory budget. Off by default; quota
+  /// enforcement runs through the door either way so every rejection
+  /// carries a ShedReason.
+  overload::DoorOptions door;
 };
 
 /// Where one request ended up after the routing pass.
@@ -84,6 +92,9 @@ struct Assignment {
   /// arrival, or the drain instant for failed-over requests.
   units::Seconds effective_arrival;
   bool rejected = false;
+  /// Why the door shed it (meaningful only when `rejected`; every
+  /// rejection is stamped — lint rule R10).
+  overload::ShedReason shed_reason = overload::ShedReason::kQuota;
   /// True when a drain moved the request off its first node.
   bool failed_over = false;
   /// True when the placement score descended the degradation ladder.
@@ -101,6 +112,8 @@ struct DrainEvent {
 struct RouterStats {
   uint64_t routed = 0;
   uint64_t rejected = 0;
+  /// Door rejections broken out by stamped reason (sums to `rejected`).
+  std::map<overload::ShedReason, uint64_t> rejected_by_reason;
   uint64_t failovers = 0;
   uint64_t degraded_routes = 0;
   std::vector<DrainEvent> drains;
@@ -136,6 +149,17 @@ class Router {
   }
   [[nodiscard]] const RouterStats& stats() const { return stats_; }
   [[nodiscard]] const RouterOptions& options() const { return options_; }
+  /// The door controller's ledger (recovery entries, brownout rungs,
+  /// chaos sheds...).
+  [[nodiscard]] const overload::DoorStats& door_stats() const {
+    return door_.stats();
+  }
+  [[nodiscard]] bool in_recovery() const { return door_.in_recovery(); }
+  /// Predicted completions popped by Advance so far — the belief-side
+  /// goodput proxy the metastability detector tracks.
+  [[nodiscard]] uint64_t predicted_completions() const {
+    return predicted_completions_;
+  }
 
  private:
   /// One predicted-unfinished query on a node.
@@ -179,11 +203,22 @@ class Router {
 
   [[nodiscard]] int OutstandingForTenant(int tenant_id) const;
 
+  /// Predicted outstanding working-set bytes on a node (running +
+  /// backlog), from the profiles' LearnedWMP-style footprints.
+  [[nodiscard]] units::Bytes PredictedNodeBytes(const NodeState& node) const;
+
+  /// Best (smallest) predicted wait across `candidates` at `now` — the
+  /// door's queue-delay signal.
+  [[nodiscard]] units::Seconds BestPredictedWait(
+      const std::vector<int>& candidates, units::Seconds now) const;
+
   const sched::MixOracle* const oracle_;
   const RouterOptions options_;
   std::vector<NodeState> nodes_;
   std::vector<Assignment> assignments_;
   RouterStats stats_;
+  overload::DoorController door_;
+  uint64_t predicted_completions_ = 0;
   /// Round-robin cursor (counts placements, not nodes, so draining nodes
   /// are skipped without skew).
   uint64_t round_robin_next_ = 0;

@@ -1,0 +1,61 @@
+#include "overload/adaptive_limiter.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace contender::overload {
+
+AdaptiveLimiter::AdaptiveLimiter(const AdaptiveLimiterOptions& options)
+    : options_(options), limit_(options.max_limit) {
+  CONTENDER_CHECK(options_.min_limit >= 1)
+      << "AdaptiveLimiter: min_limit must be >= 1";
+  CONTENDER_CHECK(options_.max_limit >= options_.min_limit)
+      << "AdaptiveLimiter: max_limit must be >= min_limit";
+  CONTENDER_CHECK(options_.ewma_alpha > 0.0 && options_.ewma_alpha <= 1.0)
+      << "AdaptiveLimiter: ewma_alpha must be in (0, 1]";
+  CONTENDER_CHECK(options_.overload_ratio > 1.0)
+      << "AdaptiveLimiter: overload_ratio must be > 1";
+  CONTENDER_CHECK(options_.decrease_factor > 0.0 &&
+                  options_.decrease_factor < 1.0)
+      << "AdaptiveLimiter: decrease_factor must be in (0, 1)";
+  CONTENDER_CHECK(options_.increase_period >= 1)
+      << "AdaptiveLimiter: increase_period must be >= 1";
+  CONTENDER_CHECK(options_.decrease_cooldown >= 1)
+      << "AdaptiveLimiter: decrease_cooldown must be >= 1";
+}
+
+void AdaptiveLimiter::OnCompletion(units::Seconds predicted,
+                                   units::Seconds observed) {
+  if (predicted <= units::Seconds(0.0)) return;
+  ++completions_;
+  const double ratio = observed.value() / predicted.value();
+  ratio_ewma_ = options_.ewma_alpha * ratio +
+                (1.0 - options_.ewma_alpha) * ratio_ewma_;
+  if (ratio_ewma_ > options_.overload_ratio) {
+    healthy_streak_ = 0;
+    const bool cooled =
+        !ever_decreased_ ||
+        completions_ - last_decrease_completion_ >=
+            static_cast<uint64_t>(options_.decrease_cooldown);
+    if (cooled && limit_ > options_.min_limit) {
+      limit_ = std::max(
+          options_.min_limit,
+          static_cast<int>(std::floor(limit_ * options_.decrease_factor)));
+      last_decrease_completion_ = completions_;
+      ever_decreased_ = true;
+      ++decreases_;
+    }
+    return;
+  }
+  if (++healthy_streak_ >= options_.increase_period) {
+    healthy_streak_ = 0;
+    if (limit_ < options_.max_limit) {
+      ++limit_;
+      ++increases_;
+    }
+  }
+}
+
+}  // namespace contender::overload

@@ -1,0 +1,76 @@
+// AIMD concurrency limiter driven by the observed-vs-predicted latency
+// ratio — the prediction-driven replacement for a static MPL budget.
+//
+// Contender's predictor prices every admitted query before it runs:
+// L(c|M) is what the mix *should* cost. When completions keep coming back
+// slower than predicted, the node is running past its contention knee
+// (spills, cache pressure — the regimes the model was not asked about),
+// and the limiter multiplicatively backs the admission limit off. When
+// completions track their predictions, the limit creeps back up one slot
+// at a time. Classic AIMD, but the congestion signal is the model's own
+// error instead of a latency SLO guess.
+//
+// Purely deterministic: state advances only on OnCompletion(), so a
+// replayed schedule drives an identical limit trajectory at any thread
+// count.
+
+#ifndef CONTENDER_OVERLOAD_ADAPTIVE_LIMITER_H_
+#define CONTENDER_OVERLOAD_ADAPTIVE_LIMITER_H_
+
+#include <cstdint>
+
+#include "util/units.h"
+
+namespace contender::overload {
+
+struct AdaptiveLimiterOptions {
+  /// Hard floor/ceiling for the limit. The ceiling is typically the
+  /// node's static target MPL — the limiter only ever *tightens* it.
+  int min_limit = 1;
+  int max_limit = 8;
+  /// EWMA smoothing over per-completion observed/predicted ratios.
+  double ewma_alpha = 0.3;
+  /// EWMA ratio above this ⇒ the node is past its knee ⇒ decrease.
+  double overload_ratio = 1.4;
+  /// Multiplicative decrease factor applied to the limit (in (0, 1)).
+  double decrease_factor = 0.7;
+  /// Consecutive healthy completions before an additive +1 increase.
+  int increase_period = 4;
+  /// Minimum completions between two decreases, so one bad burst does
+  /// not collapse the limit straight to the floor.
+  int decrease_cooldown = 2;
+};
+
+class AdaptiveLimiter {
+ public:
+  explicit AdaptiveLimiter(const AdaptiveLimiterOptions& options);
+
+  /// Feeds one completion's predicted and observed execution latency.
+  /// Non-positive predictions are ignored (no signal).
+  void OnCompletion(units::Seconds predicted, units::Seconds observed);
+
+  /// The current admission limit, always in [min_limit, max_limit].
+  [[nodiscard]] int limit() const { return limit_; }
+
+  /// The smoothed observed/predicted ratio (1.0 = model-perfect).
+  [[nodiscard]] double ratio_ewma() const { return ratio_ewma_; }
+
+  [[nodiscard]] uint64_t completions() const { return completions_; }
+  [[nodiscard]] uint64_t increases() const { return increases_; }
+  [[nodiscard]] uint64_t decreases() const { return decreases_; }
+
+ private:
+  const AdaptiveLimiterOptions options_;
+  int limit_;
+  double ratio_ewma_ = 1.0;
+  uint64_t completions_ = 0;
+  uint64_t increases_ = 0;
+  uint64_t decreases_ = 0;
+  int healthy_streak_ = 0;
+  uint64_t last_decrease_completion_ = 0;
+  bool ever_decreased_ = false;
+};
+
+}  // namespace contender::overload
+
+#endif  // CONTENDER_OVERLOAD_ADAPTIVE_LIMITER_H_

@@ -1,0 +1,54 @@
+#include "overload/brownout.h"
+
+#include "util/logging.h"
+
+namespace contender::overload {
+
+namespace {
+// Rungs above "admit everything": shed kSheddable, then also kStandard.
+constexpr int kMaxRung = static_cast<int>(Criticality::kCritical);
+}  // namespace
+
+BrownoutLadder::BrownoutLadder(const BrownoutOptions& options)
+    : options_(options) {
+  CONTENDER_CHECK(options_.enter_pressure > options_.exit_pressure)
+      << "BrownoutLadder: enter_pressure must exceed exit_pressure "
+         "(the hysteresis band)";
+  CONTENDER_CHECK(options_.exit_pressure >= 0.0)
+      << "BrownoutLadder: exit_pressure must be >= 0";
+  CONTENDER_CHECK(options_.rung_streak >= 1)
+      << "BrownoutLadder: rung_streak must be >= 1";
+}
+
+void BrownoutLadder::Observe(double pressure) {
+  if (pressure >= options_.enter_pressure) {
+    below_streak_ = 0;
+    if (++above_streak_ >= options_.rung_streak) {
+      above_streak_ = 0;
+      if (rung_ < kMaxRung) {
+        ++rung_;
+        ++escalations_;
+      }
+    }
+    return;
+  }
+  above_streak_ = 0;
+  if (pressure <= options_.exit_pressure) {
+    if (++below_streak_ >= options_.rung_streak) {
+      below_streak_ = 0;
+      if (rung_ > 0) {
+        --rung_;
+        ++deescalations_;
+      }
+    }
+    return;
+  }
+  // Inside the hysteresis band: both streaks reset, the ladder holds.
+  below_streak_ = 0;
+}
+
+Criticality BrownoutLadder::floor() const {
+  return static_cast<Criticality>(rung_);
+}
+
+}  // namespace contender::overload

@@ -1,0 +1,56 @@
+#include "overload/codel.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace contender::overload {
+
+CoDelController::CoDelController(const CoDelOptions& options)
+    : options_(options) {
+  CONTENDER_CHECK(options_.target > units::Seconds(0.0))
+      << "CoDelController: target must be positive";
+  CONTENDER_CHECK(options_.interval > units::Seconds(0.0))
+      << "CoDelController: interval must be positive";
+}
+
+bool CoDelController::ShouldShed(units::Seconds now, units::Seconds sojourn) {
+  if (sojourn < options_.target) {
+    // Healthy sample ends any above-target episode and any drop state.
+    above_target_ = false;
+    first_above_armed_ = false;
+    dropping_ = false;
+    drop_count_ = 0;
+    return false;
+  }
+  above_target_ = true;
+  if (dropping_) {
+    if (now >= drop_next_) {
+      ++drop_count_;
+      ++sheds_;
+      drop_next_ =
+          now + options_.interval * (1.0 / std::sqrt(
+                                               static_cast<double>(
+                                                   drop_count_ + 1)));
+      return true;
+    }
+    return false;
+  }
+  if (!first_above_armed_) {
+    first_above_armed_ = true;
+    first_above_deadline_ = now + options_.interval;
+    return false;
+  }
+  if (now >= first_above_deadline_) {
+    // Delay stayed above target a full interval: enter the dropping
+    // state and shed this candidate.
+    dropping_ = true;
+    drop_count_ = 1;
+    ++sheds_;
+    drop_next_ = now + options_.interval * (1.0 / std::sqrt(2.0));
+    return true;
+  }
+  return false;
+}
+
+}  // namespace contender::overload

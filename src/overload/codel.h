@@ -1,0 +1,64 @@
+// CoDel ("controlled delay") queue-delay shedding, adapted from
+// Nichols & Jacobson's AQM to admission/dequeue decisions on simulated
+// time.
+//
+// The controller watches each candidate's sojourn (queue delay) at the
+// moment a decision is made. Delay below `target` is a healthy standing
+// queue; delay above it only matters once it has *persisted* for a full
+// `interval` — that distinction is what lets bursts through while still
+// catching the sustained bad state. Once shedding starts, the next shed
+// comes at interval/sqrt(n) like the reference algorithm, so pressure on
+// the queue ramps up the longer delay stays high, and stops the moment a
+// sojourn dips back under target.
+//
+// Deterministic: state is a pure function of the (now, sojourn) call
+// sequence — no wall clock, no randomness.
+
+#ifndef CONTENDER_OVERLOAD_CODEL_H_
+#define CONTENDER_OVERLOAD_CODEL_H_
+
+#include <cstdint>
+
+#include "util/units.h"
+
+namespace contender::overload {
+
+struct CoDelOptions {
+  /// Acceptable standing queue delay.
+  units::Seconds target{5.0};
+  /// How long delay must stay above target before the first shed; also
+  /// the base of the interval/sqrt(n) shed schedule.
+  units::Seconds interval{20.0};
+};
+
+class CoDelController {
+ public:
+  explicit CoDelController(const CoDelOptions& options);
+
+  /// One decision: candidate with queue delay `sojourn` examined at
+  /// `now`. Returns true when the candidate should be shed. `now` must
+  /// be non-decreasing across calls.
+  bool ShouldShed(units::Seconds now, units::Seconds sojourn);
+
+  /// Whether delay is currently sitting above target (the brownout and
+  /// metastability signals key off this).
+  [[nodiscard]] bool above_target() const { return above_target_; }
+  [[nodiscard]] bool dropping() const { return dropping_; }
+  [[nodiscard]] uint64_t sheds() const { return sheds_; }
+
+ private:
+  const CoDelOptions options_;
+  bool above_target_ = false;
+  bool dropping_ = false;
+  /// When the current above-target episode would first justify a shed.
+  units::Seconds first_above_deadline_{0.0};
+  bool first_above_armed_ = false;
+  /// Next scheduled shed while in the dropping state.
+  units::Seconds drop_next_{0.0};
+  uint64_t drop_count_ = 0;
+  uint64_t sheds_ = 0;
+};
+
+}  // namespace contender::overload
+
+#endif  // CONTENDER_OVERLOAD_CODEL_H_

@@ -1,0 +1,27 @@
+#include "overload/node_control.h"
+
+#include <algorithm>
+
+namespace contender::overload {
+
+NodeOverloadControl::NodeOverloadControl(const NodeOverloadOptions& options)
+    : options_(options), limiter_(options.limiter), codel_(options.codel) {}
+
+int NodeOverloadControl::EffectiveLimit(int target_mpl) const {
+  if (!options_.adaptive_limit) return target_mpl;
+  return std::min(target_mpl, limiter_.limit());
+}
+
+void NodeOverloadControl::OnCompletion(units::Seconds predicted,
+                                       units::Seconds observed) {
+  if (!options_.adaptive_limit) return;
+  limiter_.OnCompletion(predicted, observed);
+}
+
+bool NodeOverloadControl::ShouldShedQueueHead(units::Seconds now,
+                                              units::Seconds sojourn) {
+  if (!options_.codel_shed) return false;
+  return codel_.ShouldShed(now, sojourn);
+}
+
+}  // namespace contender::overload

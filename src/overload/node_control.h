@@ -1,0 +1,61 @@
+// Node-level overload control: the per-node composition of the AIMD
+// adaptive limiter (how many slots the scheduler may fill) and a CoDel
+// controller over the head of the admission queue (how stale a queued
+// request may get before it is shed instead of started).
+//
+// ScheduleSimulator owns one NodeOverloadControl per run; both
+// sub-controllers are disabled by default so existing schedules replay
+// unchanged. All state advances on simulated time only.
+
+#ifndef CONTENDER_OVERLOAD_NODE_CONTROL_H_
+#define CONTENDER_OVERLOAD_NODE_CONTROL_H_
+
+#include <cstdint>
+
+#include "overload/adaptive_limiter.h"
+#include "overload/codel.h"
+#include "util/units.h"
+
+namespace contender::overload {
+
+struct NodeOverloadOptions {
+  /// Replace the static MPL budget with the AIMD limiter (the static
+  /// budget remains the limiter's ceiling).
+  bool adaptive_limit = false;
+  AdaptiveLimiterOptions limiter;
+  /// Shed queued requests whose sojourn violates CoDel before starting
+  /// them.
+  bool codel_shed = false;
+  CoDelOptions codel;
+};
+
+class NodeOverloadControl {
+ public:
+  explicit NodeOverloadControl(const NodeOverloadOptions& options);
+
+  /// The admission limit to use where `target_mpl` was used before.
+  /// With the adaptive limiter off this is exactly `target_mpl`.
+  [[nodiscard]] int EffectiveLimit(int target_mpl) const;
+
+  /// Feeds a completion into the adaptive limiter.
+  void OnCompletion(units::Seconds predicted, units::Seconds observed);
+
+  /// CoDel decision for the queue-head candidate with `sojourn` of
+  /// queue delay at simulated time `now`. Always false when codel_shed
+  /// is off.
+  [[nodiscard]] bool ShouldShedQueueHead(units::Seconds now,
+                                         units::Seconds sojourn);
+
+  [[nodiscard]] const AdaptiveLimiter& limiter() const { return limiter_; }
+  [[nodiscard]] const CoDelController& codel() const { return codel_; }
+  [[nodiscard]] uint64_t queue_sheds() const { return codel_.sheds(); }
+
+ private:
+  const NodeOverloadOptions options_;
+  AdaptiveLimiter limiter_;
+  CoDelController codel_;
+};
+
+}  // namespace contender::overload
+
+#endif  // CONTENDER_OVERLOAD_NODE_CONTROL_H_

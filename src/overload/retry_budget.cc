@@ -1,0 +1,84 @@
+#include "overload/retry_budget.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace contender::overload {
+
+RetryBudget::RetryBudget(const RetryBudgetOptions& options)
+    : options_(options) {
+  CONTENDER_CHECK(options_.deposit_per_attempt >= 0.0)
+      << "RetryBudget: deposit_per_attempt must be >= 0";
+  CONTENDER_CHECK(options_.withdraw_per_retry > 0.0)
+      << "RetryBudget: withdraw_per_retry must be positive";
+  CONTENDER_CHECK(options_.initial_balance >= 0.0)
+      << "RetryBudget: initial_balance must be >= 0";
+  CONTENDER_CHECK(options_.max_balance >= options_.initial_balance)
+      << "RetryBudget: max_balance must be >= initial_balance";
+}
+
+void RetryBudget::RecordAttempt(int key) {
+  MutexLock lock(&mutex_);
+  auto [it, inserted] = balances_.try_emplace(key, options_.initial_balance);
+  it->second =
+      std::min(options_.max_balance, it->second + options_.deposit_per_attempt);
+}
+
+bool RetryBudget::TryWithdraw(int key) {
+  MutexLock lock(&mutex_);
+  auto [it, inserted] = balances_.try_emplace(key, options_.initial_balance);
+  if (it->second < options_.withdraw_per_retry) {
+    ++denials_;
+    return false;
+  }
+  it->second -= options_.withdraw_per_retry;
+  ++withdrawals_;
+  return true;
+}
+
+double RetryBudget::balance(int key) const {
+  MutexLock lock(&mutex_);
+  auto it = balances_.find(key);
+  return it == balances_.end() ? options_.initial_balance : it->second;
+}
+
+uint64_t RetryBudget::withdrawals() const {
+  MutexLock lock(&mutex_);
+  return withdrawals_;
+}
+
+uint64_t RetryBudget::denials() const {
+  MutexLock lock(&mutex_);
+  return denials_;
+}
+
+Status RetryWithBudget(RetryBudget* budget, int key,
+                       const RetryOptions& options, uint64_t jitter_seed,
+                       Clock* clock, const std::function<Status()>& attempt) {
+  if (budget == nullptr) {
+    return RetryWithBackoff(options, jitter_seed, clock, attempt);
+  }
+  budget->RecordAttempt(key);
+  int calls = 0;
+  // The loop, deadline, and jitter all stay in util/retry; this wrapper
+  // pre-pays each retry at failure time: when an attempt fails with a
+  // retryable code and another attempt would follow, the token is
+  // withdrawn right here — so a dry bucket converts the failure into the
+  // non-retryable kResourceExhausted and RetryWithBackoff stops before
+  // scheduling any backoff sleep.
+  return RetryWithBackoff(options, jitter_seed, clock, [&]() -> Status {
+    ++calls;
+    Status status = attempt();
+    if (status.ok() || !IsRetryableStatusCode(status.code())) return status;
+    // The loop is out of attempts: no retry follows, nothing to pay for.
+    if (calls >= options.max_attempts) return status;
+    if (!budget->TryWithdraw(key)) {
+      return Status::ResourceExhausted(
+          "retry budget exhausted for key " + std::to_string(key));
+    }
+    return status;
+  });
+}
+
+}  // namespace contender::overload

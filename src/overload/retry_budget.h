@@ -1,0 +1,82 @@
+// Per-key retry budgets (Finagle-style token buckets) that cap how much
+// retry traffic any tenant may add on top of its first-attempt traffic.
+//
+// Every first attempt deposits `deposit_per_attempt` tokens; every retry
+// withdraws `withdraw_per_retry`. With the defaults (1 in, 10 out) a
+// tenant can sustain ~10% retry amplification — enough to ride out
+// isolated chaos-injected failures — but a correlated failure burst
+// drains the bucket and further retries are denied outright. That denial
+// is what turns a would-be retry storm into a bounded, stamped
+// kRetryBudget shed instead of offered-load amplification (the classic
+// metastable-failure sustaining effect).
+//
+// RetryWithBudget is the integration point: it keeps util/retry's
+// RetryWithBackoff loop, deadline, and seeded jitter, but consults the
+// budget before every retry and converts a dry bucket into a terminal
+// kResourceExhausted — which RetryWithBackoff treats as non-retryable, so
+// the caller stops immediately without sleeping.
+
+#ifndef CONTENDER_OVERLOAD_RETRY_BUDGET_H_
+#define CONTENDER_OVERLOAD_RETRY_BUDGET_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "util/mutex.h"
+#include "util/retry.h"
+#include "util/status.h"
+#include "util/thread_annotations.h"
+
+namespace contender::overload {
+
+struct RetryBudgetOptions {
+  /// Tokens deposited by each first attempt.
+  double deposit_per_attempt = 1.0;
+  /// Tokens a single retry costs.
+  double withdraw_per_retry = 10.0;
+  /// Starting balance of a fresh bucket (lets cold tenants retry at all).
+  double initial_balance = 20.0;
+  /// Balance cap, so long quiet periods cannot bank unlimited retries.
+  double max_balance = 200.0;
+};
+
+/// Thread-safe map of token buckets, one per integer key (tenant id,
+/// controller id...). Deterministic: balances are a pure function of the
+/// RecordAttempt/TryWithdraw call sequence.
+class RetryBudget {
+ public:
+  explicit RetryBudget(const RetryBudgetOptions& options = {});
+
+  /// Credits `key` for one first attempt.
+  void RecordAttempt(int key);
+
+  /// Debits one retry if `key` has the tokens; returns false (and counts
+  /// a denial) when the bucket is dry.
+  [[nodiscard]] bool TryWithdraw(int key);
+
+  [[nodiscard]] double balance(int key) const;
+  [[nodiscard]] uint64_t withdrawals() const;
+  [[nodiscard]] uint64_t denials() const;
+
+ private:
+  const RetryBudgetOptions options_;
+  mutable Mutex mutex_;
+  std::map<int, double> balances_ GUARDED_BY(mutex_);
+  uint64_t withdrawals_ GUARDED_BY(mutex_) = 0;
+  uint64_t denials_ GUARDED_BY(mutex_) = 0;
+};
+
+/// RetryWithBackoff with `budget` gating every retry for `key`. The
+/// first attempt is always allowed (and deposits into the budget); each
+/// retry is pre-paid at the preceding failure, so a dry bucket converts
+/// that failure into kResourceExhausted naming the retry budget —
+/// non-retryable, which stops the backoff loop before it sleeps at all.
+/// A null `budget` degrades to plain RetryWithBackoff.
+Status RetryWithBudget(RetryBudget* budget, int key,
+                       const RetryOptions& options, uint64_t jitter_seed,
+                       Clock* clock, const std::function<Status()>& attempt);
+
+}  // namespace contender::overload
+
+#endif  // CONTENDER_OVERLOAD_RETRY_BUDGET_H_

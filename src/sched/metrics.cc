@@ -48,6 +48,12 @@ ScheduleMetrics ComputeScheduleMetrics(const ScheduleResult& result) {
   SampleStats responses;
   SummaryStats prediction_errors;
   for (const RequestOutcome& out : result.outcomes) {
+    if (out.shed) {
+      ++m.shed;
+      ++m.shed_by_reason[out.shed_reason];
+      continue;
+    }
+    ++m.completed;
     waits.Add(out.queue_wait.value());
     responses.Add(out.response_time.value());
     m.per_tenant[out.request.tenant_id].Add(

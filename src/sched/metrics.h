@@ -46,6 +46,11 @@ void MergeTenantStats(std::map<int, TenantScheduleStats>* into,
 
 struct ScheduleMetrics {
   size_t requests = 0;
+  /// Requests that executed to completion (requests - shed).
+  size_t completed = 0;
+  /// Requests dropped by node-level overload control, by stamped reason.
+  size_t shed = 0;
+  std::map<overload::ShedReason, size_t> shed_by_reason;
   /// Last completion instant.
   units::Seconds makespan;
 
@@ -75,8 +80,10 @@ struct ScheduleMetrics {
   std::map<int, TenantScheduleStats> per_tenant;
 };
 
-/// Aggregates a completed run. All outcomes must be completed (the
-/// simulator guarantees this for an OK result).
+/// Aggregates a completed run. Every outcome must be either completed or
+/// shed (the simulator guarantees this for an OK result); shed outcomes
+/// count in `shed`/`shed_by_reason` and are excluded from the latency,
+/// deadline, and prediction-error aggregates — they never ran.
 ScheduleMetrics ComputeScheduleMetrics(const ScheduleResult& result);
 
 }  // namespace contender::sched

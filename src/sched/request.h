@@ -8,6 +8,7 @@
 #include <optional>
 #include <vector>
 
+#include "overload/shed_reason.h"
 #include "util/random.h"
 #include "util/statusor.h"
 #include "util/units.h"
@@ -30,6 +31,11 @@ struct Request {
   units::Seconds arrival_time;
   /// Absolute SLA deadline for completion; nullopt = best-effort.
   std::optional<units::Seconds> deadline;
+  /// Service tier for the overload brownout ladder. Stamped by the fleet
+  /// population (per tenant); single-node streams keep the default.
+  /// Policies never read it — like tenant_id, only admission control and
+  /// accounting see it.
+  overload::Criticality criticality = overload::Criticality::kStandard;
 };
 
 /// Options for GenerateArrivals. All randomness flows from the seed through

@@ -57,6 +57,7 @@ StatusOr<ScheduleResult> ScheduleSimulator::Run(
   std::vector<int> running;  // template indices, admitted and unfinished
   std::vector<int> pid_to_request;
   int in_flight = 0;
+  overload::NodeOverloadControl control(options.overload);
 
   ScheduleResult result;
   result.outcomes.resize(n);
@@ -69,8 +70,27 @@ StatusOr<ScheduleResult> ScheduleSimulator::Run(
   // mix known at decision time; this only affects the choice among
   // same-instant arrival batches wider than the free slots.
   auto admit_free_slots = [&](units::Seconds now) -> Status {
-    while (in_flight < options.target_mpl && !queue.empty()) {
+    while (in_flight < control.EffectiveLimit(options.target_mpl) &&
+           !queue.empty()) {
       const units::Seconds t = std::max(now, queue.NextArrival());
+      // CoDel head-of-queue shedding: the oldest arrived request measures
+      // the standing queue delay; when that delay has persisted above
+      // target for a full interval, drop it (stamped kQueueDelay) instead
+      // of starting it. Critical-tier work is exempt.
+      if (queue.ArrivedBy(t) > 0) {
+        const Request& head = queue.at(0);
+        if (head.criticality < overload::Criticality::kCritical &&
+            control.ShouldShedQueueHead(t, t - head.arrival_time)) {
+          const Request r = queue.Take(0);
+          RequestOutcome& out =
+              result.outcomes[static_cast<size_t>(r.request_id)];
+          out.request = r;
+          out.queue_wait = t - r.arrival_time;
+          out.shed = true;
+          out.shed_reason = overload::ShedReason::kQueueDelay;
+          continue;
+        }
+      }
       SchedContext ctx{t, &running, oracle};
       CONTENDER_ASSIGN_OR_RETURN(const size_t pick,
                                  policy->Pick(queue, ctx));
@@ -117,6 +137,7 @@ StatusOr<ScheduleResult> ScheduleSimulator::Run(
     CONTENDER_CHECK(slot != running.end());
     running.erase(slot);
     --in_flight;
+    control.OnCompletion(out.predicted_latency, out.execution_latency);
 
     if (loop_status.ok()) {
       const Status s = admit_free_slots(engine.now());
@@ -131,10 +152,14 @@ StatusOr<ScheduleResult> ScheduleSimulator::Run(
   CONTENDER_RETURN_IF_ERROR(engine.Run());
   CONTENDER_RETURN_IF_ERROR(loop_status);
   for (const RequestOutcome& out : result.outcomes) {
-    if (!out.completed) {
+    if (!out.completed && !out.shed) {
       return Status::Internal("request never completed");
     }
   }
+  result.final_admission_limit = control.EffectiveLimit(options.target_mpl);
+  result.limit_increases = control.limiter().increases();
+  result.limit_decreases = control.limiter().decreases();
+  result.queue_sheds = control.queue_sheds();
   return result;
 }
 

@@ -11,6 +11,7 @@
 
 #include <vector>
 
+#include "overload/node_control.h"
 #include "sched/mix_oracle.h"
 #include "sched/policy.h"
 #include "sched/request.h"
@@ -23,10 +24,16 @@ namespace contender::sched {
 
 struct ScheduleOptions {
   /// Slots: admitted-and-unfinished queries are held at this level whenever
-  /// the queue is non-empty.
+  /// the queue is non-empty. With the adaptive limiter on, this is the
+  /// limiter's ceiling rather than the operating point.
   int target_mpl = 3;
   /// Seeds query-instance parameter draws and the engine.
   uint64_t seed = 42;
+  /// Node-level overload control (DESIGN.md §16): AIMD admission limiting
+  /// on the observed/predicted latency ratio and CoDel shedding of stale
+  /// queue heads. Both off by default — existing schedules replay
+  /// unchanged.
+  overload::NodeOverloadOptions overload;
 };
 
 /// Everything recorded about one request's journey through the system.
@@ -47,6 +54,11 @@ struct RequestOutcome {
   int mix_size_at_admission = 0;
   bool completed = false;
   bool missed_deadline = false;
+  /// Dropped by node-level overload control instead of executed; lint
+  /// rule R10 requires shed_reason to be stamped alongside.
+  bool shed = false;
+  /// Why (meaningful only when `shed`).
+  overload::ShedReason shed_reason = overload::ShedReason::kQueueDelay;
 };
 
 struct ScheduleResult {
@@ -54,6 +66,11 @@ struct ScheduleResult {
   std::vector<RequestOutcome> outcomes;
   /// Last completion instant.
   units::Seconds makespan;
+  /// Final state of the node's overload controllers for the run.
+  int final_admission_limit = 0;
+  uint64_t limit_increases = 0;
+  uint64_t limit_decreases = 0;
+  uint64_t queue_sheds = 0;
 };
 
 /// Event-driven admission controller over one workload and hardware model.

@@ -87,7 +87,8 @@ StatusOr<RefitStep> RefitController::Step() {
                                  options_.oracle_options);
     return Status::OK();
   };
-  const Status fit_status = RetryWithBackoff(
+  const Status fit_status = overload::RetryWithBudget(
+      options_.retry_budget, options_.retry_budget_key,
       options_.refit_retry, options_.retry_jitter_seed ^ step_index,
       options_.clock != nullptr ? options_.clock : Clock::System(), attempt);
   if (!fit_status.ok()) {

@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "core/template_profile.h"
+#include "overload/retry_budget.h"
 #include "serve/observation_log.h"
 #include "serve/service.h"
 #include "util/mutex.h"
@@ -64,6 +65,14 @@ struct RefitOptions {
   /// Time source for backoff sleeps; null selects Clock::System(). Tests
   /// inject a FakeClock so retry paths run instantly.
   Clock* clock = nullptr;
+  /// Optional shared retry budget (overload/retry_budget.h): when set,
+  /// every refit retry must win a token under `retry_budget_key`, so a
+  /// chaos-induced failure burst cannot amplify into a retry storm — a
+  /// dry budget stops the step immediately (no backoff sleep) and the
+  /// batch goes to the dead-letter buffer exactly as on exhausted
+  /// attempts. Null = unbudgeted (plain RetryWithBackoff).
+  overload::RetryBudget* retry_budget = nullptr;
+  int retry_budget_key = 0;
 };
 
 /// What one Step() did.

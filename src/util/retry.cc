@@ -65,11 +65,16 @@ bool IsRetryableStatusCode(StatusCode code) {
     case StatusCode::kFailedPrecondition:
     case StatusCode::kOutOfRange:
     case StatusCode::kUnimplemented:
+    // A hard quota or budget: retrying cannot refill it, and blind retries
+    // against an exhausted budget are exactly the amplification loop the
+    // overload subsystem exists to break. Transient overload is
+    // kUnavailable, which stays retryable.
+    case StatusCode::kResourceExhausted:
       return false;
     case StatusCode::kNotFound:
     case StatusCode::kInternal:
-    case StatusCode::kResourceExhausted:
     case StatusCode::kDeadlineExceeded:
+    case StatusCode::kUnavailable:
       return true;
   }
   return false;

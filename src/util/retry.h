@@ -83,9 +83,11 @@ struct RetryOptions {
 };
 
 /// Whether a failure with this code may be retried. kAborted (deliberate
-/// abandonment) and the caller-bug family (kInvalidArgument,
+/// abandonment), kResourceExhausted (a hard quota or budget a retry cannot
+/// refill), and the caller-bug family (kInvalidArgument,
 /// kFailedPrecondition, kOutOfRange, kUnimplemented) are terminal;
-/// everything else is assumed transient.
+/// everything else — including kUnavailable, the transient-overload shed
+/// code — is assumed transient.
 [[nodiscard]] bool IsRetryableStatusCode(StatusCode code);
 
 /// The deterministic delay sequence RetryWithBackoff sleeps through:

@@ -24,6 +24,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "DeadlineExceeded";
     case StatusCode::kAborted:
       return "Aborted";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }
@@ -35,6 +37,7 @@ std::optional<StatusCode> StatusCodeFromString(const std::string& name) {
       StatusCode::kOutOfRange,         StatusCode::kInternal,
       StatusCode::kUnimplemented,      StatusCode::kResourceExhausted,
       StatusCode::kDeadlineExceeded,   StatusCode::kAborted,
+      StatusCode::kUnavailable,
   };
   for (StatusCode code : kAll) {
     if (name == StatusCodeToString(code)) return code;

@@ -30,6 +30,12 @@ enum class StatusCode {
   /// The operation was deliberately abandoned and must not be retried
   /// (util/retry.h treats this as terminal).
   kAborted,
+  /// The service is transiently overloaded and shed the request; retrying
+  /// later (with backoff, against the caller's retry budget) may succeed.
+  /// This is the canonical code for load sheds — in contrast with
+  /// kResourceExhausted, which marks a hard quota/budget that retries
+  /// cannot refill (util/retry.h treats that one as terminal).
+  kUnavailable,
 };
 
 /// Returns a human-readable name for a StatusCode ("OK", "InvalidArgument"...).
@@ -79,6 +85,9 @@ class [[nodiscard]] Status {
   }
   static Status Aborted(std::string msg) {
     return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

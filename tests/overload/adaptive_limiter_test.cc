@@ -1,0 +1,125 @@
+// AIMD limiter mechanics: multiplicative decrease past the overload
+// ratio, additive +1 recovery after sustained health, cooldown between
+// decreases, floor/ceiling clamps, and call-sequence determinism.
+
+#include "overload/adaptive_limiter.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace contender::overload {
+namespace {
+
+AdaptiveLimiterOptions SmallOptions() {
+  AdaptiveLimiterOptions options;
+  options.min_limit = 1;
+  options.max_limit = 8;
+  options.ewma_alpha = 1.0;  // unsmoothed: each sample IS the ratio
+  options.overload_ratio = 1.4;
+  options.decrease_factor = 0.5;
+  options.increase_period = 3;
+  options.decrease_cooldown = 2;
+  return options;
+}
+
+TEST(AdaptiveLimiterTest, StartsAtCeilingAndTracksHealthySteady) {
+  AdaptiveLimiter limiter(SmallOptions());
+  EXPECT_EQ(limiter.limit(), 8);
+  for (int i = 0; i < 32; ++i) {
+    limiter.OnCompletion(units::Seconds(1.0), units::Seconds(1.0));
+  }
+  // Already at the ceiling: healthy completions never push past it.
+  EXPECT_EQ(limiter.limit(), 8);
+  EXPECT_EQ(limiter.decreases(), 0u);
+  EXPECT_DOUBLE_EQ(limiter.ratio_ewma(), 1.0);
+}
+
+TEST(AdaptiveLimiterTest, SustainedOverloadBacksOffMultiplicatively) {
+  AdaptiveLimiter limiter(SmallOptions());
+  // Observed 2x predicted, well past the 1.4 knee.
+  limiter.OnCompletion(units::Seconds(1.0), units::Seconds(2.0));
+  EXPECT_EQ(limiter.limit(), 4) << "8 * 0.5";
+  EXPECT_EQ(limiter.decreases(), 1u);
+  // Cooldown: the very next bad completion must NOT halve again.
+  limiter.OnCompletion(units::Seconds(1.0), units::Seconds(2.0));
+  EXPECT_EQ(limiter.limit(), 4);
+  // After the cooldown expires the decrease resumes, down to the floor.
+  for (int i = 0; i < 16; ++i) {
+    limiter.OnCompletion(units::Seconds(1.0), units::Seconds(2.0));
+  }
+  EXPECT_EQ(limiter.limit(), 1);
+  limiter.OnCompletion(units::Seconds(1.0), units::Seconds(3.0));
+  EXPECT_EQ(limiter.limit(), 1) << "never below min_limit";
+}
+
+TEST(AdaptiveLimiterTest, RecoversAdditivelyAfterHealthyStreak) {
+  AdaptiveLimiter limiter(SmallOptions());
+  limiter.OnCompletion(units::Seconds(1.0), units::Seconds(2.0));
+  ASSERT_EQ(limiter.limit(), 4);
+  // Two healthy completions: below increase_period, no change yet.
+  limiter.OnCompletion(units::Seconds(1.0), units::Seconds(1.0));
+  limiter.OnCompletion(units::Seconds(1.0), units::Seconds(1.0));
+  EXPECT_EQ(limiter.limit(), 4);
+  // Third consecutive healthy completion earns exactly +1.
+  limiter.OnCompletion(units::Seconds(1.0), units::Seconds(1.0));
+  EXPECT_EQ(limiter.limit(), 5);
+  EXPECT_EQ(limiter.increases(), 1u);
+  // Nine more healthy: three more +1 steps, clamped at the ceiling.
+  for (int i = 0; i < 9; ++i) {
+    limiter.OnCompletion(units::Seconds(1.0), units::Seconds(1.0));
+  }
+  EXPECT_EQ(limiter.limit(), 8);
+}
+
+TEST(AdaptiveLimiterTest, OverloadResetsTheHealthyStreak) {
+  AdaptiveLimiter limiter(SmallOptions());
+  limiter.OnCompletion(units::Seconds(1.0), units::Seconds(2.0));
+  ASSERT_EQ(limiter.limit(), 4);
+  // healthy, healthy, bad, healthy, healthy, healthy -> exactly one +1:
+  // the bad sample must restart the streak.
+  limiter.OnCompletion(units::Seconds(1.0), units::Seconds(1.0));
+  limiter.OnCompletion(units::Seconds(1.0), units::Seconds(1.0));
+  limiter.OnCompletion(units::Seconds(1.0), units::Seconds(2.0));
+  limiter.OnCompletion(units::Seconds(1.0), units::Seconds(1.0));
+  limiter.OnCompletion(units::Seconds(1.0), units::Seconds(1.0));
+  EXPECT_EQ(limiter.increases(), 0u);
+  limiter.OnCompletion(units::Seconds(1.0), units::Seconds(1.0));
+  EXPECT_EQ(limiter.increases(), 1u);
+}
+
+TEST(AdaptiveLimiterTest, IgnoresNonPositivePredictions) {
+  AdaptiveLimiter limiter(SmallOptions());
+  limiter.OnCompletion(units::Seconds(0.0), units::Seconds(50.0));
+  limiter.OnCompletion(units::Seconds(-1.0), units::Seconds(50.0));
+  EXPECT_EQ(limiter.limit(), 8);
+  EXPECT_EQ(limiter.completions(), 0u);
+}
+
+TEST(AdaptiveLimiterTest, EwmaSmoothsSpikes) {
+  AdaptiveLimiterOptions options = SmallOptions();
+  options.ewma_alpha = 0.2;
+  AdaptiveLimiter limiter(options);
+  // One 2.9x spike against a 1.0 EWMA: 0.8*1.0 + 0.2*2.9 = 1.38, below
+  // the 1.4 knee — a single outlier cannot trigger backoff.
+  limiter.OnCompletion(units::Seconds(1.0), units::Seconds(2.9));
+  EXPECT_EQ(limiter.limit(), 8);
+  EXPECT_NEAR(limiter.ratio_ewma(), 1.38, 1e-12);
+}
+
+TEST(AdaptiveLimiterTest, TrajectoryIsAPureFunctionOfTheSequence) {
+  auto run = [] {
+    AdaptiveLimiter limiter(SmallOptions());
+    std::vector<int> trajectory;
+    for (int i = 0; i < 64; ++i) {
+      const double observed = (i % 7 < 3) ? 2.0 : 0.9;
+      limiter.OnCompletion(units::Seconds(1.0), units::Seconds(observed));
+      trajectory.push_back(limiter.limit());
+    }
+    return trajectory;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace contender::overload

@@ -1,0 +1,111 @@
+// CoDel controller mechanics on simulated time: bursts under an interval
+// pass, sustained above-target delay triggers the first shed after one
+// full interval, the interval/sqrt(n) schedule accelerates while delay
+// stays high, and any dip under target resets everything.
+
+#include "overload/codel.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace contender::overload {
+namespace {
+
+CoDelOptions SmallOptions() {
+  CoDelOptions options;
+  options.target = units::Seconds(1.0);
+  options.interval = units::Seconds(10.0);
+  return options;
+}
+
+TEST(CoDelTest, HealthyDelayNeverSheds) {
+  CoDelController codel(SmallOptions());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(codel.ShouldShed(units::Seconds(i), units::Seconds(0.5)));
+  }
+  EXPECT_EQ(codel.sheds(), 0u);
+  EXPECT_FALSE(codel.above_target());
+}
+
+TEST(CoDelTest, ShortBurstAboveTargetPasses) {
+  CoDelController codel(SmallOptions());
+  // 5 seconds above target — half an interval — then it drains. No shed.
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_FALSE(codel.ShouldShed(units::Seconds(i), units::Seconds(3.0)));
+  }
+  EXPECT_TRUE(codel.above_target());
+  EXPECT_FALSE(codel.ShouldShed(units::Seconds(5.0), units::Seconds(0.2)));
+  EXPECT_FALSE(codel.above_target());
+  EXPECT_EQ(codel.sheds(), 0u);
+}
+
+TEST(CoDelTest, PersistentDelayShedsAfterOneInterval) {
+  CoDelController codel(SmallOptions());
+  // Above target from t=0; the first shed is due at t=0+interval=10.
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_FALSE(codel.ShouldShed(units::Seconds(i), units::Seconds(3.0)))
+        << "at t=" << i;
+  }
+  EXPECT_TRUE(codel.ShouldShed(units::Seconds(10.0), units::Seconds(3.0)));
+  EXPECT_TRUE(codel.dropping());
+  EXPECT_EQ(codel.sheds(), 1u);
+}
+
+TEST(CoDelTest, DroppingScheduleAcceleratesLikeInverseSqrt) {
+  CoDelController codel(SmallOptions());
+  std::vector<double> shed_times;
+  for (double t = 0.0; t <= 60.0; t += 0.25) {
+    if (codel.ShouldShed(units::Seconds(t), units::Seconds(5.0))) {
+      shed_times.push_back(t);
+    }
+  }
+  ASSERT_GE(shed_times.size(), 4u);
+  EXPECT_DOUBLE_EQ(shed_times[0], 10.0);
+  // Gap after the n-th shed is interval/sqrt(n+1): 10/sqrt(2), 10/sqrt(3)…
+  const double gap1 = shed_times[1] - shed_times[0];
+  const double gap2 = shed_times[2] - shed_times[1];
+  const double gap3 = shed_times[3] - shed_times[2];
+  EXPECT_NEAR(gap1, 10.0 / std::sqrt(2.0), 0.25 + 1e-9);
+  EXPECT_NEAR(gap2, 10.0 / std::sqrt(3.0), 0.25 + 1e-9);
+  EXPECT_NEAR(gap3, 10.0 / std::sqrt(4.0), 0.25 + 1e-9);
+  EXPECT_GT(gap1, gap2);
+  EXPECT_GT(gap2, gap3);
+}
+
+TEST(CoDelTest, DipUnderTargetStopsDroppingImmediately) {
+  CoDelController codel(SmallOptions());
+  for (double t = 0.0; t <= 11.0; t += 1.0) {
+    codel.ShouldShed(units::Seconds(t), units::Seconds(5.0));
+  }
+  ASSERT_TRUE(codel.dropping());
+  const uint64_t sheds_before = codel.sheds();
+  // One healthy sojourn ends the episode...
+  EXPECT_FALSE(codel.ShouldShed(units::Seconds(12.0), units::Seconds(0.5)));
+  EXPECT_FALSE(codel.dropping());
+  // ...and the next above-target sample must wait a FULL interval again.
+  for (double t = 13.0; t < 23.0; t += 1.0) {
+    EXPECT_FALSE(codel.ShouldShed(units::Seconds(t), units::Seconds(5.0)))
+        << "at t=" << t;
+  }
+  EXPECT_TRUE(codel.ShouldShed(units::Seconds(23.0), units::Seconds(5.0)));
+  EXPECT_EQ(codel.sheds(), sheds_before + 1);
+}
+
+TEST(CoDelTest, StateIsAPureFunctionOfTheCallSequence) {
+  auto run = [] {
+    CoDelController codel(SmallOptions());
+    std::vector<bool> decisions;
+    for (int i = 0; i < 200; ++i) {
+      const double sojourn = (i % 11 < 8) ? 4.0 : 0.3;
+      decisions.push_back(codel.ShouldShed(units::Seconds(0.5 * i),
+                                           units::Seconds(sojourn)));
+    }
+    return decisions;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace contender::overload

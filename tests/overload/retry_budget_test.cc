@@ -1,0 +1,153 @@
+// Retry budget mechanics: token-bucket deposits/withdrawals per key, and
+// the RetryWithBudget integration — a dry bucket turns a would-be retry
+// into a terminal kResourceExhausted before any backoff sleep runs.
+
+#include "overload/retry_budget.h"
+
+#include <gtest/gtest.h>
+
+#include "util/retry.h"
+#include "util/status.h"
+
+namespace contender::overload {
+namespace {
+
+RetryBudgetOptions TightOptions() {
+  RetryBudgetOptions options;
+  options.deposit_per_attempt = 1.0;
+  options.withdraw_per_retry = 10.0;
+  options.initial_balance = 20.0;
+  options.max_balance = 50.0;
+  return options;
+}
+
+TEST(RetryBudgetTest, BucketDepositsWithdrawsAndDenies) {
+  RetryBudget budget(TightOptions());
+  EXPECT_DOUBLE_EQ(budget.balance(7), 20.0);
+  // Two retries fit in the initial balance; the third is denied.
+  EXPECT_TRUE(budget.TryWithdraw(7));
+  EXPECT_TRUE(budget.TryWithdraw(7));
+  EXPECT_DOUBLE_EQ(budget.balance(7), 0.0);
+  EXPECT_FALSE(budget.TryWithdraw(7));
+  EXPECT_EQ(budget.withdrawals(), 2u);
+  EXPECT_EQ(budget.denials(), 1u);
+  // Ten first attempts refill one retry's worth of tokens.
+  for (int i = 0; i < 10; ++i) budget.RecordAttempt(7);
+  EXPECT_DOUBLE_EQ(budget.balance(7), 10.0);
+  EXPECT_TRUE(budget.TryWithdraw(7));
+}
+
+TEST(RetryBudgetTest, KeysAreIndependent) {
+  RetryBudget budget(TightOptions());
+  ASSERT_TRUE(budget.TryWithdraw(1));
+  ASSERT_TRUE(budget.TryWithdraw(1));
+  EXPECT_FALSE(budget.TryWithdraw(1));
+  // Draining tenant 1's bucket leaves tenant 2 untouched.
+  EXPECT_DOUBLE_EQ(budget.balance(2), 20.0);
+  EXPECT_TRUE(budget.TryWithdraw(2));
+}
+
+TEST(RetryBudgetTest, BalanceIsCappedAtMax) {
+  RetryBudget budget(TightOptions());
+  for (int i = 0; i < 1000; ++i) budget.RecordAttempt(3);
+  EXPECT_DOUBLE_EQ(budget.balance(3), 50.0)
+      << "quiet periods must not bank unlimited retries";
+}
+
+TEST(RetryWithBudgetTest, NullBudgetDegradesToPlainBackoff) {
+  FakeClock clock;
+  RetryOptions options;
+  options.max_attempts = 3;
+  options.deadline = units::Seconds(60.0);
+  int attempts = 0;
+  const Status status = RetryWithBudget(
+      nullptr, 0, options, /*jitter_seed=*/1, &clock, [&] {
+        ++attempts;
+        return attempts < 3 ? Status::Internal("transient") : Status::OK();
+      });
+  EXPECT_TRUE(status.ok()) << status;
+  EXPECT_EQ(attempts, 3);
+  EXPECT_EQ(clock.sleeps().size(), 2u);
+}
+
+TEST(RetryWithBudgetTest, FundedBudgetRetriesAndPaysPerRetry) {
+  RetryBudget budget(TightOptions());
+  FakeClock clock;
+  RetryOptions options;
+  options.max_attempts = 3;
+  options.deadline = units::Seconds(60.0);
+  int attempts = 0;
+  const Status status =
+      RetryWithBudget(&budget, 4, options, /*jitter_seed=*/1, &clock, [&] {
+        ++attempts;
+        return attempts < 3 ? Status::Internal("transient") : Status::OK();
+      });
+  EXPECT_TRUE(status.ok()) << status;
+  EXPECT_EQ(attempts, 3);
+  EXPECT_EQ(budget.withdrawals(), 2u) << "each of the two retries paid";
+  EXPECT_EQ(budget.denials(), 0u);
+  // 20 initial + 1 attempt deposit - 2 * 10 withdrawn.
+  EXPECT_DOUBLE_EQ(budget.balance(4), 1.0);
+}
+
+TEST(RetryWithBudgetTest, DryBudgetDeniesBeforeTheFirstSleep) {
+  RetryBudget budget(TightOptions());
+  // Drain key 9 completely.
+  ASSERT_TRUE(budget.TryWithdraw(9));
+  ASSERT_TRUE(budget.TryWithdraw(9));
+  ASSERT_DOUBLE_EQ(budget.balance(9), 0.0);
+
+  FakeClock clock;
+  RetryOptions options;
+  options.max_attempts = 5;
+  options.deadline = units::Seconds(60.0);
+  int attempts = 0;
+  const Status status =
+      RetryWithBudget(&budget, 9, options, /*jitter_seed=*/1, &clock, [&] {
+        ++attempts;
+        return Status::Internal("keeps failing");
+      });
+  // The failure ran once; the retry it would have triggered was denied,
+  // surfaced as the non-retryable budget status, with zero sleeps.
+  EXPECT_EQ(status.code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(status.message().find("retry budget"), std::string::npos)
+      << status;
+  EXPECT_EQ(attempts, 1);
+  EXPECT_TRUE(clock.sleeps().empty());
+  EXPECT_EQ(budget.denials(), 1u);
+}
+
+TEST(RetryWithBudgetTest, LastAttemptDoesNotPayForAPhantomRetry) {
+  RetryBudget budget(TightOptions());
+  FakeClock clock;
+  RetryOptions options;
+  options.max_attempts = 2;
+  options.deadline = units::Seconds(60.0);
+  const Status status =
+      RetryWithBudget(&budget, 5, options, /*jitter_seed=*/1, &clock,
+                      [] { return Status::Internal("always fails"); });
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+  // One paid retry (before attempt 2); attempt 2's failure is terminal
+  // by max_attempts, so no second token is burned.
+  EXPECT_EQ(budget.withdrawals(), 1u);
+  EXPECT_EQ(clock.sleeps().size(), 1u);
+}
+
+TEST(RetryWithBudgetTest, NonRetryableFailureCostsNothing) {
+  RetryBudget budget(TightOptions());
+  FakeClock clock;
+  RetryOptions options;
+  options.max_attempts = 5;
+  options.deadline = units::Seconds(60.0);
+  const Status status =
+      RetryWithBudget(&budget, 6, options, /*jitter_seed=*/1, &clock,
+                      [] { return Status::Aborted("terminal"); });
+  EXPECT_EQ(status.code(), StatusCode::kAborted);
+  EXPECT_EQ(budget.withdrawals(), 0u);
+  EXPECT_TRUE(clock.sleeps().empty());
+  // The attempt still deposited its token.
+  EXPECT_DOUBLE_EQ(budget.balance(6), 21.0);
+}
+
+}  // namespace
+}  // namespace contender::overload

@@ -1,0 +1,171 @@
+// Node-level overload control inside ScheduleSimulator: the AIMD limiter
+// tightening admissions below the static MPL, CoDel head-of-queue
+// shedding with stamped reasons and criticality exemption, the
+// conservation split in ScheduleMetrics, and bit-exact replay with the
+// controllers armed.
+
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "overload/shed_reason.h"
+#include "sched/metrics.h"
+#include "sched/simulator.h"
+#include "test_support.h"
+
+namespace contender::sched {
+namespace {
+
+using contender::testing::DefaultConfig;
+using contender::testing::PaperWorkload;
+using contender::testing::SharedPredictor;
+
+std::vector<Request> BurstyStream(int num_requests, double interarrival,
+                                  uint64_t seed) {
+  std::vector<units::Seconds> reference;
+  for (const TemplateProfile& p : SharedPredictor().profiles()) {
+    reference.push_back(p.isolated_latency);
+  }
+  ArrivalOptions options;
+  options.num_requests = num_requests;
+  options.mean_interarrival = units::Seconds(interarrival);
+  options.deadline_probability = 0.5;
+  options.min_slack = 3.0;
+  options.max_slack = 10.0;
+  options.seed = seed;
+  auto requests = GenerateArrivals(reference, options);
+  CONTENDER_CHECK(requests.ok()) << requests.status();
+  return std::move(*requests);
+}
+
+StatusOr<ScheduleResult> RunWith(const std::vector<Request>& requests,
+                                 const ScheduleOptions& options) {
+  ScheduleSimulator simulator(&PaperWorkload(), DefaultConfig());
+  auto policy = MakePolicy(PolicyKind::kFifo);
+  MixOracle oracle(&SharedPredictor());
+  return simulator.Run(requests, policy.get(), &oracle, options);
+}
+
+TEST(AdaptiveSchedTest, DefaultsKeepTheStaticLimitAndShedNothing) {
+  const auto requests = BurstyStream(16, 25.0, 7);
+  ScheduleOptions options;
+  options.target_mpl = 3;
+  auto result = RunWith(requests, options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->final_admission_limit, 3);
+  EXPECT_EQ(result->limit_decreases, 0u);
+  EXPECT_EQ(result->queue_sheds, 0u);
+  for (const RequestOutcome& out : result->outcomes) {
+    EXPECT_TRUE(out.completed);
+    EXPECT_FALSE(out.shed);
+  }
+}
+
+TEST(AdaptiveSchedTest, AdaptiveLimiterTightensBelowStaticMpl) {
+  // A razor-thin overload knee turns ordinary prediction error into a
+  // congestion signal, so the limiter must back off below the static MPL
+  // while every request still completes (the floor keeps one slot open).
+  const auto requests = BurstyStream(24, 4.0, 11);
+  ScheduleOptions options;
+  options.target_mpl = 4;
+  options.overload.adaptive_limit = true;
+  options.overload.limiter.max_limit = 4;
+  options.overload.limiter.overload_ratio = 1.01;
+  options.overload.limiter.ewma_alpha = 1.0;
+  auto result = RunWith(requests, options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_GT(result->limit_decreases, 0u)
+      << "knee at 1.01 never tripped the limiter";
+  EXPECT_LT(result->final_admission_limit, 4);
+  EXPECT_GE(result->final_admission_limit, 1);
+  for (const RequestOutcome& out : result->outcomes) {
+    EXPECT_TRUE(out.completed) << "request " << out.request.request_id;
+  }
+}
+
+TEST(AdaptiveSchedTest, CoDelShedsStaleQueueHeadsAndStampsReason) {
+  // MPL 1 with arrivals ~30x faster than service: the queue delay grows
+  // without bound, so CoDel must start dropping heads once the delay has
+  // persisted a full interval.
+  const auto requests = BurstyStream(32, 1.0, 5);
+  ScheduleOptions options;
+  options.target_mpl = 1;
+  options.overload.codel_shed = true;
+  options.overload.codel.target = units::Seconds(10.0);
+  options.overload.codel.interval = units::Seconds(30.0);
+  auto result = RunWith(requests, options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_GT(result->queue_sheds, 0u) << "overloaded queue never shed";
+  size_t shed = 0;
+  for (const RequestOutcome& out : result->outcomes) {
+    ASSERT_TRUE(out.completed || out.shed);
+    if (!out.shed) continue;
+    ++shed;
+    EXPECT_EQ(out.shed_reason, overload::ShedReason::kQueueDelay);
+    EXPECT_FALSE(out.completed);
+    EXPECT_GT(out.queue_wait, options.overload.codel.target);
+  }
+  EXPECT_EQ(shed, result->queue_sheds);
+
+  const ScheduleMetrics metrics = ComputeScheduleMetrics(*result);
+  EXPECT_EQ(metrics.completed + metrics.shed, metrics.requests);
+  EXPECT_EQ(metrics.shed, shed);
+  EXPECT_EQ(metrics.shed_by_reason.at(overload::ShedReason::kQueueDelay),
+            shed);
+}
+
+TEST(AdaptiveSchedTest, CriticalRequestsAreNeverCoDelShed) {
+  auto requests = BurstyStream(32, 1.0, 5);
+  for (Request& request : requests) {
+    if (request.request_id % 3 == 0) {
+      request.criticality = overload::Criticality::kCritical;
+    }
+  }
+  ScheduleOptions options;
+  options.target_mpl = 1;
+  options.overload.codel_shed = true;
+  options.overload.codel.target = units::Seconds(10.0);
+  options.overload.codel.interval = units::Seconds(30.0);
+  auto result = RunWith(requests, options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_GT(result->queue_sheds, 0u);
+  for (const RequestOutcome& out : result->outcomes) {
+    if (out.request.criticality == overload::Criticality::kCritical) {
+      EXPECT_TRUE(out.completed)
+          << "critical request " << out.request.request_id << " was shed";
+    }
+  }
+}
+
+TEST(AdaptiveSchedTest, ArmedControllersReplayBitExactly) {
+  const auto requests = BurstyStream(24, 2.0, 13);
+  ScheduleOptions options;
+  options.target_mpl = 2;
+  options.overload.adaptive_limit = true;
+  options.overload.limiter.max_limit = 2;
+  options.overload.limiter.overload_ratio = 1.05;
+  options.overload.codel_shed = true;
+  options.overload.codel.target = units::Seconds(15.0);
+  options.overload.codel.interval = units::Seconds(40.0);
+  auto first = RunWith(requests, options);
+  auto second = RunWith(requests, options);
+  ASSERT_TRUE(first.ok()) << first.status();
+  ASSERT_TRUE(second.ok()) << second.status();
+  ASSERT_EQ(first->outcomes.size(), second->outcomes.size());
+  EXPECT_EQ(first->makespan, second->makespan);
+  EXPECT_EQ(first->queue_sheds, second->queue_sheds);
+  EXPECT_EQ(first->final_admission_limit, second->final_admission_limit);
+  for (size_t i = 0; i < first->outcomes.size(); ++i) {
+    const RequestOutcome& a = first->outcomes[i];
+    const RequestOutcome& b = second->outcomes[i];
+    EXPECT_EQ(a.shed, b.shed) << i;
+    EXPECT_EQ(a.completed, b.completed) << i;
+    EXPECT_EQ(a.admit_time, b.admit_time) << i;
+    EXPECT_EQ(a.completion_time, b.completion_time) << i;
+    EXPECT_EQ(a.queue_wait, b.queue_wait) << i;
+  }
+}
+
+}  // namespace
+}  // namespace contender::sched

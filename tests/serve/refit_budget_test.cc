@@ -1,0 +1,171 @@
+// Satellite: the refit controller under an exhausted retry budget. A
+// chaos-failing fit whose tenant budget is dry must be denied BEFORE any
+// backoff sleep (FakeClock records none), surface kResourceExhausted,
+// and still quarantine the drained batch into the dead-letter buffer —
+// budget denial changes how fast the step gives up, never what happens
+// to the data.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "overload/retry_budget.h"
+#include "serve/refit_controller.h"
+#include "test_support.h"
+#include "util/failpoint.h"
+#include "util/retry.h"
+
+namespace contender::serve {
+namespace {
+
+using contender::testing::SharedPredictor;
+using contender::testing::SharedTrainingData;
+
+std::vector<MixObservation> DriftedObservations(int template_index,
+                                                size_t count) {
+  std::vector<MixObservation> drifted;
+  const auto& profiles = SharedPredictor().profiles();
+  for (const MixObservation& o : SharedTrainingData().observations) {
+    if (o.primary_index != template_index) continue;
+    MixObservation copy = o;
+    copy.latency = copy.latency * 1.2;
+    const auto& profile = profiles[static_cast<size_t>(template_index)];
+    auto lmax = profile.spoiler_latency.find(o.mpl);
+    if (lmax != profile.spoiler_latency.end() &&
+        copy.latency > lmax->second * 1.04) {
+      copy.latency = lmax->second * 1.04;
+    }
+    drifted.push_back(std::move(copy));
+    if (drifted.size() == count) break;
+  }
+  return drifted;
+}
+
+class RefitBudgetTest : public ::testing::Test {
+ protected:
+  void TearDown() override { FailPointRegistry::Global().DisarmAll(); }
+
+  static RefitOptions BudgetOptions(FakeClock* clock,
+                                    overload::RetryBudget* budget) {
+    RefitOptions options;
+    options.min_new_observations = 8;
+    options.refit_retry.max_attempts = 4;
+    options.refit_retry.deadline = units::Seconds(60.0);
+    options.clock = clock;
+    options.retry_budget = budget;
+    options.retry_budget_key = 1;
+    return options;
+  }
+};
+
+TEST_F(RefitBudgetTest, ExhaustedBudgetDeniesBeforeSleepAndQuarantines) {
+  PredictionService service(ModelSnapshot::Create(SharedPredictor(), 1));
+  ObservationLog log(&service);
+  FakeClock clock;
+  // One retry's worth of tokens and no refill headroom.
+  overload::RetryBudgetOptions budget_options;
+  budget_options.deposit_per_attempt = 0.0;
+  budget_options.withdraw_per_retry = 10.0;
+  budget_options.initial_balance = 0.0;
+  budget_options.max_balance = 10.0;
+  overload::RetryBudget budget(budget_options);
+
+  RefitController controller(&service, &log,
+                             SharedTrainingData().observations,
+                             BudgetOptions(&clock, &budget));
+  const size_t base = controller.training_set_size();
+  for (const MixObservation& o : DriftedObservations(2, 8)) {
+    ASSERT_TRUE(log.Ingest(o).ok());
+  }
+
+  FailPointRegistry::Global().ArmProbability("serve.refit.fit", 1.0);
+  auto step = controller.Step();
+
+  // The first fit attempt failed; the retry was denied by the dry
+  // budget, surfaced as the budget's own status, with zero sleeps —
+  // denial happens before the backoff, not after it.
+  EXPECT_EQ(step.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(step.status().message().find("retry budget"),
+            std::string::npos)
+      << step.status();
+  EXPECT_TRUE(clock.sleeps().empty());
+  EXPECT_EQ(budget.denials(), 1u);
+  EXPECT_EQ(budget.withdrawals(), 0u);
+
+  // The failed step still runs the full quarantine protocol: batch to
+  // the dead-letter buffer, live snapshot untouched, failure counted.
+  EXPECT_EQ(controller.failed_steps(), 1u);
+  EXPECT_EQ(controller.refits(), 0u);
+  EXPECT_EQ(controller.training_set_size(), base);
+  EXPECT_EQ(service.snapshot()->version(), 1u);
+  EXPECT_EQ(service.publishes(), 0u);
+  EXPECT_EQ(log.pending(), 0u);
+  EXPECT_EQ(log.quarantined(), 8u);
+  EXPECT_EQ(log.dead_letter_pending(), 8u);
+
+  // The dead letter is replayable once the fault clears and the budget
+  // is no longer consulted (the fit succeeds on its first attempt).
+  FailPointRegistry::Global().DisarmAll();
+  for (const MixObservation& o : log.TakeDeadLetter()) {
+    ASSERT_TRUE(log.Ingest(o).ok());
+  }
+  auto replay = controller.Step();
+  ASSERT_TRUE(replay.ok()) << replay.status();
+  EXPECT_TRUE(replay->refit);
+  EXPECT_EQ(service.snapshot()->version(), 2u);
+}
+
+TEST_F(RefitBudgetTest, FundedBudgetRidesOutTransientFitFailures) {
+  PredictionService service(ModelSnapshot::Create(SharedPredictor(), 1));
+  ObservationLog log(&service);
+  FakeClock clock;
+  overload::RetryBudget budget;  // defaults: 20 initial, 10 per retry
+
+  RefitController controller(&service, &log,
+                             SharedTrainingData().observations,
+                             BudgetOptions(&clock, &budget));
+  for (const MixObservation& o : DriftedObservations(3, 8)) {
+    ASSERT_TRUE(log.Ingest(o).ok());
+  }
+
+  FailPointRegistry::Global().ArmNthHit("serve.refit.fit", 1);
+  auto step = controller.Step();
+  ASSERT_TRUE(step.ok()) << step.status();
+  EXPECT_TRUE(step->refit);
+  EXPECT_EQ(clock.sleeps().size(), 1u) << "one paid backoff retry";
+  EXPECT_EQ(budget.withdrawals(), 1u);
+  EXPECT_EQ(budget.denials(), 0u);
+  EXPECT_EQ(controller.failed_steps(), 0u);
+  EXPECT_EQ(service.snapshot()->version(), 2u);
+}
+
+TEST_F(RefitBudgetTest, BudgetDenialReplaysBitExactly) {
+  auto run = [] {
+    PredictionService service(ModelSnapshot::Create(SharedPredictor(), 1));
+    ObservationLog log(&service);
+    FakeClock clock;
+    overload::RetryBudgetOptions budget_options;
+    budget_options.deposit_per_attempt = 0.0;
+    budget_options.initial_balance = 0.0;
+    budget_options.max_balance = 0.0;
+    overload::RetryBudget budget(budget_options);
+    RefitController controller(&service, &log,
+                               SharedTrainingData().observations,
+                               BudgetOptions(&clock, &budget));
+    for (const MixObservation& o : DriftedObservations(4, 8)) {
+      CONTENDER_CHECK(log.Ingest(o).ok());
+    }
+    FailPointRegistry::Global().SetRootSeed(5);
+    FailPointRegistry::Global().ArmProbability("serve.refit.fit", 1.0);
+    auto step = controller.Step();
+    FailPointRegistry::Global().DisarmAll();
+    return std::make_tuple(step.status().code(), clock.sleeps().size(),
+                           log.dead_letter_pending(),
+                           service.snapshot()->version());
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace contender::serve

@@ -57,10 +57,14 @@ TEST(RetryablePolicyTest, ClassifiesEveryCode) {
   EXPECT_FALSE(IsRetryableStatusCode(StatusCode::kFailedPrecondition));
   EXPECT_FALSE(IsRetryableStatusCode(StatusCode::kOutOfRange));
   EXPECT_FALSE(IsRetryableStatusCode(StatusCode::kUnimplemented));
+  // A hard quota: retries cannot refill it, so blind retries only amplify
+  // the overload that exhausted it.
+  EXPECT_FALSE(IsRetryableStatusCode(StatusCode::kResourceExhausted));
   EXPECT_TRUE(IsRetryableStatusCode(StatusCode::kNotFound));
   EXPECT_TRUE(IsRetryableStatusCode(StatusCode::kInternal));
-  EXPECT_TRUE(IsRetryableStatusCode(StatusCode::kResourceExhausted));
   EXPECT_TRUE(IsRetryableStatusCode(StatusCode::kDeadlineExceeded));
+  // Transient overload sheds are worth retrying — under a retry budget.
+  EXPECT_TRUE(IsRetryableStatusCode(StatusCode::kUnavailable));
 }
 
 TEST(BackoffScheduleTest, GrowsExponentiallyWithinJitterBounds) {

@@ -36,9 +36,11 @@ TEST(StatusTest, AllConstructorsProduceMatchingCodes) {
   EXPECT_EQ(Status::DeadlineExceeded("x").code(),
             StatusCode::kDeadlineExceeded);
   EXPECT_EQ(Status::Aborted("x").code(), StatusCode::kAborted);
+  EXPECT_EQ(Status::Unavailable("x").code(), StatusCode::kUnavailable);
   EXPECT_EQ(Status::DeadlineExceeded("late").ToString(),
             "DeadlineExceeded: late");
   EXPECT_EQ(Status::Aborted("given up").ToString(), "Aborted: given up");
+  EXPECT_EQ(Status::Unavailable("shed").ToString(), "Unavailable: shed");
 }
 
 TEST(StatusTest, EveryCodeRoundTripsThroughItsName) {
@@ -53,6 +55,7 @@ TEST(StatusTest, EveryCodeRoundTripsThroughItsName) {
       StatusCode::kResourceExhausted,
       StatusCode::kDeadlineExceeded,
       StatusCode::kAborted,
+      StatusCode::kUnavailable,
   };
   for (StatusCode code : all) {
     const std::string name = StatusCodeToString(code);

@@ -461,6 +461,36 @@ def check_raw_lock(root):
     return findings
 
 
+# A drop flag being raised: the outcome fields the schedulers/router use
+# to mark work they refused (`rejected`/`shed`). Anything that raises one
+# must stamp WHY within the surrounding lines, or the drop is silent.
+SHED_FLAG_RE = re.compile(r"\b(?:rejected|shed)\s*=\s*true\b")
+SHED_REASON_NEARBY_RE = re.compile(r"\bShedReason\b|\bshed_reason\b")
+
+
+def check_shed_reason(root):
+    """Every `rejected = true` / `shed = true` in src/ must mention
+    ShedReason/shed_reason within +/-3 lines — no silent drops."""
+    findings = []
+    for path in iter_source_files(root, ("src",)):
+        rel = os.path.relpath(path, root)
+        lines = read_lines(path)
+        for i, line in enumerate(lines, 1):
+            if suppressed(line, "shed-reason"):
+                continue
+            if not SHED_FLAG_RE.search(code_of(line)):
+                continue
+            window = lines[max(0, i - 4):i + 3]
+            if any(SHED_REASON_NEARBY_RE.search(w) for w in window):
+                continue
+            findings.append(Finding(
+                "shed-reason", rel, i,
+                "drop flag raised without a ShedReason stamp within 3 "
+                "lines — every rejected/shed request must say why "
+                f"(DESIGN.md §16): {line.strip()}"))
+    return findings
+
+
 def check_suppression_budget(root, budget=None):
     """Counts every suppression vocabulary occurrence in src/ against the
     allowlist: unbudgeted suppressions fail, and so do stale allowlist
@@ -787,6 +817,49 @@ RULES = (
          "src/fleet/good_fleet_lock.h"],
     ),
     Rule(
+        "shed-reason",
+        "No silent drops: every `rejected = true` / `shed = true` in src/ "
+        "must mention ShedReason/shed_reason within 3 lines, so every "
+        "refused request carries a machine-readable reason the FleetMetrics "
+        "conservation ledger can account for (DESIGN.md §16). A drop "
+        "without a reason is invisible to the per-tenant shed breakdown "
+        "and to the overload bench's shed-by-reason columns.",
+        check_shed_reason,
+        {
+            # A raised drop flag with no reason in sight fires ...
+            "src/fleet/bad_shed.cc":
+                "void Drop(FleetQueryOutcome* out) {\n"
+                "  out->rejected = true;\n"
+                "}\n"
+                "void LongDrop(Outcome* out) {\n"
+                "  out->shed = true;\n"
+                "  out->a = 1;\n"
+                "  out->b = 2;\n"
+                "  out->c = 3;\n"
+                "  out->shed_reason = overload::ShedReason::kQuota;"
+                "  // too far: 4 lines away\n"
+                "}\n",
+            # ... while a stamped drop (the router/simulator idiom) and an
+            # explicitly suppressed one stay quiet.
+            "src/fleet/good_shed.cc":
+                "void Drop(FleetQueryOutcome* out) {\n"
+                "  out->rejected = true;\n"
+                "  out->shed_reason = overload::ShedReason::kQuota;\n"
+                "}\n",
+            "src/sched/good_shed.cc":
+                "void Shed(Outcome* out, overload::ShedReason reason) {\n"
+                "  out->shed_reason = reason;\n"
+                "  out->shed = true;\n"
+                "}\n"
+                "void Legacy(Outcome* out) {\n"
+                "  out->rejected = true;"
+                "  // contender-lint: disable=shed-reason\n"
+                "}\n",
+        },
+        ["src/fleet/bad_shed.cc"],
+        ["src/fleet/good_shed.cc", "src/sched/good_shed.cc"],
+    ),
+    Rule(
         "suppression-budget",
         "Every suppression in src/ — `// contender-lint: disable=<rule>`, "
         "`NO_THREAD_SAFETY_ANALYSIS`, and `// contender-lint: lock-free` "
@@ -811,6 +884,8 @@ RULES = (
         self_test_kwargs={"budget": {
             os.path.join("src", "core", "ok.cc"):
                 {"naked-random": (1, "self-test fixture")},
+            os.path.join("src", "sched", "good_shed.cc"):
+                {"shed-reason": (1, "self-test fixture")},
             os.path.join("src", "core", "ok_ntsa.cc"):
                 {"no-thread-safety-analysis": (1, "self-test fixture")},
             os.path.join("src", "core", "good_guard.h"):
